@@ -1,0 +1,111 @@
+package streamhist
+
+import (
+	"streamhist/internal/apca"
+	"streamhist/internal/histogram"
+	"streamhist/internal/quantile"
+	"streamhist/internal/segment"
+	"streamhist/internal/wavelet"
+)
+
+// WaveletSynopsis is a top-B Haar wavelet summary of a fixed-length
+// sequence (Matias, Vitter & Wang), the transform-based baseline of the
+// paper's Figure 6 experiments. It answers point and range-sum queries in
+// O(B) from the retained coefficients.
+type WaveletSynopsis = wavelet.Synopsis
+
+// WaveletCoefficient is one retained Haar coefficient.
+type WaveletCoefficient = wavelet.Coefficient
+
+// NewWavelet builds a top-b wavelet synopsis of data.
+func NewWavelet(data []float64, b int) (*WaveletSynopsis, error) {
+	return wavelet.Build(data, b)
+}
+
+// HaarTransform computes the full unnormalized Haar decomposition of data,
+// padded to a power of two with the data mean.
+func HaarTransform(data []float64) ([]float64, error) {
+	return wavelet.Transform(data)
+}
+
+// HaarInverse reconstructs the padded sequence from a full Haar
+// coefficient vector.
+func HaarInverse(coeffs []float64) []float64 {
+	return wavelet.Inverse(coeffs)
+}
+
+// BuildAPCA computes the b-segment Adaptive Piecewise Constant
+// Approximation of Keogh et al. (SIGMOD 2001), the time-series comparator
+// of the paper's section 5.2, returned in histogram form.
+func BuildAPCA(data []float64, b int) (*Histogram, error) {
+	return apca.Build(data, b)
+}
+
+// BottomUpSegment builds a b-segment piecewise-constant approximation by
+// greedy bottom-up merging, the classical segmentation heuristic.
+func BottomUpSegment(data []float64, b int) (*Histogram, error) {
+	return segment.BottomUp(data, b)
+}
+
+// TopDownSegment builds a b-segment approximation by recursive best-split
+// partitioning.
+func TopDownSegment(data []float64, b int) (*Histogram, error) {
+	return segment.TopDown(data, b)
+}
+
+// EqualWidth builds the classical b-bucket equal-width histogram.
+func EqualWidth(data []float64, b int) (*Histogram, error) {
+	return histogram.EqualWidth(data, b)
+}
+
+// EqualDepth builds the classical b-bucket equal-depth histogram, placing
+// boundaries at quantiles of the cumulative absolute mass.
+func EqualDepth(data []float64, b int) (*Histogram, error) {
+	return histogram.EqualDepth(data, b)
+}
+
+// EndBiased builds a b-bucket end-biased histogram: extreme values become
+// singleton buckets, the rest are merged.
+func EndBiased(data []float64, b int) (*Histogram, error) {
+	return histogram.EndBiased(data, b)
+}
+
+// NewHistogram builds a histogram of data with the given bucket
+// right-boundaries (each the last covered position, the final one equal to
+// len(data)-1); bucket values are the covered means.
+func NewHistogram(data []float64, boundaries []int) (*Histogram, error) {
+	return histogram.New(data, boundaries)
+}
+
+// TotalSSE computes the SSE of an arbitrary bucketization of data.
+func TotalSSE(data []float64, boundaries []int) float64 {
+	return histogram.TotalSSE(data, boundaries)
+}
+
+// GKQuantile is a Greenwald-Khanna one-pass eps-approximate quantile
+// summary (SIGMOD 2001), from the paper's related work on streaming order
+// statistics.
+type GKQuantile = quantile.GK
+
+// NewGKQuantile creates a quantile summary with rank precision eps.
+func NewGKQuantile(eps float64) (*GKQuantile, error) {
+	return quantile.NewGK(eps)
+}
+
+// MRLQuantile is a Munro-Paterson / Manku-Rajagopalan-Lindsay buffer-
+// collapse quantile summary ([MP80], [SRL98] in the paper's related work).
+type MRLQuantile = quantile.MRL
+
+// NewMRLQuantile creates a buffer-collapse summary with buffer size k.
+func NewMRLQuantile(k int) (*MRLQuantile, error) {
+	return quantile.NewMRL(k)
+}
+
+// Reservoir is a uniform reservoir sample of a stream.
+type Reservoir = quantile.Reservoir
+
+// NewReservoir creates a reservoir of the given capacity with a seeded
+// deterministic source.
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	return quantile.NewReservoir(capacity, seed)
+}

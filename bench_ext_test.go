@@ -1,0 +1,227 @@
+package streamhist_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamhist/internal/agglom"
+	"streamhist/internal/core"
+	"streamhist/internal/datagen"
+	"streamhist/internal/dct"
+	"streamhist/internal/fm"
+	"streamhist/internal/hist2d"
+	"streamhist/internal/maxerr"
+	"streamhist/internal/rtree"
+	"streamhist/internal/vhist"
+)
+
+// BenchmarkExtMaxError covers the footnote-3 objective: optimal max-error
+// construction via binary search + greedy cover.
+func BenchmarkExtMaxError(b *testing.B) {
+	data := utilization(4096, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxerr.Build(data, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtDCT covers the transform-family baseline: full DCT-II build
+// and O(B) range-sum queries.
+func BenchmarkExtDCT(b *testing.B) {
+	data := utilization(1024, 21)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dct.Build(data, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("range-sum", func(b *testing.B) {
+		s, err := dct.Build(data, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.EstimateRangeSum(i%512, 512+i%512)
+		}
+	})
+}
+
+// BenchmarkExtVHist covers streaming equi-depth maintenance and
+// selectivity queries.
+func BenchmarkExtVHist(b *testing.B) {
+	b.Run("push", func(b *testing.B) {
+		s, err := vhist.NewStreamingEqualDepth(32, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 22})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Push(g.Next())
+		}
+	})
+	b.Run("selectivity", func(b *testing.B) {
+		data := utilization(20000, 23)
+		h, err := vhist.EqualWidth(data, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Selectivity(float64(i%500), float64(500+i%500))
+		}
+	})
+}
+
+// BenchmarkExtFM covers distinct-count sketch updates.
+func BenchmarkExtFM(b *testing.B) {
+	for _, m := range []int{8, 64} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			s, err := fm.New(m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkExtRTree covers the GEMINI index substrate: bulk load and
+// nearest-neighbor search.
+func BenchmarkExtRTree(b *testing.B) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 24})
+	const n, dims = 10000, 8
+	entries := make([]rtree.Entry, n)
+	for i := range entries {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = g.Next()
+		}
+		entries[i] = rtree.Entry{Rect: rtree.Point(p), ID: i}
+	}
+	b.Run("bulk-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.BulkLoad(entries, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nearest-10", func(b *testing.B) {
+		tree, err := rtree.BulkLoad(entries, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := make([]float64, dims)
+		for d := range q {
+			q[d] = g.Next()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tree.NearestK(q, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtHist2D covers 2-D selectivity construction and queries.
+func BenchmarkExtHist2D(b *testing.B) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 25})
+	pts := make([]hist2d.Point, 20000)
+	for i := range pts {
+		pts[i] = hist2d.Point{X: g.Next(), Y: g.Next()}
+	}
+	b.Run("mhist-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hist2d.MHIST(pts, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		h, err := hist2d.MHIST(pts, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Selectivity(float64(i%400), float64(400+i%400), 100, 700)
+		}
+	})
+}
+
+// BenchmarkExtSnapshot covers snapshot encode/restore of both streaming
+// summaries.
+func BenchmarkExtSnapshot(b *testing.B) {
+	fw, err := core.NewWithDelta(4096, 16, 0.1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := agglom.New(16, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 26, Quantize: true})
+	for i := 0; i < 4096; i++ {
+		v := g.Next()
+		fw.PushLazy(v)
+		agg.Push(v)
+	}
+	b.Run("fixedwindow-marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fixedwindow-restore", func(b *testing.B) {
+		blob, err := fw.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var r core.FixedWindow
+			if err := r.UnmarshalBinary(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("agglom-marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := agg.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtTimeWindow covers timestamped maintenance with expiry.
+func BenchmarkExtTimeWindow(b *testing.B) {
+	tw, err := core.NewTimeWindow(2048, 8, 0.1, 0.1, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 27, Quantize: true})
+	base := time.Unix(0, 0)
+	for i := 0; i < 2048; i++ {
+		if err := tw.Push(base.Add(time.Duration(i)*time.Second), g.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := base.Add(time.Duration(2048+i) * time.Second)
+		if err := tw.Push(ts, g.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command datagen writes synthetic stream traces (the substitutes for the
+// paper's proprietary AT&T data, see DESIGN.md) to stdout, one value per
+// line — suitable for piping into cmd/streamhist.
+//
+// Usage:
+//
+//	datagen -gen utilization -points 100000 -seed 7 > trace.txt
+//	datagen -gen zipf -points 5000 | streamhist -window 512
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamhist"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "utilization", "generator: utilization, walk, steps, zipf, mixture")
+		points = flag.Int("points", 10000, "number of values to emit")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	g, err := pick(*gen, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < *points; i++ {
+		fmt.Fprintf(w, "%g\n", g.Next())
+	}
+}
+
+func pick(name string, seed int64) (streamhist.Generator, error) {
+	switch name {
+	case "utilization":
+		return streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: seed, Quantize: true}), nil
+	case "walk":
+		return streamhist.NewRandomWalk(seed, 500, 10, 0, 1000, true)
+	case "steps":
+		return streamhist.NewStepSignal(seed, 100, 0, 1000, 10, true)
+	case "zipf":
+		return streamhist.NewZipf(seed, 1.5, 1000)
+	case "mixture":
+		return streamhist.NewGaussianMixture(seed, 4, 0, 1000, 30)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", name)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestPick(t *testing.T) {
+	for _, name := range []string{"utilization", "walk", "steps", "zipf", "mixture"} {
+		g, err := pick(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := g.Next()
+		if v != v { // NaN guard
+			t.Fatalf("%s produced NaN", name)
+		}
+	}
+	if _, err := pick("nope", 7); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Command streamhistd serves a fixed-window stream summary over HTTP.
+//
+//	streamhistd -addr :8080 -window 4096 -buckets 16 -eps 0.1
+//
+// Then:
+//
+//	curl -X POST --data-binary @values.txt localhost:8080/ingest
+//	curl localhost:8080/histogram
+//	curl 'localhost:8080/query?lo=100&hi=900'
+//	curl 'localhost:8080/quantile?phi=0.99'
+//	curl 'localhost:8080/selectivity?lo=200&hi=400'
+//	curl localhost:8080/stats
+//	curl -o window.snap localhost:8080/snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"streamhist/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		window  = flag.Int("window", 4096, "sliding window capacity")
+		buckets = flag.Int("buckets", 16, "histogram bucket budget")
+		eps     = flag.Float64("eps", 0.1, "approximation precision")
+		delta   = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+	)
+	flag.Parse()
+	if *delta == 0 {
+		*delta = *eps
+	}
+	s, err := server.New(*window, *buckets, *eps, *delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("streamhistd listening on %s (window %d, B=%d, eps=%g, delta=%g)\n",
+		*addr, *window, *buckets, *eps, *delta)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,32 @@
+package streamhist
+
+import "streamhist/internal/drift"
+
+// HistogramL2 returns the L2 distance between two histograms viewed as
+// step functions over identical spans, in O(B1+B2).
+func HistogramL2(a, b *Histogram) (float64, error) {
+	return drift.L2(a, b)
+}
+
+// HistogramL1 returns the L1 (area) distance between two histograms.
+func HistogramL1(a, b *Histogram) (float64, error) {
+	return drift.L1(a, b)
+}
+
+// HistogramNormalizedL2 returns the per-point RMS difference between two
+// histograms, comparable across window sizes.
+func HistogramNormalizedL2(a, b *Histogram) (float64, error) {
+	return drift.NormalizedL2(a, b)
+}
+
+// DriftDetector raises events when the distribution summarized by the
+// current window's histogram departs from a reference regime — change
+// detection on streams via histogram comparison.
+type DriftDetector = drift.Detector
+
+// NewDriftDetector creates a detector alarming when the normalized L2
+// distance to the reference histogram exceeds threshold. On drift the
+// reference is re-anchored to the new regime.
+func NewDriftDetector(threshold float64) (*DriftDetector, error) {
+	return drift.NewDetector(threshold)
+}

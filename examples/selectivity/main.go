@@ -1,0 +1,85 @@
+// Selectivity estimation: the query-optimization application that
+// motivates histogram research. A single pass over a stream of column
+// values simultaneously feeds a streaming equi-depth value histogram
+// (for "how many rows match value BETWEEN a AND b"), a Greenwald-Khanna
+// quantile summary, and a Flajolet-Martin sketch (distinct-value count for
+// join-size estimation), using a tee so the stream really is read once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"streamhist"
+)
+
+func main() {
+	const (
+		rows    = 200000
+		buckets = 24
+	)
+
+	sed, err := streamhist.NewStreamingEqualDepth(buckets, 0.005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gk, err := streamhist.NewGKQuantile(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmSketch, err := streamhist.NewFMSketch(64, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats streamhist.StreamCounter
+
+	tee := streamhist.StreamTee{
+		streamhist.StreamConsumerFunc(sed.Push),
+		streamhist.StreamConsumerFunc(gk.Insert),
+		streamhist.StreamConsumerFunc(fmSketch.AddFloat),
+		&stats,
+	}
+
+	// The column: quantized utilization values (bounded integers). Keep a
+	// copy only to report exact answers; the summaries never see it twice.
+	column := make([]float64, 0, rows)
+	g := streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 31, Quantize: true})
+	for i := 0; i < rows; i++ {
+		v := g.Next()
+		column = append(column, v)
+		tee.Push(v)
+	}
+
+	h, err := sed.Histogram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one pass over %d rows -> %d-bucket value histogram (%d summary tuples), GK summary, FM sketch\n\n",
+		rows, h.NumBuckets(), sed.Space())
+
+	fmt.Println("predicate selectivity: value BETWEEN a AND b")
+	for _, q := range [][2]float64{{0, 100}, {200, 400}, {450, 550}, {800, 1000}} {
+		est := h.Selectivity(q[0], q[1])
+		exact := streamhist.ExactSelectivity(column, q[0], q[1])
+		fmt.Printf("  [%4.0f, %4.0f]: estimated %6.2f%%  exact %6.2f%%\n",
+			q[0], q[1], 100*est, 100*exact)
+	}
+
+	fmt.Println("\nquantiles of the column (GK, eps=0.01)")
+	for _, phi := range []float64{0.25, 0.5, 0.9, 0.99} {
+		v, err := gk.Query(phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  p%-4.0f = %.0f\n", phi*100, v)
+	}
+
+	distinct := map[float64]bool{}
+	for _, v := range column {
+		distinct[v] = true
+	}
+	fmt.Printf("\ndistinct values: FM estimate %.0f, exact %d\n", fmSketch.Estimate(), len(distinct))
+	fmt.Printf("column stats: mean %.1f, stddev %.1f, range [%.0f, %.0f]\n",
+		stats.Mean(), math.Sqrt(stats.Variance()), stats.Min, stats.Max)
+}

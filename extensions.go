@@ -1,0 +1,130 @@
+package streamhist
+
+import (
+	"io"
+
+	"streamhist/internal/dct"
+	"streamhist/internal/fm"
+	"streamhist/internal/hist2d"
+	"streamhist/internal/maxerr"
+	"streamhist/internal/stream"
+	"streamhist/internal/vhist"
+)
+
+// MaxErrorResult is a histogram optimal under the maximum-absolute-error
+// metric (footnote 3 of the paper), with midrange representatives.
+type MaxErrorResult = maxerr.Result
+
+// OptimalMaxError computes a histogram of data with at most b buckets
+// minimizing the maximum absolute error, in O(n log n log Delta) by binary
+// search over the achievable error.
+func OptimalMaxError(data []float64, b int) (*MaxErrorResult, error) {
+	return maxerr.Build(data, b)
+}
+
+// ValueHistogram estimates value-range selectivities ("how many rows have
+// value in [a,b]"), the query-optimization application of [IP95]/[PI97].
+type ValueHistogram = vhist.VHistogram
+
+// ValueBucket is one bucket of a ValueHistogram.
+type ValueBucket = vhist.VBucket
+
+// ValueEqualWidth builds a b-bucket equi-width value histogram by a full
+// scan of data.
+func ValueEqualWidth(data []float64, b int) (*ValueHistogram, error) {
+	return vhist.EqualWidth(data, b)
+}
+
+// ValueEqualDepth builds the exact b-bucket equi-depth value histogram by
+// sorting a copy of data.
+func ValueEqualDepth(data []float64, b int) (*ValueHistogram, error) {
+	return vhist.ExactEqualDepth(data, b)
+}
+
+// StreamingEqualDepth maintains an equi-depth value histogram over a
+// stream in one pass and sublinear space, backed by a Greenwald-Khanna
+// summary.
+type StreamingEqualDepth = vhist.StreamingEqualDepth
+
+// NewStreamingEqualDepth creates a streaming equi-depth builder targeting
+// b buckets with GK rank precision eps.
+func NewStreamingEqualDepth(b int, eps float64) (*StreamingEqualDepth, error) {
+	return vhist.NewStreamingEqualDepth(b, eps)
+}
+
+// ExactSelectivity computes the true fraction of data values in [lo, hi].
+func ExactSelectivity(data []float64, lo, hi float64) float64 {
+	return vhist.ExactSelectivity(data, lo, hi)
+}
+
+// DCTSynopsis is a top-B discrete-cosine-transform summary, the other
+// transform-family baseline section 2 of the paper names.
+type DCTSynopsis = dct.Synopsis
+
+// NewDCT builds a top-b DCT synopsis of data.
+func NewDCT(data []float64, b int) (*DCTSynopsis, error) {
+	return dct.Build(data, b)
+}
+
+// DCTTransform computes the full orthonormal DCT-II of data.
+func DCTTransform(data []float64) ([]float64, error) {
+	return dct.Transform(data)
+}
+
+// Histogram2D estimates counts of rectangular two-attribute predicates.
+type Histogram2D = hist2d.Histogram2D
+
+// Point2D is a two-attribute row.
+type Point2D = hist2d.Point
+
+// Grid2D builds a g x g equi-width two-dimensional histogram.
+func Grid2D(points []Point2D, g int) (*Histogram2D, error) {
+	return hist2d.Grid(points, g)
+}
+
+// MHIST2D builds a b-bucket adaptive two-dimensional histogram by greedy
+// recursive partitioning (the MHIST-2 heuristic of Poosala & Ioannidis).
+func MHIST2D(points []Point2D, b int) (*Histogram2D, error) {
+	return hist2d.MHIST(points, b)
+}
+
+// FMSketch estimates the number of distinct values in a stream
+// (Flajolet-Martin probabilistic counting, the paper's [FM83] reference).
+type FMSketch = fm.Sketch
+
+// NewFMSketch creates a distinct-count sketch with m bitmaps.
+func NewFMSketch(m int, seed uint64) (*FMSketch, error) {
+	return fm.New(m, seed)
+}
+
+// StreamReader parses a value-per-line numeric stream from an io.Reader,
+// skipping blanks and '#' comments.
+type StreamReader = stream.Reader
+
+// NewStreamReader wraps r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return stream.NewReader(r)
+}
+
+// ReadStream drains a value-per-line stream into a slice.
+func ReadStream(r io.Reader) ([]float64, error) {
+	return stream.ReadAll(r)
+}
+
+// WriteStream emits values one per line.
+func WriteStream(w io.Writer, values []float64) error {
+	return stream.Write(w, values)
+}
+
+// StreamConsumer receives stream values one at a time.
+type StreamConsumer = stream.Consumer
+
+// StreamConsumerFunc adapts a closure to StreamConsumer.
+type StreamConsumerFunc = stream.ConsumerFunc
+
+// StreamTee pushes every value into all consumers, enabling single-pass
+// multi-summary processing.
+type StreamTee = stream.Tee
+
+// StreamCounter tracks running count/mean/variance/min/max of a stream.
+type StreamCounter = stream.Counter

@@ -1,0 +1,101 @@
+package streamhist_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"streamhist"
+)
+
+func TestFacadeMaxError(t *testing.T) {
+	data := []float64{1, 1, 1, 9, 9, 9}
+	res, err := streamhist.OptimalMaxError(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Errorf("MaxError = %v", res.MaxError)
+	}
+}
+
+func TestFacadeValueHistograms(t *testing.T) {
+	data := streamhist.Series(streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 110, Quantize: true}), 5000)
+
+	ew, err := streamhist.ValueEqualWidth(data, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := streamhist.ValueEqualDepth(data, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sed, err := streamhist.NewStreamingEqualDepth(20, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		sed.Push(v)
+	}
+	sh, err := sed.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]float64{{100, 400}, {0, 1000}, {250, 260}} {
+		truth := streamhist.ExactSelectivity(data, q[0], q[1])
+		for name, h := range map[string]*streamhist.ValueHistogram{
+			"equal-width": ew, "equal-depth": ed, "streaming": sh,
+		} {
+			got := h.Selectivity(q[0], q[1])
+			if math.Abs(got-truth) > 0.12 {
+				t.Errorf("%s [%v,%v]: selectivity %v vs truth %v", name, q[0], q[1], got, truth)
+			}
+		}
+	}
+}
+
+func TestFacadeFMSketch(t *testing.T) {
+	s, err := streamhist.NewFMSketch(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		s.Add(uint64(i % 2000))
+	}
+	est := s.Estimate()
+	if est < 1000 || est > 4000 {
+		t.Errorf("distinct estimate %v for 2000 true", est)
+	}
+}
+
+func TestFacadeStreamIO(t *testing.T) {
+	values := []float64{1, 2.5, -3}
+	var buf bytes.Buffer
+	if err := streamhist.WriteStream(&buf, values); err != nil {
+		t.Fatal(err)
+	}
+	got, err := streamhist.ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2.5 {
+		t.Errorf("roundtrip = %v", got)
+	}
+
+	// Single pass feeding three summaries through a tee.
+	agg, _ := streamhist.NewAgglomerative(4, 0.5)
+	var counter streamhist.StreamCounter
+	gk, _ := streamhist.NewGKQuantile(0.1)
+	tee := streamhist.StreamTee{
+		streamhist.StreamConsumerFunc(agg.Push),
+		&counter,
+		streamhist.StreamConsumerFunc(gk.Insert),
+	}
+	g := streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 111, Quantize: true})
+	for i := 0; i < 1000; i++ {
+		tee.Push(g.Next())
+	}
+	if agg.N() != 1000 || counter.N != 1000 || gk.N() != 1000 {
+		t.Errorf("tee counts: %d %d %d", agg.N(), counter.N, gk.N())
+	}
+}

@@ -1,0 +1,27 @@
+package agglom
+
+import "testing"
+
+// FuzzSnapshotRestore feeds arbitrary bytes to the agglomerative snapshot
+// decoder: never panic, and any accepted snapshot must be usable.
+func FuzzSnapshotRestore(f *testing.F) {
+	s, _ := New(4, 0.5)
+	for i := 0; i < 50; i++ {
+		s.Push(float64(i % 7))
+	}
+	valid, _ := s.MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SAG1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var restored Summary
+		if err := restored.UnmarshalBinary(data); err != nil {
+			return
+		}
+		restored.Push(1)
+		restored.Push(2)
+		if _, err := restored.Histogram(); err != nil {
+			t.Fatalf("restored summary unusable: %v", err)
+		}
+	})
+}

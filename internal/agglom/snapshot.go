@@ -1,0 +1,122 @@
+package agglom
+
+import (
+	"fmt"
+
+	"streamhist/internal/codec"
+)
+
+// snapshot format: magic "SAG1", then b, eps, n, running sums, and per
+// queue the interval list with both endpoints. Unlike the fixed-window
+// snapshot, the queues must be persisted: they cannot be rebuilt without
+// replaying the whole stream.
+const snapshotMagic = "SAG1"
+
+// MaxSnapshotBuckets bounds the bucket budget UnmarshalBinary will
+// allocate for, so a corrupt snapshot cannot trigger huge allocations.
+const MaxSnapshotBuckets = 1 << 20
+
+// MarshalBinary snapshots the complete summary state, implementing
+// encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	w := codec.NewWriter(snapshotMagic)
+	w.Int(s.b)
+	w.Float64(s.eps)
+	w.Int(s.n)
+	w.Float64(s.runningSum)
+	w.Float64(s.runningSq)
+	w.Float64(s.herrTop)
+	w.Int(len(s.queues))
+	for _, q := range s.queues {
+		w.Int(len(q))
+		for _, iv := range q {
+			for _, ep := range [2]endpoint{iv.start, iv.end} {
+				w.Int(ep.pos)
+				w.Float64(ep.sum)
+				w.Float64(ep.sq)
+				w.Float64(ep.herr)
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// implementing encoding.BinaryUnmarshaler. The receiver is replaced only
+// on success, after structural validation of the decoded queues.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	r, err := codec.NewReader(data, snapshotMagic)
+	if err != nil {
+		return fmt.Errorf("agglom: %w", err)
+	}
+	b := r.Int()
+	if b > MaxSnapshotBuckets {
+		return fmt.Errorf("agglom: snapshot bucket budget %d exceeds limit %d", b, MaxSnapshotBuckets)
+	}
+	// Every queue contributes at least a length field; reject budgets the
+	// remaining input cannot possibly describe before allocating them.
+	if b > 2+r.Remaining()/8 {
+		return fmt.Errorf("agglom: snapshot bucket budget %d exceeds input size", b)
+	}
+	eps := r.Float64()
+	n := r.Int()
+	runningSum := r.Float64()
+	runningSq := r.Float64()
+	herrTop := r.Float64()
+	numQueues := r.Int()
+	if r.Err() != nil {
+		return fmt.Errorf("agglom: %w", r.Err())
+	}
+	restored, err := New(b, eps)
+	if err != nil {
+		return fmt.Errorf("agglom: snapshot config invalid: %w", err)
+	}
+	if numQueues != len(restored.queues) {
+		return fmt.Errorf("agglom: snapshot has %d queues for B=%d", numQueues, b)
+	}
+	for qi := 0; qi < numQueues; qi++ {
+		qLen := r.Int()
+		if r.Err() != nil {
+			return fmt.Errorf("agglom: %w", r.Err())
+		}
+		// Each interval needs 64 encoded bytes (two endpoints of four
+		// 8-byte fields); reject lengths the remaining input cannot hold
+		// before allocating.
+		const intervalBytes = 64
+		if qLen < 0 || qLen > n || qLen > r.Remaining()/intervalBytes {
+			return fmt.Errorf("agglom: queue %d has implausible length %d", qi, qLen)
+		}
+		q := make([]interval, qLen)
+		prevEnd := -1
+		for i := range q {
+			var eps2 [2]endpoint
+			for j := range eps2 {
+				eps2[j] = endpoint{
+					pos:  r.Int(),
+					sum:  r.Float64(),
+					sq:   r.Float64(),
+					herr: r.Float64(),
+				}
+			}
+			q[i] = interval{start: eps2[0], end: eps2[1]}
+			if r.Err() != nil {
+				return fmt.Errorf("agglom: %w", r.Err())
+			}
+			if q[i].start.pos <= prevEnd || q[i].end.pos < q[i].start.pos || q[i].end.pos >= n {
+				return fmt.Errorf("agglom: queue %d interval %d malformed [%d,%d]",
+					qi, i, q[i].start.pos, q[i].end.pos)
+			}
+			prevEnd = q[i].end.pos
+		}
+		restored.queues[qi] = q
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("agglom: %w", err)
+	}
+	restored.n = n
+	restored.runningSum = runningSum
+	restored.runningSq = runningSq
+	restored.herrTop = herrTop
+	*s = *restored
+	return nil
+}

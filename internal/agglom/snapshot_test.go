@@ -1,0 +1,110 @@
+package agglom
+
+import (
+	"math"
+	"testing"
+
+	"streamhist/internal/datagen"
+)
+
+func TestSnapshotRoundTripAndContinuation(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 121, Quantize: true})
+	orig, err := New(8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		orig.Push(g.Next())
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Summary
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != orig.N() {
+		t.Fatalf("N: %d vs %d", restored.N(), orig.N())
+	}
+	if restored.ApproxError() != orig.ApproxError() {
+		t.Errorf("error: %v vs %v", restored.ApproxError(), orig.ApproxError())
+	}
+	if restored.StoredEndpoints() != orig.StoredEndpoints() {
+		t.Errorf("endpoints: %d vs %d", restored.StoredEndpoints(), orig.StoredEndpoints())
+	}
+	// Continue both streams identically; they must stay in lockstep.
+	for i := 0; i < 1000; i++ {
+		v := g.Next()
+		orig.Push(v)
+		restored.Push(v)
+		if math.Abs(orig.ApproxError()-restored.ApproxError()) > 1e-9*(1+orig.ApproxError()) {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+	ho, err := orig.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := restored.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ho.SSE != hr.SSE {
+		t.Errorf("SSE: %v vs %v", ho.SSE, hr.SSE)
+	}
+}
+
+func TestSnapshotEmptySummary(t *testing.T) {
+	orig, _ := New(4, 0.5)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Summary
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != 0 {
+		t.Errorf("N = %d", restored.N())
+	}
+	restored.Push(5)
+	if restored.N() != 1 {
+		t.Errorf("restored summary not usable")
+	}
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	orig, _ := New(4, 0.5)
+	for i := 0; i < 100; i++ {
+		orig.Push(float64(i % 9))
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Summary
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("ZZZZ"), data[4:]...),
+		"truncated": data[:len(data)/2],
+		"trailing":  append(append([]byte{}, data...), 9),
+	}
+	for name, in := range cases {
+		if err := restored.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSnapshotDoesNotClobberOnError(t *testing.T) {
+	s, _ := New(4, 0.5)
+	s.Push(1)
+	s.Push(2)
+	if err := s.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if s.N() != 2 {
+		t.Error("failed restore clobbered receiver")
+	}
+}

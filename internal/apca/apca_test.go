@@ -1,0 +1,147 @@
+package apca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamhist/internal/histogram"
+	"streamhist/internal/vopt"
+)
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([]float64{1, 2}, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+}
+
+func TestSegmentBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	data := make([]float64, 128)
+	for i := range data {
+		data[i] = float64(rng.Intn(1000))
+	}
+	for _, b := range []int{1, 2, 5, 16} {
+		h, err := Build(data, b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if got := h.NumBuckets(); got > b {
+			t.Errorf("b=%d: %d segments", b, got)
+		}
+		if s, e := h.Span(); s != 0 || e != 127 {
+			t.Errorf("b=%d: span [%d,%d]", b, s, e)
+		}
+	}
+}
+
+func TestMoreSegmentsThanPoints(t *testing.T) {
+	data := []float64{4, 8, 15}
+	h, err := Build(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SSE(data) != 0 {
+		t.Errorf("SSE = %v", h.SSE(data))
+	}
+}
+
+func TestStepSignalRecoveredExactly(t *testing.T) {
+	data := make([]float64, 0, 32)
+	for _, level := range []float64{10, 90} {
+		for i := 0; i < 16; i++ {
+			data = append(data, level)
+		}
+	}
+	h, err := Build(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.SSE(data); got != 0 {
+		t.Errorf("SSE = %v on a 2-level step signal: %v", got, h)
+	}
+}
+
+// TestSegmentValuesAreMeans: APCA sets each segment to the exact mean of
+// the covered raw values.
+func TestSegmentValuesAreMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	h, err := Build(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range h.Buckets {
+		sum := 0.0
+		for i := b.Start; i <= b.End; i++ {
+			sum += data[i]
+		}
+		mean := sum / float64(b.Count())
+		if math.Abs(b.Value-mean) > 1e-9*(1+math.Abs(mean)) {
+			t.Errorf("segment [%d,%d] value %v, want mean %v", b.Start, b.End, b.Value, mean)
+		}
+	}
+}
+
+// TestAPCAWithinFactorOfOptimal: APCA is a heuristic; it should land in
+// the same ballpark as the optimal V-optimal histogram but is allowed to
+// be worse. We only assert it is never better than optimal (sanity of both
+// implementations) and within a loose factor on benign data.
+func TestAPCAWithinFactorOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	data := make([]float64, 256)
+	level := 100.0
+	for i := range data {
+		if i%32 == 0 {
+			level = float64(rng.Intn(500))
+		}
+		data[i] = level + rng.NormFloat64()*3
+	}
+	const b = 8
+	h, err := Build(data, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apcaSSE := h.SSE(data)
+	opt, err := vopt.Error(data, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apcaSSE < opt-1e-6*(1+opt) {
+		t.Fatalf("APCA SSE %v below optimal %v — impossible", apcaSSE, opt)
+	}
+	if apcaSSE > 25*opt+1e-6 {
+		t.Errorf("APCA SSE %v more than 25x optimal %v on benign data", apcaSSE, opt)
+	}
+}
+
+func TestMergeToKeepsCoverage(t *testing.T) {
+	data := make([]float64, 40)
+	for i := range data {
+		data[i] = float64(i * i % 23)
+	}
+	h, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, b := range h.Buckets {
+		if b.Start != next {
+			t.Fatalf("gap before segment %+v", b)
+		}
+		next = b.End + 1
+	}
+	if next != len(data) {
+		t.Fatalf("coverage ends at %d", next-1)
+	}
+	_ = histogram.TotalSSE(data, h.Boundaries()) // must not panic
+}

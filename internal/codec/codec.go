@@ -1,0 +1,167 @@
+// Package codec provides the little-endian primitive readers and writers
+// shared by the binary snapshot formats of the streaming summaries. Every
+// format starts with a 4-byte magic tag including a version digit, so
+// snapshots fail loudly across incompatible releases.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends primitives to a byte buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter creates a writer starting with the given magic tag.
+func NewWriter(magic string) *Writer {
+	w := &Writer{buf: make([]byte, 0, 256)}
+	w.buf = append(w.buf, magic...)
+	return w
+}
+
+// Uint64 appends a uint64.
+func (w *Writer) Uint64(v uint64) {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], v)
+	w.buf = append(w.buf, scratch[:]...)
+}
+
+// Int64 appends an int64.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Int appends an int as int64.
+func (w *Writer) Int(v int) { w.Int64(int64(v)) }
+
+// Float64 appends a float64 by bit pattern.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Floats appends a length-prefixed float64 slice.
+func (w *Writer) Floats(vs []float64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Float64(v)
+	}
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes primitives from a byte buffer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader validates the magic tag and positions after it.
+func NewReader(data []byte, magic string) (*Reader, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("codec: truncated input (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("codec: bad magic %q, want %q", data[:len(magic)], magic)
+	}
+	return &Reader{buf: data, off: len(magic)}, nil
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done reports an error unless the buffer was fully and cleanly consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("codec: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Uint64 consumes a uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = fmt.Errorf("codec: truncated at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Int64 consumes an int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Int consumes an int64 and narrows it, failing when out of range or
+// negative beyond reason for lengths.
+func (r *Reader) Int() int {
+	v := r.Int64()
+	if r.err == nil && (v > int64(math.MaxInt32) || v < int64(math.MinInt32)) {
+		r.err = fmt.Errorf("codec: int %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Float64 consumes a float64 and rejects NaN/Inf.
+func (r *Reader) Float64() float64 {
+	v := math.Float64frombits(r.Uint64())
+	if r.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.err = fmt.Errorf("codec: non-finite float at offset %d", r.off-8)
+		return 0
+	}
+	return v
+}
+
+// Bool consumes one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+1 > len(r.buf) {
+		r.err = fmt.Errorf("codec: truncated at offset %d", r.off)
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	if v > 1 {
+		r.err = fmt.Errorf("codec: invalid bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// Floats consumes a length-prefixed float64 slice.
+func (r *Reader) Floats() []float64 {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+8*n > len(r.buf) {
+		r.err = fmt.Errorf("codec: implausible slice length %d", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Uint64(42)
+	w.Int64(-7)
+	w.Int(123456)
+	w.Float64(3.25)
+	w.Bool(true)
+	w.Bool(false)
+	w.Floats([]float64{1, -2, 0.5})
+
+	r, err := NewReader(w.Bytes(), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uint64(); got != 42 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Int64(); got != -7 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Int(); got != 123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Float64(); got != 3.25 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool values wrong")
+	}
+	fs := r.Floats()
+	if len(fs) != 3 || fs[2] != 0.5 {
+		t.Errorf("Floats = %v", fs)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader([]byte("XY"), "ABCD"); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := NewReader([]byte("ABCE1234"), "ABCD"); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Uint64(1)
+	data := w.Bytes()
+	r, err := NewReader(data[:len(data)-2], "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Uint64()
+	if r.Err() == nil {
+		t.Error("truncated read succeeded")
+	}
+	// Errors are sticky: further reads return zero values.
+	if v := r.Uint64(); v != 0 {
+		t.Errorf("post-error read = %d", v)
+	}
+	if r.Done() == nil {
+		t.Error("Done on errored reader succeeded")
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Uint64(1)
+	data := append(w.Bytes(), 0xff)
+	r, err := NewReader(data, "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Uint64()
+	if r.Done() == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestReaderRejectsNonFinite(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Uint64(math.Float64bits(math.NaN()))
+	r, err := NewReader(w.Bytes(), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Float64()
+	if r.Err() == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestReaderRejectsBadBool(t *testing.T) {
+	r, err := NewReader([]byte("TST1\x02"), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bool()
+	if r.Err() == nil {
+		t.Error("bool byte 2 accepted")
+	}
+}
+
+func TestReaderRejectsImplausibleSlice(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Int(1 << 30) // claims a billion floats
+	r, err := NewReader(w.Bytes(), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Floats()
+	if r.Err() == nil {
+		t.Error("implausible length accepted")
+	}
+}
+
+func TestReaderRejectsOutOfRangeInt(t *testing.T) {
+	w := NewWriter("TST1")
+	w.Int64(int64(math.MaxInt64))
+	r, err := NewReader(w.Bytes(), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Int()
+	if r.Err() == nil {
+		t.Error("out-of-range int accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// FuzzSnapshotRestore feeds arbitrary bytes to the snapshot decoder: it
+// must never panic, and any accepted snapshot must produce a usable
+// maintainer.
+func FuzzSnapshotRestore(f *testing.F) {
+	fw, _ := New(8, 2, 0.5)
+	fw.Push(1)
+	fw.Push(2)
+	valid, _ := fw.MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SFW1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var restored FixedWindow
+		if err := restored.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// An accepted snapshot must be usable.
+		restored.Push(3)
+		if restored.Len() == 0 {
+			t.Fatal("restored maintainer is empty after a push")
+		}
+		if _, err := restored.Histogram(); err != nil {
+			t.Fatalf("restored maintainer unusable: %v", err)
+		}
+	})
+}

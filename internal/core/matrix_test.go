@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamhist/internal/vopt"
+)
+
+// TestAdversarialWindowShapes sweeps the fixed-window algorithm across
+// pathological window contents and a grid of (B, delta) settings, checking
+// on every slide that the extracted histogram is structurally valid,
+// covers the window, and respects the loose (1+delta)^(2B) bound against
+// the exact optimum.
+func TestAdversarialWindowShapes(t *testing.T) {
+	shapes := map[string]func(i int, rng *rand.Rand) float64{
+		"ascending":   func(i int, _ *rand.Rand) float64 { return float64(i) },
+		"descending":  func(i int, _ *rand.Rand) float64 { return float64(100000 - i) },
+		"alternating": func(i int, _ *rand.Rand) float64 { return float64((i % 2) * 1000) },
+		"sawtooth":    func(i int, _ *rand.Rand) float64 { return float64(i % 17) },
+		"spike-train": func(i int, _ *rand.Rand) float64 {
+			if i%23 == 0 {
+				return 1e5
+			}
+			return 1
+		},
+		"geometric": func(i int, _ *rand.Rand) float64 {
+			return math.Pow(1.5, float64(i%30))
+		},
+		"zero-runs": func(i int, rng *rand.Rand) float64 {
+			if (i/37)%2 == 0 {
+				return 0
+			}
+			return float64(rng.Intn(100))
+		},
+		"negative": func(i int, rng *rand.Rand) float64 {
+			return float64(rng.Intn(2000) - 1000)
+		},
+	}
+	const n = 48
+	for name, gen := range shapes {
+		for _, b := range []int{2, 5} {
+			for _, delta := range []float64{0.1, 0.5} {
+				rng := rand.New(rand.NewSource(220))
+				fw, err := NewWithDelta(n, b, delta, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := math.Pow(1+delta, 2*float64(b))
+				for i := 0; i < n+64; i++ {
+					fw.Push(gen(i, rng))
+					res, err := fw.Histogram()
+					if err != nil {
+						t.Fatalf("%s b=%d delta=%g step=%d: %v", name, b, delta, i, err)
+					}
+					if err := res.Histogram.Validate(); err != nil {
+						t.Fatalf("%s step=%d: %v", name, i, err)
+					}
+					if s, e := res.Histogram.Span(); s != 0 || e != fw.Len()-1 {
+						t.Fatalf("%s step=%d: span [%d,%d] vs window %d", name, i, s, e, fw.Len())
+					}
+					if res.Histogram.NumBuckets() > b {
+						t.Fatalf("%s step=%d: %d buckets > %d", name, i, res.Histogram.NumBuckets(), b)
+					}
+					if fw.Len() < 2 || i%7 != 0 {
+						continue
+					}
+					opt, err := vopt.Error(fw.Window(), b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.SSE > bound*opt+1e-5 {
+						t.Fatalf("%s b=%d delta=%g step=%d: SSE %v > %v * opt %v",
+							name, b, delta, i, res.SSE, bound, opt)
+					}
+					if res.SSE < opt-1e-5*(1+opt) {
+						t.Fatalf("%s step=%d: SSE %v below optimal %v", name, i, res.SSE, opt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtremeMagnitudes: values near the float64 integer-exactness edge
+// must not break the prefix-sum arithmetic within a window.
+func TestExtremeMagnitudes(t *testing.T) {
+	fw, err := NewWithDelta(16, 3, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1e12, 1e12 + 1, 1e12 - 1, 0, 1e-6, 1e12, 5e11, 1e12}
+	for _, v := range vals {
+		fw.Push(v)
+	}
+	res, err := fw.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE < 0 || math.IsNaN(res.SSE) || math.IsInf(res.SSE, 0) {
+		t.Fatalf("SSE = %v", res.SSE)
+	}
+	actual := res.Histogram.SSE(fw.Window())
+	if rel := math.Abs(res.SSE-actual) / (1 + actual); rel > 1e-3 {
+		t.Errorf("reported SSE %v vs actual %v (rel %v)", res.SSE, actual, rel)
+	}
+}
+
+// TestTinyWindows: capacities 1 and 2 must behave.
+func TestTinyWindows(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		fw, err := New(n, 2, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			fw.Push(float64(i * 3))
+			res, err := fw.Histogram()
+			if err != nil {
+				t.Fatalf("n=%d step=%d: %v", n, i, err)
+			}
+			if got := res.Histogram.SSE(fw.Window()); got != 0 {
+				t.Fatalf("n=%d step=%d: SSE %v (B=2 covers <=2 points exactly)", n, i, got)
+			}
+		}
+	}
+}

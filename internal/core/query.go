@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// EstimateRangeSum answers a range-sum query over window-local positions
+// [lo, hi] from the current histogram. It extracts (or reuses) the
+// histogram on demand; interleaving queries with PushLazy costs one
+// rebuild per burst.
+func (f *FixedWindow) EstimateRangeSum(lo, hi int) (float64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
+	}
+	if lo < 0 || hi >= f.Len() {
+		return 0, fmt.Errorf("core: range [%d,%d] outside window [0,%d]", lo, hi, f.Len()-1)
+	}
+	res, err := f.Histogram()
+	if err != nil {
+		return 0, err
+	}
+	return res.Histogram.EstimateRangeSum(lo, hi), nil
+}
+
+// EstimateRangeSumGlobal answers a range-sum query over stream positions
+// (0-based since the start of the stream), the form operator queries take
+// ("bytes between timestamps"): positions before the window report an
+// error since that data has been evicted.
+func (f *FixedWindow) EstimateRangeSumGlobal(lo, hi int64) (float64, error) {
+	start := f.WindowStart()
+	if lo < start {
+		return 0, fmt.Errorf("core: position %d already evicted (window starts at %d)", lo, start)
+	}
+	if hi >= f.Seen() {
+		return 0, fmt.Errorf("core: position %d not yet seen (stream at %d)", hi, f.Seen()-1)
+	}
+	return f.EstimateRangeSum(int(lo-start), int(hi-start))
+}

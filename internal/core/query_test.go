@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/vopt"
+)
+
+func TestEstimateRangeSum(t *testing.T) {
+	fw, _ := NewWithDelta(8, 2, 0.5, 0.5)
+	for i := 0; i < 8; i++ {
+		fw.Push(10)
+	}
+	got, err := fw.EstimateRangeSum(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Errorf("estimate = %v, want 40", got)
+	}
+	for _, q := range [][2]int{{5, 2}, {-1, 3}, {0, 8}} {
+		if _, err := fw.EstimateRangeSum(q[0], q[1]); err == nil {
+			t.Errorf("range %v accepted", q)
+		}
+	}
+}
+
+func TestEstimateRangeSumGlobal(t *testing.T) {
+	fw, _ := NewWithDelta(4, 2, 0.5, 0.5)
+	for i := 0; i < 10; i++ {
+		fw.Push(float64(i)) // window now holds stream positions 6..9
+	}
+	got, err := fw.EstimateRangeSumGlobal(6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-30) > 1e-9 { // 6+7+8+9
+		t.Errorf("global estimate = %v, want 30", got)
+	}
+	if _, err := fw.EstimateRangeSumGlobal(3, 8); err == nil {
+		t.Error("evicted positions accepted")
+	}
+	if _, err := fw.EstimateRangeSumGlobal(8, 12); err == nil {
+		t.Error("future positions accepted")
+	}
+}
+
+// TestTinyDeltaIsExact: as delta approaches zero every window position
+// becomes an interval endpoint (or shares its HERROR value with one), so
+// the approximate DP must return exactly the optimal error.
+func TestTinyDeltaIsExact(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 250, Quantize: true})
+	const (
+		n = 40
+		b = 4
+	)
+	fw, err := NewWithDelta(n, b, 0.5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n+30; i++ {
+		fw.Push(g.Next())
+		if fw.Len() < 2 {
+			continue
+		}
+		opt, err := vopt.Error(fw.Window(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fw.ApproxError(); math.Abs(got-opt) > 1e-6*(1+opt) {
+			t.Fatalf("step %d: tiny-delta error %v != optimal %v", i, got, opt)
+		}
+		res, err := fw.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SSE-opt) > 1e-6*(1+opt) {
+			t.Fatalf("step %d: extracted SSE %v != optimal %v", i, res.SSE, opt)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"streamhist/internal/codec"
+	"streamhist/internal/prefix"
+)
+
+// snapshot format: magic "SFW1", then b, eps, delta, linearScan, seen,
+// window values. The interval queues are a pure function of the window, so
+// they are rebuilt on restore rather than persisted.
+const snapshotMagic = "SFW1"
+
+// MaxSnapshotWindow bounds the window capacity UnmarshalBinary will
+// allocate for, so a corrupt or hostile snapshot cannot trigger a
+// multi-gigabyte allocation. Construct larger windows explicitly with New.
+const MaxSnapshotWindow = 1 << 22
+
+// MarshalBinary snapshots the maintainer's configuration and window so a
+// restarted process can resume exactly where it left off, implementing
+// encoding.BinaryMarshaler.
+func (f *FixedWindow) MarshalBinary() ([]byte, error) {
+	w := codec.NewWriter(snapshotMagic)
+	w.Int(f.sums.Capacity())
+	w.Int(f.b)
+	w.Float64(f.eps)
+	w.Float64(f.delta)
+	w.Bool(f.linearScan)
+	w.Int64(f.sums.Seen())
+	w.Floats(f.sums.Values())
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// implementing encoding.BinaryUnmarshaler. The receiver is replaced only
+// on success.
+func (f *FixedWindow) UnmarshalBinary(data []byte) error {
+	r, err := codec.NewReader(data, snapshotMagic)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	n := r.Int()
+	if n > MaxSnapshotWindow {
+		return fmt.Errorf("core: snapshot window capacity %d exceeds limit %d", n, MaxSnapshotWindow)
+	}
+	b := r.Int()
+	if b > 1<<20 {
+		return fmt.Errorf("core: snapshot bucket budget %d exceeds limit %d", b, 1<<20)
+	}
+	eps := r.Float64()
+	delta := r.Float64()
+	linear := r.Bool()
+	seen := r.Int64()
+	values := r.Floats()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	restored, err := NewWithDelta(n, b, eps, delta)
+	if err != nil {
+		return fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+	restored.linearScan = linear
+	sums, err := prefix.RestoreSlidingSums(n, values, seen)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	restored.sums = sums
+	restored.rebuild()
+	*f = *restored
+	return nil
+}

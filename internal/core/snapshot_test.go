@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamhist/internal/datagen"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 120, Quantize: true})
+	orig, err := NewWithDelta(64, 6, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		orig.Push(g.Next())
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FixedWindow
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seen() != orig.Seen() || restored.Len() != orig.Len() {
+		t.Fatalf("Seen/Len mismatch: %d/%d vs %d/%d",
+			restored.Seen(), restored.Len(), orig.Seen(), orig.Len())
+	}
+	if restored.ApproxError() != orig.ApproxError() {
+		t.Errorf("error mismatch: %v vs %v", restored.ApproxError(), orig.ApproxError())
+	}
+	// The two must evolve identically afterwards.
+	for i := 0; i < 100; i++ {
+		v := g.Next()
+		orig.Push(v)
+		restored.Push(v)
+		if math.Abs(orig.ApproxError()-restored.ApproxError()) > 1e-9*(1+orig.ApproxError()) {
+			t.Fatalf("diverged at step %d: %v vs %v", i, orig.ApproxError(), restored.ApproxError())
+		}
+	}
+	ho, err := orig.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := restored.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ho.SSE != hr.SSE {
+		t.Errorf("histogram SSE mismatch: %v vs %v", ho.SSE, hr.SSE)
+	}
+}
+
+func TestSnapshotPartialWindow(t *testing.T) {
+	orig, _ := New(32, 3, 0.5)
+	for i := 0; i < 10; i++ {
+		orig.Push(float64(i))
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FixedWindow
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 10 || restored.Seen() != 10 {
+		t.Errorf("Len=%d Seen=%d", restored.Len(), restored.Seen())
+	}
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	orig, _ := New(8, 2, 0.5)
+	orig.Push(1)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FixedWindow
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"truncated": data[:len(data)-4],
+		"trailing":  append(append([]byte{}, data...), 1, 2, 3),
+	}
+	for name, in := range cases {
+		if err := restored.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSnapshotPreservesLinearScan(t *testing.T) {
+	orig, _ := New(16, 3, 0.5)
+	orig.SetLinearScan(true)
+	for i := 0; i < 20; i++ {
+		orig.Push(float64(i % 5))
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FixedWindow
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.linearScan {
+		t.Error("linearScan flag lost")
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/vopt"
+)
+
+// TestPracticalDeltaStaysNearOptimal drives the delta=eps configuration the
+// experiments use (the paper's Example 1 convention) across long streams
+// and verifies the extracted histogram stays within the loose worst-case
+// bound (1+delta)^(2B) of optimal, and empirically much closer.
+func TestPracticalDeltaStaysNearOptimal(t *testing.T) {
+	const (
+		n     = 96
+		b     = 6
+		delta = 0.1
+	)
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 60, Quantize: true})
+	fw, err := NewWithDelta(n, b, delta, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 1.0
+	var sum float64
+	steps := 0
+	for i := 0; i < n+200; i++ {
+		fw.Push(g.Next())
+		if fw.Len() < n {
+			continue
+		}
+		win := fw.Window()
+		opt, err := vopt.Error(win, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == 0 {
+			continue
+		}
+		res, err := fw.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.SSE / opt
+		if ratio < 1-1e-9 {
+			t.Fatalf("step %d: ratio %v below 1 — impossible", i, ratio)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		sum += ratio
+		steps++
+	}
+	bound := math.Pow(1+delta, 2*b)
+	if worst > bound {
+		t.Errorf("worst ratio %v exceeds loose bound %v", worst, bound)
+	}
+	if avg := sum / float64(steps); avg > 1.5 {
+		t.Errorf("average ratio %v unexpectedly poor for delta=0.1", avg)
+	}
+}
+
+// TestLongStreamConsistency runs far past several rebase boundaries of the
+// sliding prefix store and cross-checks the maintained state against a
+// freshly constructed instance fed only the window contents.
+func TestLongStreamConsistency(t *testing.T) {
+	const (
+		n = 40
+		b = 4
+	)
+	rng := rand.New(rand.NewSource(61))
+	fw, err := New(n, b, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for i := 0; i < 10*n+17; i++ {
+		v := float64(rng.Intn(1000))
+		fw.Push(v)
+		all = append(all, v)
+		if i%37 != 0 || len(all) < n {
+			continue
+		}
+		// Fresh instance over the same window must agree exactly: the
+		// rebuild is a pure function of the window contents.
+		fresh, err := New(n, b, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range all[len(all)-n:] {
+			fresh.PushLazy(w)
+		}
+		if a, f := fw.ApproxError(), fresh.ApproxError(); math.Abs(a-f) > 1e-6*(1+a) {
+			t.Fatalf("step %d: sliding error %v != fresh error %v", i, a, f)
+		}
+		hs, err := fw.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := fresh.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hs.SSE-hf.SSE) > 1e-6*(1+hf.SSE) {
+			t.Fatalf("step %d: sliding SSE %v != fresh SSE %v", i, hs.SSE, hf.SSE)
+		}
+	}
+}
+
+// TestConstantAndZeroWindows: degenerate inputs must produce zero error
+// and valid single-value histograms.
+func TestConstantAndZeroWindows(t *testing.T) {
+	for _, v := range []float64{0, 7.5, -3} {
+		fw, err := New(16, 4, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			fw.Push(v)
+		}
+		if got := fw.ApproxError(); got != 0 {
+			t.Errorf("constant %v: error %v", v, got)
+		}
+		res, err := fw.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SSE != 0 {
+			t.Errorf("constant %v: SSE %v", v, res.SSE)
+		}
+		if val, ok := res.Histogram.EstimatePoint(7); !ok || val != v {
+			t.Errorf("constant %v: point estimate %v,%v", v, val, ok)
+		}
+	}
+}
+
+// TestSpikeThenFlat: a classic failure mode for summaries — a huge spike
+// leaving the window. After the spike is evicted the error must collapse
+// back to near zero.
+func TestSpikeThenFlat(t *testing.T) {
+	fw, err := New(8, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Push(1)
+	fw.Push(1)
+	fw.Push(1e6) // mid-window spike: not isolable with B=2
+	for i := 0; i < 5; i++ {
+		fw.Push(1)
+	}
+	if fw.ApproxError() == 0 {
+		t.Error("mid-window spike reported zero error with B=2")
+	}
+	// Slide the spike out.
+	for i := 0; i < 8; i++ {
+		fw.Push(1)
+	}
+	if got := fw.ApproxError(); got != 0 {
+		t.Errorf("flat window after spike eviction: error %v", got)
+	}
+}
+
+// TestHERRORMonotoneUnderEval: the binary search assumes evalHErr is
+// (approximately) non-decreasing in the position; verify it exactly holds
+// on a fixed window for every level, since the candidate set only grows
+// and SQERROR only grows with the position.
+func TestHERRORMonotoneUnderEval(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 62, Quantize: true})
+	fw, err := New(64, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		fw.Push(g.Next())
+	}
+	for k := 1; k <= 5; k++ {
+		prev := -1.0
+		for c := 0; c < 64; c++ {
+			v := fw.evalHErr(c, k)
+			if v < prev-1e-6*(1+prev) {
+				t.Errorf("level %d: evalHErr(%d)=%v < evalHErr(%d)=%v", k, c, v, c-1, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestSpikeAtWindowBoundary exercises the paper's section 4.4 motivation:
+// the shifted-function problem. A level shift crossing the window edge
+// must be re-discovered by CreateList every slide without stale intervals.
+func TestSpikeAtWindowBoundary(t *testing.T) {
+	const n = 32
+	fw, err := NewWithDelta(n, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half zeros, second half hundreds, then slide until the zeros
+	// vanish; at every slide the 2-boundary histogram should be exact
+	// (3 buckets >= 2 runs).
+	for i := 0; i < n/2; i++ {
+		fw.Push(0)
+	}
+	for i := 0; i < n/2; i++ {
+		fw.Push(100)
+	}
+	for i := 0; i < n; i++ {
+		fw.Push(100)
+		res, err := fw.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SSE != 0 {
+			t.Fatalf("slide %d: SSE %v, want 0 (window has <= 2 runs)", i, res.SSE)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimeWindow maintains an approximate histogram over the points of the
+// last Span of stream time — the "latest T seconds of data produced"
+// framing of the paper's introduction. Points carry timestamps; arrivals
+// evict everything older than Span before the per-point maintenance runs.
+// The number of buffered points varies with the arrival rate, bounded by
+// the capacity given at construction.
+type TimeWindow struct {
+	fw     *FixedWindow
+	span   time.Duration
+	stamps []int64 // ring of unix-nano timestamps, parallel to the window
+	head   int
+	size   int
+	last   int64
+}
+
+// NewTimeWindow creates a time-based maintainer: up to maxPoints buffered
+// points covering the trailing span, with b buckets and growth factor
+// delta.
+func NewTimeWindow(maxPoints, b int, eps, delta float64, span time.Duration) (*TimeWindow, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("core: window span must be positive, got %v", span)
+	}
+	fw, err := NewWithDelta(maxPoints, b, eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &TimeWindow{
+		fw:     fw,
+		span:   span,
+		stamps: make([]int64, maxPoints),
+	}, nil
+}
+
+// Span returns the configured temporal extent.
+func (tw *TimeWindow) Span() time.Duration { return tw.span }
+
+// Len returns the number of points currently inside the window.
+func (tw *TimeWindow) Len() int { return tw.size }
+
+// Push consumes a timestamped point. Timestamps must be non-decreasing;
+// out-of-order arrivals are rejected. Points older than span relative to
+// the new timestamp are evicted, then the histogram queues are rebuilt.
+func (tw *TimeWindow) Push(ts time.Time, v float64) error {
+	nano := ts.UnixNano()
+	if tw.size > 0 && nano < tw.last {
+		return fmt.Errorf("core: out-of-order timestamp %v (last %v)", ts, time.Unix(0, tw.last))
+	}
+	tw.last = nano
+	cutoff := nano - tw.span.Nanoseconds()
+	// Expire old points strictly outside the span.
+	for tw.size > 0 && tw.stamps[tw.head] <= cutoff {
+		tw.fw.sums.EvictOldest()
+		tw.head = (tw.head + 1) % len(tw.stamps)
+		tw.size--
+	}
+	if tw.size == len(tw.stamps) {
+		// Capacity pressure: drop the oldest point early.
+		tw.fw.sums.EvictOldest()
+		tw.head = (tw.head + 1) % len(tw.stamps)
+		tw.size--
+	}
+	tw.stamps[(tw.head+tw.size)%len(tw.stamps)] = nano
+	tw.size++
+	tw.fw.sums.Push(v)
+	tw.fw.rebuild()
+	return nil
+}
+
+// Histogram extracts the current histogram over the in-window points
+// (position 0 = oldest surviving point).
+func (tw *TimeWindow) Histogram() (*Result, error) {
+	if tw.size == 0 {
+		return nil, fmt.Errorf("core: empty time window")
+	}
+	return tw.fw.Histogram()
+}
+
+// ApproxError returns the approximate B-bucket error over the window.
+func (tw *TimeWindow) ApproxError() float64 { return tw.fw.ApproxError() }
+
+// Window returns a copy of the buffered values, oldest first.
+func (tw *TimeWindow) Window() []float64 { return tw.fw.Window() }
+
+// OldestTimestamp returns the timestamp of the oldest in-window point.
+func (tw *TimeWindow) OldestTimestamp() (time.Time, bool) {
+	if tw.size == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, tw.stamps[tw.head]), true
+}

@@ -1,0 +1,324 @@
+// Package datagen provides deterministic synthetic stream generators. The
+// paper evaluates on proprietary AT&T service-utilization time series; per
+// DESIGN.md we substitute synthetic traces that exercise the same
+// behaviour: bounded integer values, piecewise-smooth trends with diurnal
+// periodicity, correlated noise, traffic bursts and occasional level
+// shifts. All generators are seeded and reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator produces an unbounded stream of values, one per Next call.
+type Generator interface {
+	// Next returns the next stream value.
+	Next() float64
+}
+
+// Series drains n values from g into a slice.
+func Series(g Generator, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// UtilizationConfig parameterizes the utilization-trace generator.
+type UtilizationConfig struct {
+	Seed       int64
+	Period     int     // diurnal period in samples (default 1440)
+	Base       float64 // mean utilization level (default 400)
+	Amplitude  float64 // diurnal swing (default 250)
+	NoiseRho   float64 // AR(1) coefficient of the noise (default 0.8)
+	NoiseScale float64 // innovation standard deviation (default 25)
+	BurstProb  float64 // per-sample probability a burst starts (default 0.002)
+	BurstMax   float64 // peak burst height (default 300)
+	ShiftProb  float64 // per-sample probability of a level shift (default 0.0005)
+	MaxValue   float64 // values are clamped to [0, MaxValue] (default 1000)
+	Quantize   bool    // round to integers, per the paper's bounded-integer model
+}
+
+// Utilization generates a router-utilization-like trace: diurnal sinusoid
+// + AR(1) noise + exponentially decaying bursts + random level shifts,
+// clamped to a bounded range and optionally quantized to integers.
+type Utilization struct {
+	cfg   UtilizationConfig
+	rng   *rand.Rand
+	t     int
+	ar    float64 // AR(1) noise state
+	burst float64 // current burst height, decaying
+	shift float64 // accumulated level shift
+}
+
+// NewUtilization creates a utilization generator, filling zero config
+// fields with defaults.
+func NewUtilization(cfg UtilizationConfig) *Utilization {
+	if cfg.Period == 0 {
+		cfg.Period = 1440
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 400
+	}
+	if cfg.Amplitude == 0 {
+		cfg.Amplitude = 250
+	}
+	if cfg.NoiseRho == 0 {
+		cfg.NoiseRho = 0.8
+	}
+	if cfg.NoiseScale == 0 {
+		cfg.NoiseScale = 25
+	}
+	if cfg.BurstProb == 0 {
+		cfg.BurstProb = 0.002
+	}
+	if cfg.BurstMax == 0 {
+		cfg.BurstMax = 300
+	}
+	if cfg.ShiftProb == 0 {
+		cfg.ShiftProb = 0.0005
+	}
+	if cfg.MaxValue == 0 {
+		cfg.MaxValue = 1000
+	}
+	return &Utilization{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next returns the next utilization sample.
+func (u *Utilization) Next() float64 {
+	c := u.cfg
+	diurnal := c.Base + c.Amplitude*math.Sin(2*math.Pi*float64(u.t)/float64(c.Period))
+	u.ar = c.NoiseRho*u.ar + u.rng.NormFloat64()*c.NoiseScale
+	if u.rng.Float64() < c.BurstProb {
+		u.burst = c.BurstMax * (0.5 + 0.5*u.rng.Float64())
+	}
+	u.burst *= 0.9
+	if u.rng.Float64() < c.ShiftProb {
+		u.shift += (u.rng.Float64() - 0.5) * c.Base * 0.5
+	}
+	v := diurnal + u.ar + u.burst + u.shift
+	if v < 0 {
+		v = 0
+	}
+	if v > c.MaxValue {
+		v = c.MaxValue
+	}
+	u.t++
+	if c.Quantize {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// RandomWalk generates a bounded random walk, a classic stream shape
+// (stock-price-like per the paper's financial motivation).
+type RandomWalk struct {
+	rng      *rand.Rand
+	value    float64
+	step     float64
+	min, max float64
+	quantize bool
+}
+
+// NewRandomWalk creates a walk starting at start with +-step increments,
+// clamped to [min, max].
+func NewRandomWalk(seed int64, start, step, min, max float64, quantize bool) (*RandomWalk, error) {
+	if min >= max {
+		return nil, fmt.Errorf("datagen: min %g must be below max %g", min, max)
+	}
+	return &RandomWalk{
+		rng:      rand.New(rand.NewSource(seed)),
+		value:    start,
+		step:     step,
+		min:      min,
+		max:      max,
+		quantize: quantize,
+	}, nil
+}
+
+// Next returns the next walk position.
+func (w *RandomWalk) Next() float64 {
+	w.value += (w.rng.Float64()*2 - 1) * w.step
+	if w.value < w.min {
+		w.value = w.min
+	}
+	if w.value > w.max {
+		w.value = w.max
+	}
+	if w.quantize {
+		return math.Round(w.value)
+	}
+	return w.value
+}
+
+// StepSignal generates a piecewise-constant signal with Gaussian noise:
+// the friendliest possible input for histograms and the shape fault/flow
+// sequences take (the paper's networking motivation). Levels change with
+// probability 1/meanRunLength per sample.
+type StepSignal struct {
+	rng           *rand.Rand
+	level         float64
+	meanRun       float64
+	levelMin      float64
+	levelMax      float64
+	noise         float64
+	quantize      bool
+	remainingRuns int
+}
+
+// NewStepSignal creates a step-signal generator.
+func NewStepSignal(seed int64, meanRunLength float64, levelMin, levelMax, noise float64, quantize bool) (*StepSignal, error) {
+	if meanRunLength < 1 {
+		return nil, fmt.Errorf("datagen: mean run length must be >= 1, got %g", meanRunLength)
+	}
+	if levelMin >= levelMax {
+		return nil, fmt.Errorf("datagen: levelMin %g must be below levelMax %g", levelMin, levelMax)
+	}
+	s := &StepSignal{
+		rng:      rand.New(rand.NewSource(seed)),
+		meanRun:  meanRunLength,
+		levelMin: levelMin,
+		levelMax: levelMax,
+		noise:    noise,
+		quantize: quantize,
+	}
+	s.pickLevel()
+	return s, nil
+}
+
+func (s *StepSignal) pickLevel() {
+	s.level = s.levelMin + s.rng.Float64()*(s.levelMax-s.levelMin)
+	s.remainingRuns = 1 + int(s.rng.ExpFloat64()*s.meanRun)
+}
+
+// Next returns the next sample.
+func (s *StepSignal) Next() float64 {
+	if s.remainingRuns == 0 {
+		s.pickLevel()
+	}
+	s.remainingRuns--
+	v := s.level + s.rng.NormFloat64()*s.noise
+	if v < s.levelMin {
+		v = s.levelMin
+	}
+	if v > s.levelMax {
+		v = s.levelMax
+	}
+	if s.quantize {
+		return math.Round(v)
+	}
+	return v
+}
+
+// Zipf generates i.i.d. Zipf-distributed integers in [1, n], the canonical
+// skewed-value stream (click streams, flow sizes).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a Zipf generator with skew s > 1 over [1, n].
+func NewZipf(seed int64, s float64, n uint64) (*Zipf, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("datagen: zipf skew must exceed 1, got %g", s)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("datagen: zipf range must be positive")
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, n-1)
+	if z == nil {
+		return nil, fmt.Errorf("datagen: invalid zipf parameters s=%g n=%d", s, n)
+	}
+	return &Zipf{z: z}, nil
+}
+
+// Next returns the next Zipf draw.
+func (z *Zipf) Next() float64 { return float64(z.z.Uint64() + 1) }
+
+// GaussianMixture generates i.i.d. draws from a k-mode Gaussian mixture
+// with random mode centers, a multimodal value distribution.
+type GaussianMixture struct {
+	rng     *rand.Rand
+	centers []float64
+	sigma   float64
+}
+
+// NewGaussianMixture creates a mixture with modes random in [lo, hi].
+func NewGaussianMixture(seed int64, modes int, lo, hi, sigma float64) (*GaussianMixture, error) {
+	if modes <= 0 {
+		return nil, fmt.Errorf("datagen: need at least one mode, got %d", modes)
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("datagen: lo %g must be below hi %g", lo, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float64, modes)
+	for i := range centers {
+		centers[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return &GaussianMixture{rng: rng, centers: centers, sigma: sigma}, nil
+}
+
+// Next returns the next mixture draw.
+func (g *GaussianMixture) Next() float64 {
+	c := g.centers[g.rng.Intn(len(g.centers))]
+	return c + g.rng.NormFloat64()*g.sigma
+}
+
+// Func wraps a closure as a Generator, handy for tests.
+type Func func() float64
+
+// Next invokes the closure.
+func (f Func) Next() float64 { return f() }
+
+// Regime is one phase of a RegimeSwitcher: a generator and how many
+// samples it produces before the next phase begins.
+type Regime struct {
+	Gen    Generator
+	Points int
+}
+
+// RegimeSwitcher concatenates generators phase by phase, cycling after the
+// last — the shape of streams with operational regime changes (normal /
+// congestion / fault), used by the drift experiments.
+type RegimeSwitcher struct {
+	regimes []Regime
+	idx     int
+	left    int
+}
+
+// NewRegimeSwitcher validates and builds a switcher.
+func NewRegimeSwitcher(regimes []Regime) (*RegimeSwitcher, error) {
+	if len(regimes) == 0 {
+		return nil, fmt.Errorf("datagen: no regimes")
+	}
+	for i, r := range regimes {
+		if r.Gen == nil {
+			return nil, fmt.Errorf("datagen: regime %d has nil generator", i)
+		}
+		if r.Points <= 0 {
+			return nil, fmt.Errorf("datagen: regime %d has non-positive length %d", i, r.Points)
+		}
+	}
+	return &RegimeSwitcher{regimes: regimes, left: regimes[0].Points}, nil
+}
+
+// Next returns the next sample, advancing phases as they exhaust.
+func (r *RegimeSwitcher) Next() float64 {
+	if r.left == 0 {
+		r.idx = (r.idx + 1) % len(r.regimes)
+		r.left = r.regimes[r.idx].Points
+	}
+	r.left--
+	return r.regimes[r.idx].Gen.Next()
+}
+
+// CurrentRegime returns the index of the phase producing the next sample.
+func (r *RegimeSwitcher) CurrentRegime() int {
+	if r.left == 0 {
+		return (r.idx + 1) % len(r.regimes)
+	}
+	return r.idx
+}

@@ -1,0 +1,209 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesLength(t *testing.T) {
+	g := NewUtilization(UtilizationConfig{Seed: 1})
+	s := Series(g, 100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestUtilizationDeterministic(t *testing.T) {
+	a := Series(NewUtilization(UtilizationConfig{Seed: 42, Quantize: true}), 500)
+	b := Series(NewUtilization(UtilizationConfig{Seed: 42, Quantize: true}), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Series(NewUtilization(UtilizationConfig{Seed: 43, Quantize: true}), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestUtilizationBoundedAndQuantized(t *testing.T) {
+	g := NewUtilization(UtilizationConfig{Seed: 2, MaxValue: 800, Quantize: true})
+	for i := 0; i < 10000; i++ {
+		v := g.Next()
+		if v < 0 || v > 800 {
+			t.Fatalf("value %v out of [0,800]", v)
+		}
+		if v != math.Round(v) {
+			t.Fatalf("value %v not an integer", v)
+		}
+	}
+}
+
+func TestUtilizationHasVariation(t *testing.T) {
+	s := Series(NewUtilization(UtilizationConfig{Seed: 3}), 2000)
+	min, max := s[0], s[0]
+	for _, v := range s {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 100 {
+		t.Errorf("trace range %v too flat", max-min)
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	if _, err := NewRandomWalk(1, 0, 1, 5, 5, false); err == nil {
+		t.Error("min==max accepted")
+	}
+	w, err := NewRandomWalk(4, 50, 10, 0, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 50.0
+	for i := 0; i < 5000; i++ {
+		v := w.Next()
+		if v < 0 || v > 100 {
+			t.Fatalf("walk escaped: %v", v)
+		}
+		if math.Abs(v-prev) > 11 {
+			t.Fatalf("step too large: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestStepSignalRuns(t *testing.T) {
+	if _, err := NewStepSignal(1, 0.5, 0, 10, 1, false); err == nil {
+		t.Error("short mean run accepted")
+	}
+	if _, err := NewStepSignal(1, 10, 5, 5, 1, false); err == nil {
+		t.Error("empty level range accepted")
+	}
+	g, err := NewStepSignal(5, 50, 0, 100, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Series(g, 2000)
+	// With zero noise the signal must be piecewise constant with a
+	// plausible number of level changes.
+	changes := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			changes++
+		}
+	}
+	if changes == 0 || changes > 400 {
+		t.Errorf("changes = %d", changes)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	if _, err := NewZipf(1, 1, 100); err == nil {
+		t.Error("skew 1 accepted")
+	}
+	if _, err := NewZipf(1, 2, 0); err == nil {
+		t.Error("zero range accepted")
+	}
+	z, err := NewZipf(6, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for i := 0; i < 5000; i++ {
+		v := z.Next()
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf value %v out of range", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones < 2000 {
+		t.Errorf("zipf not skewed: only %d ones in 5000", ones)
+	}
+}
+
+func TestGaussianMixture(t *testing.T) {
+	if _, err := NewGaussianMixture(1, 0, 0, 10, 1); err == nil {
+		t.Error("zero modes accepted")
+	}
+	if _, err := NewGaussianMixture(1, 2, 10, 0, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	g, err := NewGaussianMixture(7, 3, 0, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Series(g, 3000)
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	if mean < -50 || mean > 350 {
+		t.Errorf("mixture mean %v implausible", mean)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	i := 0.0
+	g := Func(func() float64 { i++; return i })
+	if g.Next() != 1 || g.Next() != 2 {
+		t.Error("Func adapter broken")
+	}
+}
+
+func TestRegimeSwitcherValidation(t *testing.T) {
+	if _, err := NewRegimeSwitcher(nil); err == nil {
+		t.Error("no regimes accepted")
+	}
+	if _, err := NewRegimeSwitcher([]Regime{{Gen: nil, Points: 5}}); err == nil {
+		t.Error("nil generator accepted")
+	}
+	if _, err := NewRegimeSwitcher([]Regime{{Gen: Func(func() float64 { return 1 }), Points: 0}}); err == nil {
+		t.Error("zero-length regime accepted")
+	}
+}
+
+func TestRegimeSwitcherPhases(t *testing.T) {
+	sw, err := NewRegimeSwitcher([]Regime{
+		{Gen: Func(func() float64 { return 1 }), Points: 3},
+		{Gen: Func(func() float64 { return 2 }), Points: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1, 2, 2, 1, 1, 1, 2, 2} // cycles
+	for i, w := range want {
+		if got := sw.Next(); got != w {
+			t.Fatalf("sample %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRegimeSwitcherCurrentRegime(t *testing.T) {
+	sw, _ := NewRegimeSwitcher([]Regime{
+		{Gen: Func(func() float64 { return 1 }), Points: 2},
+		{Gen: Func(func() float64 { return 2 }), Points: 1},
+	})
+	if sw.CurrentRegime() != 0 {
+		t.Errorf("initial regime = %d", sw.CurrentRegime())
+	}
+	sw.Next()
+	sw.Next()
+	if sw.CurrentRegime() != 1 {
+		t.Errorf("after phase 0 = %d", sw.CurrentRegime())
+	}
+}

@@ -1,0 +1,178 @@
+// Package dct implements a discrete-cosine-transform synopsis, the other
+// member of the transform family section 2 of the paper names ("transforms
+// (e.g discrete Cosine, Wavelet etc)", citing Lee, Kim & Chung SIGMOD'99):
+// keep the B largest orthonormal DCT-II coefficients of a sequence and
+// answer point and range-sum queries from them. Range sums use the closed
+// form of partial cosine sums, so queries cost O(B) like the wavelet
+// synopsis.
+package dct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coefficient is one retained DCT coefficient: index k of the orthonormal
+// DCT-II basis and its value.
+type Coefficient struct {
+	Index int
+	Value float64
+}
+
+// Synopsis is a top-B DCT summary of a fixed-length sequence.
+type Synopsis struct {
+	n      int
+	coeffs []Coefficient
+}
+
+// Transform computes the orthonormal DCT-II of data in O(n^2):
+//
+//	C_k = s_k * sum_i v_i * cos(pi*(2i+1)*k / (2n))
+//
+// with s_0 = sqrt(1/n) and s_k = sqrt(2/n) otherwise.
+func Transform(data []float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("dct: empty data")
+	}
+	n := len(data)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for i, v := range data {
+			sum += v * math.Cos(math.Pi*float64(2*i+1)*float64(k)/float64(2*n))
+		}
+		out[k] = sum * scale(k, n)
+	}
+	return out, nil
+}
+
+// Inverse reconstructs the sequence from a full coefficient vector.
+func Inverse(coeffs []float64) []float64 {
+	n := len(coeffs)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for k, c := range coeffs {
+			sum += c * scale(k, n) * math.Cos(math.Pi*float64(2*i+1)*float64(k)/float64(2*n))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+func scale(k, n int) float64 {
+	if k == 0 {
+		return math.Sqrt(1 / float64(n))
+	}
+	return math.Sqrt(2 / float64(n))
+}
+
+// Build keeps the b largest-magnitude coefficients (orthonormal basis, so
+// magnitude order minimizes L2 reconstruction error for a fixed support).
+func Build(data []float64, b int) (*Synopsis, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("dct: need at least one coefficient, got %d", b)
+	}
+	full, err := Transform(data)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(full))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		ma, mc := math.Abs(full[idx[a]]), math.Abs(full[idx[c]])
+		if ma != mc {
+			return ma > mc
+		}
+		return idx[a] < idx[c]
+	})
+	if b > len(full) {
+		b = len(full)
+	}
+	s := &Synopsis{n: len(data)}
+	for _, k := range idx[:b] {
+		if full[k] == 0 {
+			continue
+		}
+		s.coeffs = append(s.coeffs, Coefficient{Index: k, Value: full[k]})
+	}
+	return s, nil
+}
+
+// Len returns the original sequence length.
+func (s *Synopsis) Len() int { return s.n }
+
+// Coefficients returns the retained coefficients.
+func (s *Synopsis) Coefficients() []Coefficient { return s.coeffs }
+
+// EstimatePoint returns the estimate of the value at position i.
+func (s *Synopsis) EstimatePoint(i int) float64 {
+	v := 0.0
+	for _, c := range s.coeffs {
+		v += c.Value * scale(c.Index, s.n) *
+			math.Cos(math.Pi*float64(2*i+1)*float64(c.Index)/float64(2*s.n))
+	}
+	return v
+}
+
+// EstimateRangeSum returns the estimate of sum(v[lo..hi]) inclusive, in
+// O(B) using the closed form for partial sums of each cosine basis vector.
+func (s *Synopsis) EstimateRangeSum(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n-1 {
+		hi = s.n - 1
+	}
+	if hi < lo {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range s.coeffs {
+		sum += c.Value * scale(c.Index, s.n) * cosineRangeSum(c.Index, lo, hi, s.n)
+	}
+	return sum
+}
+
+// cosineRangeSum computes sum_{i=lo..hi} cos(pi*(2i+1)*k/(2n)) in closed
+// form: a cosine arithmetic progression with first angle
+// theta0 = pi*k*(2*lo+1)/(2n) and step delta = pi*k/n over m terms:
+//
+//	sum = sin(m*delta/2)/sin(delta/2) * cos(theta0 + (m-1)*delta/2)
+func cosineRangeSum(k, lo, hi, n int) float64 {
+	m := float64(hi - lo + 1)
+	if k == 0 {
+		return m
+	}
+	delta := math.Pi * float64(k) / float64(n)
+	theta0 := math.Pi * float64(k) * float64(2*lo+1) / float64(2*n)
+	half := delta / 2
+	denom := math.Sin(half)
+	if math.Abs(denom) < 1e-15 {
+		// delta is a multiple of 2*pi: all terms equal cos(theta0).
+		return m * math.Cos(theta0)
+	}
+	return math.Sin(m*half) / denom * math.Cos(theta0+(m-1)*half)
+}
+
+// Reconstruct materializes the approximation of the original sequence.
+func (s *Synopsis) Reconstruct() []float64 {
+	out := make([]float64, s.n)
+	for i := range out {
+		out[i] = s.EstimatePoint(i)
+	}
+	return out
+}
+
+// SSE returns the sum squared error of the synopsis against data.
+func (s *Synopsis) SSE(data []float64) float64 {
+	total := 0.0
+	for i, v := range data {
+		d := v - s.EstimatePoint(i)
+		total += d * d
+	}
+	return total
+}

@@ -1,0 +1,212 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformRejectsEmpty(t *testing.T) {
+	if _, err := Transform(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([]float64{1}, 0); err == nil {
+		t.Error("zero coefficients accepted")
+	}
+	if _, err := Build(nil, 2); err == nil {
+		t.Error("Build on empty data accepted")
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5}
+	coeffs, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Inverse(coeffs)
+	for i, v := range data {
+		if math.Abs(rec[i]-v) > 1e-9 {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, rec[i], v)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	data := make([]float64, 50)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	coeffs, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e1, e2 float64
+	for _, v := range data {
+		e1 += v * v
+	}
+	for _, c := range coeffs {
+		e2 += c * c
+	}
+	if math.Abs(e1-e2) > 1e-6*(1+e1) {
+		t.Errorf("energy %v != coefficient energy %v (basis not orthonormal)", e1, e2)
+	}
+}
+
+func TestConstantDataOneCoefficient(t *testing.T) {
+	data := make([]float64, 16)
+	for i := range data {
+		data[i] = 5
+	}
+	s, err := Build(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SSE(data); got > 1e-18*16*25 {
+		t.Errorf("SSE = %v", got)
+	}
+	if len(s.Coefficients()) != 1 || s.Coefficients()[0].Index != 0 {
+		t.Errorf("coefficients = %v", s.Coefficients())
+	}
+}
+
+func TestFullBudgetExact(t *testing.T) {
+	data := []float64{2, 7, 1, 8, 2, 8}
+	s, err := Build(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if math.Abs(s.EstimatePoint(i)-v) > 1e-9 {
+			t.Fatalf("point %d = %v, want %v", i, s.EstimatePoint(i), v)
+		}
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestRangeSumClosedFormMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	data := make([]float64, 101) // odd length
+	for i := range data {
+		data[i] = float64(rng.Intn(1000))
+	}
+	s, err := Build(data, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(len(data))
+		hi := lo + rng.Intn(len(data)-lo)
+		want := 0.0
+		for i := lo; i <= hi; i++ {
+			want += s.EstimatePoint(i)
+		}
+		got := s.EstimateRangeSum(lo, hi)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("range [%d,%d]: closed form %v, pointwise %v", lo, hi, got, want)
+		}
+	}
+	if got := s.EstimateRangeSum(5, 4); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+	full := s.EstimateRangeSum(-5, 1000)
+	if math.Abs(full-s.EstimateRangeSum(0, len(data)-1)) > 1e-9 {
+		t.Error("clamping changed the answer")
+	}
+}
+
+func TestMoreCoefficientsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(rng.Intn(500))
+	}
+	prev := math.Inf(1)
+	for _, b := range []int{1, 4, 16, 64} {
+		s, err := Build(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse := s.SSE(data)
+		if sse > prev+1e-6 {
+			t.Fatalf("b=%d: SSE %v > previous %v", b, sse, prev)
+		}
+		prev = sse
+	}
+	if prev > 1e-6 {
+		t.Errorf("full-budget SSE = %v", prev)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 1e4)
+		}
+		coeffs, err := Transform(raw)
+		if err != nil {
+			return false
+		}
+		rec := Inverse(coeffs)
+		for i, v := range raw {
+			if math.Abs(rec[i]-v) > 1e-6*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSmoothVsSpiky: the DCT shines on smooth signals and suffers on
+// spikes relative to its own smooth-signal performance.
+func TestSmoothVsSpiky(t *testing.T) {
+	n := 128
+	smooth := make([]float64, n)
+	spiky := make([]float64, n)
+	for i := range smooth {
+		smooth[i] = 100 * math.Sin(2*math.Pi*float64(i)/float64(n))
+		spiky[i] = 0
+	}
+	spiky[13] = 100
+	spiky[100] = -100
+	sm, err := Build(smooth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Build(spiky, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothRel := sm.SSE(smooth) / energy(smooth)
+	spikyRel := sp.SSE(spiky) / energy(spiky)
+	if smoothRel > 0.01 {
+		t.Errorf("smooth relative SSE %v too high", smoothRel)
+	}
+	if spikyRel < smoothRel {
+		t.Errorf("spiky (%v) easier than smooth (%v)?", spikyRel, smoothRel)
+	}
+}
+
+func energy(data []float64) float64 {
+	e := 0.0
+	for _, v := range data {
+		e += v * v
+	}
+	return e
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamhist/internal/agglom"
+	"streamhist/internal/core"
+	"streamhist/internal/datagen"
+)
+
+// Space reports the working-set sizes the paper's analysis bounds: the
+// interval queues of the fixed-window algorithm (O((1/delta) log n) per
+// level) and the stored endpoints of the agglomerative algorithm
+// (O((B^2/eps) log n) total), against the window/stream size.
+func Space(cfg Config) ([]*Table, error) {
+	fwT, err := spaceFixedWindow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	agT, err := spaceAgglom(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{fwT, agT}, nil
+}
+
+func spaceFixedWindow(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "space-fixedwindow",
+		Title: "fixed-window interval-queue sizes (intervals per level, after fill)",
+		Columns: []string{
+			"window n", "B", "delta", "max queue", "total intervals", "intervals/n",
+		},
+		Notes: []string{
+			"the analysis bounds each queue by O((1/delta) log n); small delta degenerates toward n",
+		},
+	}
+	for _, n := range []int{1024, 4096} {
+		for _, b := range []int{8, 16} {
+			for _, delta := range []float64{0.1, 0.01} {
+				g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: cfg.Seed + 30, Quantize: true})
+				fw, err := core.NewWithDelta(n, b, delta, delta)
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < n; i++ {
+					fw.PushLazy(g.Next())
+				}
+				sizes := fw.QueueSizes()
+				max, total := 0, 0
+				for _, s := range sizes {
+					total += s
+					if s > max {
+						max = s
+					}
+				}
+				t.AddRow(d(n), d(b), g4(delta), d(max), d(total),
+					fmt.Sprintf("%.2f", float64(total)/float64(n)))
+			}
+		}
+	}
+	return t, nil
+}
+
+func spaceAgglom(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "space-agglom",
+		Title: "agglomerative stored endpoints vs stream length (B=8)",
+		Columns: []string{
+			"stream n", "eps", "endpoints", "endpoints/n", "growth vs half-length",
+		},
+		Notes: []string{
+			"the bound is O((B^2/eps) log n): linear in 1/eps, logarithmic in n —",
+			"the growth column should stay near 1 as n doubles once the log regime is reached",
+		},
+	}
+	const b = 8
+	for _, eps := range []float64{0.5, 0.1} {
+		prev := 0
+		for _, n := range []int{12500, 25000, 50000, 100000} {
+			if cfg.Fast && n > 25000 {
+				continue
+			}
+			g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: cfg.Seed + 31, Quantize: true})
+			s, err := agglom.New(b, eps)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				s.Push(g.Next())
+			}
+			endpoints := s.StoredEndpoints()
+			growth := "-"
+			if prev > 0 {
+				growth = fmt.Sprintf("%.2f", float64(endpoints)/float64(prev))
+			}
+			t.AddRow(d(n), g4(eps), d(endpoints),
+				fmt.Sprintf("%.3f", float64(endpoints)/float64(n)), growth)
+			prev = endpoints
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,125 @@
+// Package fm implements Flajolet-Martin probabilistic counting (the
+// paper's [FM83] reference): estimating the number of distinct values in a
+// stream in one pass with a constant-size bitmap per hash function.
+// Stochastic averaging over m sketches tightens the estimate to a relative
+// error of roughly 0.78/sqrt(m).
+package fm
+
+import (
+	"fmt"
+	"math"
+)
+
+// phi is the Flajolet-Martin correction constant: the expected position of
+// the lowest unset bit is log2(phi * n) for n distinct values.
+const phi = 0.77351
+
+// Sketch is a Flajolet-Martin distinct-value estimator with m independent
+// bitmaps. The zero value is unusable; construct with New.
+type Sketch struct {
+	bitmaps []uint64
+	seeds   []uint64
+	n       int64
+}
+
+// New creates a sketch with m bitmaps (m >= 1) seeded deterministically
+// from seed.
+func New(m int, seed uint64) (*Sketch, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("fm: need at least one bitmap, got %d", m)
+	}
+	s := &Sketch{
+		bitmaps: make([]uint64, m),
+		seeds:   make([]uint64, m),
+	}
+	x := seed ^ 0x9e3779b97f4a7c15
+	for i := range s.seeds {
+		// splitmix64 step to derive independent hash seeds.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.seeds[i] = z ^ (z >> 31)
+	}
+	return s, nil
+}
+
+// hash64 mixes v with a per-bitmap seed (xorshift-multiply construction).
+func hash64(v, seed uint64) uint64 {
+	x := v ^ seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rho returns the position (0-based) of the least significant set bit,
+// i.e. the number of trailing zeros, capped at 63.
+func rho(x uint64) int {
+	if x == 0 {
+		return 63
+	}
+	r := 0
+	for x&1 == 0 {
+		x >>= 1
+		r++
+	}
+	return r
+}
+
+// Add records a value.
+func (s *Sketch) Add(v uint64) {
+	for i := range s.bitmaps {
+		s.bitmaps[i] |= 1 << uint(rho(hash64(v, s.seeds[i])))
+	}
+	s.n++
+}
+
+// AddFloat records a float64 value by its bit pattern.
+func (s *Sketch) AddFloat(v float64) {
+	s.Add(math.Float64bits(v))
+}
+
+// N returns the total number of (non-distinct) additions.
+func (s *Sketch) N() int64 { return s.n }
+
+// Estimate returns the estimated number of distinct values added.
+func (s *Sketch) Estimate() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	// R_i = index of the lowest zero bit of bitmap i; the FM estimator is
+	// 2^mean(R) / phi with stochastic averaging.
+	sum := 0.0
+	for _, b := range s.bitmaps {
+		r := 0
+		for b&1 == 1 {
+			b >>= 1
+			r++
+		}
+		sum += float64(r)
+	}
+	mean := sum / float64(len(s.bitmaps))
+	return math.Pow(2, mean) / phi
+}
+
+// Merge folds another sketch into s. Both must have been created with the
+// same m and seed; merging sketches of the same configuration yields the
+// sketch of the union of their streams.
+func (s *Sketch) Merge(o *Sketch) error {
+	if len(s.bitmaps) != len(o.bitmaps) {
+		return fmt.Errorf("fm: sketch sizes differ: %d vs %d", len(s.bitmaps), len(o.bitmaps))
+	}
+	for i := range s.seeds {
+		if s.seeds[i] != o.seeds[i] {
+			return fmt.Errorf("fm: sketches use different seeds")
+		}
+	}
+	for i := range s.bitmaps {
+		s.bitmaps[i] |= o.bitmaps[i]
+	}
+	s.n += o.n
+	return nil
+}

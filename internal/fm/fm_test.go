@@ -1,0 +1,121 @@
+package fm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero bitmaps accepted")
+	}
+	if _, err := New(-2, 1); err == nil {
+		t.Error("negative bitmaps accepted")
+	}
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	s, _ := New(8, 1)
+	if got := s.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+}
+
+func TestRho(t *testing.T) {
+	cases := map[uint64]int{1: 0, 2: 1, 4: 2, 8: 3, 12: 2, 0: 63, 1 << 40: 40}
+	for in, want := range cases {
+		if got := rho(in); got != want {
+			t.Errorf("rho(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s, _ := New(32, 2)
+	for i := 0; i < 100000; i++ {
+		s.Add(uint64(i % 10))
+	}
+	est := s.Estimate()
+	if est > 50 {
+		t.Errorf("10 distinct values estimated as %v", est)
+	}
+	if s.N() != 100000 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, distinct := range []int{100, 1000, 50000} {
+		s, err := New(64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < distinct; i++ {
+			s.Add(uint64(i) * 2654435761)
+		}
+		est := s.Estimate()
+		relErr := math.Abs(est-float64(distinct)) / float64(distinct)
+		// 0.78/sqrt(64) ~ 0.10; allow 3x slack.
+		if relErr > 0.3 {
+			t.Errorf("distinct=%d: estimate %v (rel err %v)", distinct, est, relErr)
+		}
+	}
+}
+
+func TestAddFloat(t *testing.T) {
+	s, _ := New(32, 4)
+	for i := 0; i < 1000; i++ {
+		s.AddFloat(float64(i%50) + 0.5)
+	}
+	est := s.Estimate()
+	if est < 15 || est > 150 {
+		t.Errorf("50 distinct floats estimated as %v", est)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, _ := New(32, 5)
+	b, _ := New(32, 5)
+	union, _ := New(32, 5)
+	for i := 0; i < 500; i++ {
+		a.Add(uint64(i))
+		union.Add(uint64(i))
+	}
+	for i := 250; i < 750; i++ {
+		b.Add(uint64(i))
+		union.Add(uint64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Estimate(), union.Estimate(); got != want {
+		t.Errorf("merged estimate %v != union estimate %v", got, want)
+	}
+	if a.N() != 1000 {
+		t.Errorf("merged N = %d", a.N())
+	}
+}
+
+func TestMergeRejectsMismatched(t *testing.T) {
+	a, _ := New(16, 6)
+	b, _ := New(32, 6)
+	if err := a.Merge(b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	c, _ := New(16, 7)
+	if err := a.Merge(c); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := New(16, 8)
+	b, _ := New(16, 8)
+	for i := 0; i < 1000; i++ {
+		a.Add(uint64(i * 31))
+		b.Add(uint64(i * 31))
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("same inputs, different estimates")
+	}
+}

@@ -1,0 +1,187 @@
+package hist2d
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uniformCloud(rng *rand.Rand, n int) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return out
+}
+
+func clusteredCloud(rng *rand.Rand, n, clusters int) []Point {
+	centers := make([]Point, clusters)
+	for i := range centers {
+		centers[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	out := make([]Point, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		out[i] = Point{X: c.X + rng.NormFloat64()*10, Y: c.Y + rng.NormFloat64()*10}
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Grid(nil, 4); err == nil {
+		t.Error("Grid: empty accepted")
+	}
+	if _, err := Grid([]Point{{1, 1}}, 0); err == nil {
+		t.Error("Grid: zero resolution accepted")
+	}
+	if _, err := MHIST(nil, 4); err == nil {
+		t.Error("MHIST: empty accepted")
+	}
+	if _, err := MHIST([]Point{{1, 1}}, 0); err == nil {
+		t.Error("MHIST: zero buckets accepted")
+	}
+}
+
+func TestGridCountsAndTotal(t *testing.T) {
+	pts := []Point{{0, 0}, {99, 99}, {50, 50}, {50, 51}}
+	h, err := Grid(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %v", h.Total())
+	}
+	sum := 0.0
+	for _, b := range h.Buckets() {
+		sum += b.Count
+	}
+	if sum != 4 {
+		t.Errorf("bucket counts sum to %v", sum)
+	}
+	if got := h.EstimateCount(-10, 110, -10, 110); math.Abs(got-4) > 1e-9 {
+		t.Errorf("full box = %v", got)
+	}
+	if got := h.EstimateCount(10, 5, 0, 100); got != 0 {
+		t.Errorf("inverted predicate = %v", got)
+	}
+}
+
+func TestGridDegenerateData(t *testing.T) {
+	pts := []Point{{5, 5}, {5, 5}, {5, 5}}
+	h, err := Grid(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.EstimateCount(4, 6, 4, 6)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("degenerate count = %v, want 3", got)
+	}
+}
+
+func TestMHISTBudgetAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	pts := uniformCloud(rng, 2000)
+	for _, b := range []int{1, 2, 10, 64} {
+		h, err := MHIST(pts, b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if h.NumBuckets() > b {
+			t.Errorf("b=%d: %d buckets", b, h.NumBuckets())
+		}
+		total := 0.0
+		for _, bk := range h.Buckets() {
+			total += bk.Count
+		}
+		if math.Abs(total-2000) > 1e-9 {
+			t.Errorf("b=%d: counts sum to %v", b, total)
+		}
+	}
+}
+
+func TestMHISTConstantData(t *testing.T) {
+	pts := []Point{{7, 7}, {7, 7}, {7, 7}, {7, 7}}
+	h, err := MHIST(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cannot split identical points: one bucket, all mass at the point.
+	if h.NumBuckets() != 1 {
+		t.Errorf("buckets = %d", h.NumBuckets())
+	}
+	if got := h.EstimateCount(6, 8, 6, 8); math.Abs(got-4) > 1e-9 {
+		t.Errorf("count = %v", got)
+	}
+}
+
+func TestSelectivityAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	pts := uniformCloud(rng, 20000)
+	grid, err := Grid(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := MHIST(pts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		xlo := rng.Float64() * 80
+		xhi := xlo + rng.Float64()*(100-xlo)
+		ylo := rng.Float64() * 80
+		yhi := ylo + rng.Float64()*(100-ylo)
+		truth := float64(ExactCount(pts, xlo, xhi, ylo, yhi)) / 20000
+		for name, h := range map[string]*Histogram2D{"grid": grid, "mhist": mh} {
+			got := h.Selectivity(xlo, xhi, ylo, yhi)
+			if math.Abs(got-truth) > 0.05 {
+				t.Fatalf("%s: selectivity %v vs truth %v", name, got, truth)
+			}
+		}
+	}
+}
+
+// TestMHISTBeatsGridOnClusteredData: with equal bucket budgets, the
+// adaptive partitioning must estimate clustered (correlated) data better
+// than the rigid grid — the whole point of multidimensional histograms.
+func TestMHISTBeatsGridOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	pts := clusteredCloud(rng, 20000, 6)
+	grid, err := Grid(pts, 8) // 64 buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := MHIST(pts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gridErr, mhErr float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xlo := rng.Float64() * 900
+		xhi := xlo + rng.Float64()*100
+		ylo := rng.Float64() * 900
+		yhi := ylo + rng.Float64()*100
+		truth := float64(ExactCount(pts, xlo, xhi, ylo, yhi)) / 20000
+		gridErr += math.Abs(grid.Selectivity(xlo, xhi, ylo, yhi) - truth)
+		mhErr += math.Abs(mh.Selectivity(xlo, xhi, ylo, yhi) - truth)
+	}
+	if mhErr >= gridErr {
+		t.Errorf("MHIST error %v not below grid error %v on clustered data", mhErr/trials, gridErr/trials)
+	}
+}
+
+func TestExactCount(t *testing.T) {
+	pts := []Point{{1, 1}, {2, 2}, {3, 3}}
+	if got := ExactCount(pts, 1.5, 2.5, 0, 10); got != 1 {
+		t.Errorf("ExactCount = %d", got)
+	}
+	if got := ExactCount(pts, 0, 10, 0, 10); got != 3 {
+		t.Errorf("full = %d", got)
+	}
+	if got := ExactCount(nil, 0, 1, 0, 1); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}

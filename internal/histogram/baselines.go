@@ -1,0 +1,143 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EqualWidth builds a B-bucket histogram whose buckets cover (near-)equal
+// numbers of consecutive positions. It is the cheapest classical baseline:
+// construction is a single pass, but it ignores the value distribution.
+func EqualWidth(data []float64, b int) (*Histogram, error) {
+	if err := checkArgs(len(data), b); err != nil {
+		return nil, err
+	}
+	if b > len(data) {
+		b = len(data)
+	}
+	boundaries := make([]int, 0, b)
+	n := len(data)
+	for i := 1; i <= b; i++ {
+		end := i*n/b - 1
+		if len(boundaries) > 0 && end == boundaries[len(boundaries)-1] {
+			continue
+		}
+		boundaries = append(boundaries, end)
+	}
+	return New(data, boundaries)
+}
+
+// EqualDepth builds a B-bucket histogram whose bucket boundaries are placed
+// at (approximate) quantiles of the cumulative absolute mass, so each bucket
+// carries a similar share of the total sum of |values|. This mirrors the
+// classical equi-depth histogram used for selectivity estimation.
+func EqualDepth(data []float64, b int) (*Histogram, error) {
+	if err := checkArgs(len(data), b); err != nil {
+		return nil, err
+	}
+	if b > len(data) {
+		b = len(data)
+	}
+	total := 0.0
+	for _, v := range data {
+		total += abs(v)
+	}
+	if total == 0 {
+		return EqualWidth(data, b)
+	}
+	boundaries := make([]int, 0, b)
+	target := total / float64(b)
+	acc := 0.0
+	next := target
+	for i, v := range data {
+		acc += abs(v)
+		remainingBuckets := b - len(boundaries)
+		remainingPositions := len(data) - i
+		// Ensure every remaining bucket can still be non-empty.
+		if (acc >= next && remainingBuckets > 1) || remainingPositions == remainingBuckets {
+			boundaries = append(boundaries, i)
+			next += target
+		}
+	}
+	if len(boundaries) == 0 || boundaries[len(boundaries)-1] != len(data)-1 {
+		boundaries = append(boundaries, len(data)-1)
+	}
+	return New(data, boundaries)
+}
+
+// EndBiased builds an end-biased histogram: the k values with the largest
+// absolute deviation from the overall mean become singleton buckets and all
+// remaining positions are merged into runs represented by their means. This
+// reproduces the classical end-biased family of Ioannidis & Poosala; it is
+// included as an extra baseline for the ablation experiments.
+func EndBiased(data []float64, b int) (*Histogram, error) {
+	if err := checkArgs(len(data), b); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	if b >= n {
+		return singletons(data)
+	}
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(n)
+	// Pick up to b-1 singleton outliers, keeping at least one bucket for
+	// the remaining runs.
+	k := b - 1
+	if k > n {
+		k = n
+	}
+	type dev struct {
+		idx int
+		d   float64
+	}
+	devs := make([]dev, n)
+	for i, v := range data {
+		devs[i] = dev{i, abs(v - mean)}
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].d > devs[j].d })
+	outlier := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		outlier[devs[i].idx] = true
+	}
+	boundaries := make([]int, 0, 2*k+1)
+	for i := 0; i < n; i++ {
+		if outlier[i] {
+			if i > 0 && (len(boundaries) == 0 || boundaries[len(boundaries)-1] != i-1) {
+				boundaries = append(boundaries, i-1)
+			}
+			boundaries = append(boundaries, i)
+		}
+	}
+	if len(boundaries) == 0 || boundaries[len(boundaries)-1] != n-1 {
+		boundaries = append(boundaries, n-1)
+	}
+	return New(data, boundaries)
+}
+
+func singletons(data []float64) (*Histogram, error) {
+	boundaries := make([]int, len(data))
+	for i := range data {
+		boundaries[i] = i
+	}
+	return New(data, boundaries)
+}
+
+func checkArgs(n, b int) error {
+	if n == 0 {
+		return fmt.Errorf("histogram: empty data")
+	}
+	if b <= 0 {
+		return fmt.Errorf("histogram: need at least one bucket, got %d", b)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEqualWidthBucketCountsAndCoverage(t *testing.T) {
+	data := make([]float64, 10)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	h, err := EqualWidth(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.NumBuckets(); got != 3 {
+		t.Errorf("buckets = %d, want 3", got)
+	}
+	if s, e := h.Span(); s != 0 || e != 9 {
+		t.Errorf("span = [%d,%d]", s, e)
+	}
+	// Bucket sizes within 1 of each other.
+	min, max := 10, 0
+	for _, b := range h.Buckets {
+		c := b.Count()
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("unbalanced equal-width buckets: min %d max %d", min, max)
+	}
+}
+
+func TestEqualWidthMoreBucketsThanPoints(t *testing.T) {
+	h, err := EqualWidth([]float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 2 {
+		t.Errorf("buckets = %d, want 2", h.NumBuckets())
+	}
+	if h.SSE([]float64{1, 2}) != 0 {
+		t.Error("singleton buckets should have zero SSE")
+	}
+}
+
+func TestEqualDepthCoversAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	for _, b := range []int{1, 2, 5, 17} {
+		h, err := EqualDepth(data, b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if got := h.NumBuckets(); got > b {
+			t.Errorf("b=%d: got %d buckets", b, got)
+		}
+		if s, e := h.Span(); s != 0 || e != 199 {
+			t.Errorf("b=%d: span [%d,%d]", b, s, e)
+		}
+	}
+}
+
+func TestEqualDepthAllZerosFallsBack(t *testing.T) {
+	data := make([]float64, 16)
+	h, err := EqualDepth(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndBiasedIsolatesOutliers(t *testing.T) {
+	data := []float64{1, 1, 1, 100, 1, 1, -50, 1, 1, 1}
+	h, err := EndBiased(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The two extreme values must sit in singleton buckets.
+	for _, pos := range []int{3, 6} {
+		found := false
+		for _, b := range h.Buckets {
+			if b.Start == pos && b.End == pos {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("outlier at %d not isolated; histogram %v", pos, h)
+		}
+	}
+}
+
+func TestEndBiasedBeatsEqualWidthOnSpikyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 128)
+	for i := range data {
+		data[i] = 10 + rng.Float64()
+	}
+	data[17] = 1000
+	data[90] = -400
+	eb, err := EndBiased(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := EqualWidth(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.SSE(data) >= ew.SSE(data) {
+		t.Errorf("end-biased SSE %v not below equal-width SSE %v", eb.SSE(data), ew.SSE(data))
+	}
+}
+
+func TestBaselinesRejectBadArgs(t *testing.T) {
+	for name, f := range map[string]func([]float64, int) (*Histogram, error){
+		"EqualWidth": EqualWidth,
+		"EqualDepth": EqualDepth,
+		"EndBiased":  EndBiased,
+	} {
+		if _, err := f(nil, 3); err == nil {
+			t.Errorf("%s accepted empty data", name)
+		}
+		if _, err := f([]float64{1}, 0); err == nil {
+			t.Errorf("%s accepted zero buckets", name)
+		}
+	}
+}
+
+func TestSSEOfReference(t *testing.T) {
+	data := []float64{2, 4, 6}
+	// mean 4, SSE = 4+0+4 = 8
+	if got := SSEOf(data, 0, 2); got != 8 {
+		t.Errorf("SSEOf = %v, want 8", got)
+	}
+	if got := SSEOf(data, 1, 1); got != 0 {
+		t.Errorf("singleton SSEOf = %v, want 0", got)
+	}
+	if got := SSEOf(data, 2, 1); got != 0 {
+		t.Errorf("inverted SSEOf = %v, want 0", got)
+	}
+}

@@ -1,0 +1,71 @@
+package histogram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary format: magic "SHH1", bucket count (uint32), then per bucket
+// Start (int64), End (int64), Value (float64 bits), all little-endian.
+var codecMagic = [4]byte{'S', 'H', 'H', '1'}
+
+// MarshalBinary encodes the histogram, implementing
+// encoding.BinaryMarshaler. The encoding is deterministic and
+// version-tagged.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("histogram: refusing to encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(codecMagic[:])
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(h.Buckets)))
+	buf.Write(scratch[:4])
+	for _, b := range h.Buckets {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(b.Start)))
+		buf.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(b.End)))
+		buf.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(b.Value))
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a histogram previously produced by
+// MarshalBinary, implementing encoding.BinaryUnmarshaler. The decoded
+// structure is validated before h is replaced.
+func (h *Histogram) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("histogram: truncated encoding (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], codecMagic[:]) {
+		return fmt.Errorf("histogram: bad magic %q", data[:4])
+	}
+	count := binary.LittleEndian.Uint32(data[4:8])
+	const perBucket = 24
+	want := 8 + int(count)*perBucket
+	if len(data) != want {
+		return fmt.Errorf("histogram: encoding is %d bytes, want %d for %d buckets", len(data), want, count)
+	}
+	buckets := make([]Bucket, count)
+	off := 8
+	for i := range buckets {
+		start := int64(binary.LittleEndian.Uint64(data[off:]))
+		end := int64(binary.LittleEndian.Uint64(data[off+8:]))
+		value := math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:]))
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return fmt.Errorf("histogram: bucket %d has non-finite value", i)
+		}
+		buckets[i] = Bucket{Start: int(start), End: int(end), Value: value}
+		off += perBucket
+	}
+	decoded := &Histogram{Buckets: buckets}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("histogram: decoded structure invalid: %w", err)
+	}
+	h.Buckets = buckets
+	return nil
+}

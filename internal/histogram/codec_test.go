@@ -1,0 +1,140 @@
+package histogram
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 4, 1.5}, {5, 5, -2}, {6, 99, 3e10}}}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Buckets) != len(h.Buckets) {
+		t.Fatalf("bucket count %d", len(got.Buckets))
+	}
+	for i := range h.Buckets {
+		if got.Buckets[i] != h.Buckets[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got.Buckets[i], h.Buckets[i])
+		}
+	}
+}
+
+func TestCodecRefusesInvalidHistogram(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 2, 1}, {5, 6, 2}}} // gap
+	if _, err := h.MarshalBinary(); err == nil {
+		t.Error("invalid histogram encoded")
+	}
+}
+
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 4, 1}}}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Histogram
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       data[:5],
+		"bad magic":   append([]byte("XXXX"), data[4:]...),
+		"truncated":   data[:len(data)-3],
+		"extra bytes": append(append([]byte{}, data...), 0),
+	}
+	for name, in := range cases {
+		if err := out.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Length-consistent but structurally invalid payload.
+	bad := bytes.Clone(data)
+	// Bucket Start=0 End=4; flip End to -1 (invalid extent).
+	for i := 0; i < 8; i++ {
+		bad[8+8+i] = 0xff
+	}
+	if err := out.UnmarshalBinary(bad); err == nil {
+		t.Error("invalid extent accepted")
+	}
+	// Non-finite value.
+	nan := bytes.Clone(data)
+	nanBits := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		nan[8+16+i] = byte(nanBits >> (8 * i))
+	}
+	if err := out.UnmarshalBinary(nan); err == nil {
+		t.Error("NaN value accepted")
+	}
+}
+
+func TestCodecDoesNotClobberOnError(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 7}}}
+	if err := h.UnmarshalBinary([]byte("garbage!")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if len(h.Buckets) != 1 || h.Buckets[0].Value != 7 {
+		t.Error("failed decode clobbered receiver")
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	f := func(raw []float64, cuts []uint8) bool {
+		if len(raw) == 0 || len(raw) > 100 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Bound magnitudes so bucket means cannot overflow.
+			raw[i] = math.Mod(raw[i], 1e9)
+		}
+		bset := map[int]bool{len(raw) - 1: true}
+		for _, c := range cuts {
+			bset[int(c)%len(raw)] = true
+		}
+		boundaries := make([]int, 0, len(bset))
+		for b := range bset {
+			boundaries = append(boundaries, b)
+		}
+		sortInts(boundaries)
+		h, err := New(raw, boundaries)
+		if err != nil {
+			return false
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Histogram
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if len(got.Buckets) != len(h.Buckets) {
+			return false
+		}
+		for i := range h.Buckets {
+			if got.Buckets[i] != h.Buckets[i] {
+				return false
+			}
+		}
+		// Re-encoding is deterministic.
+		again, err := got.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(data, again)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package histogram
+
+// SSEOf computes the sum squared error of representing data[lo..hi]
+// (inclusive) by its mean, directly from the values. It is the reference
+// implementation of SQERROR (equation 2 of the paper); hot paths use
+// prefix.Sums instead.
+func SSEOf(data []float64, lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	sum, sq := 0.0, 0.0
+	for i := lo; i <= hi; i++ {
+		sum += data[i]
+		sq += data[i] * data[i]
+	}
+	n := float64(hi - lo + 1)
+	sse := sq - sum*sum/n
+	if sse < 0 {
+		// Guard against negative values produced by floating-point
+		// cancellation when the data in the range is (near-)constant.
+		sse = 0
+	}
+	return sse
+}
+
+// TotalSSE computes the total SSE of an arbitrary bucketization of data,
+// where boundaries lists the last index of each bucket and the
+// representatives are the bucket means. It is the value an optimal
+// histogram minimizes.
+func TotalSSE(data []float64, boundaries []int) float64 {
+	total := 0.0
+	start := 0
+	for _, end := range boundaries {
+		total += SSEOf(data, start, end)
+		start = end + 1
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+package histogram
+
+import "testing"
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the histogram decoder: it
+// must never panic and must only accept inputs that re-encode to the same
+// bytes.
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid, _ := (&Histogram{Buckets: []Bucket{{0, 3, 1.5}, {4, 9, -2}}}).MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SHH1"))
+	f.Add(append([]byte("SHH1"), 0xff, 0xff, 0xff, 0xff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Histogram
+		if err := h.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid histogram: %v", err)
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("decode/encode not canonical: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}

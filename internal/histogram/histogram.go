@@ -1,0 +1,306 @@
+// Package histogram provides the shared representation of piecewise-constant
+// histograms used throughout the library, together with the error metrics and
+// estimation primitives of Guha & Koudas (ICDE 2002).
+//
+// A histogram partitions a finite sequence v[0..n-1] into B contiguous
+// buckets. Each bucket b_i = (s_i, e_i, h_i) collapses the values at
+// positions s_i..e_i (inclusive, 0-based) into the single representative h_i,
+// typically their mean. The quality of the approximation is measured by the
+// sum squared error
+//
+//	F(b_i) = sum_{j=s_i..e_i} (v_j - h_i)^2
+//
+// and the total error E(H) = sum_i F(b_i) (equation 1 of the paper).
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket is a single histogram bucket covering the half-open position range
+// [Start, End] (both inclusive, 0-based) with representative value Value.
+type Bucket struct {
+	Start int     // first position covered, inclusive
+	End   int     // last position covered, inclusive
+	Value float64 // representative (mean of the covered values for V-optimal)
+}
+
+// Count returns the number of positions the bucket covers.
+func (b Bucket) Count() int { return b.End - b.Start + 1 }
+
+// Sum returns the bucket's estimate of the sum of covered values.
+func (b Bucket) Sum() float64 { return float64(b.Count()) * b.Value }
+
+// Histogram is an ordered sequence of non-overlapping buckets covering a
+// contiguous prefix-free range of positions. Buckets are sorted by Start and
+// adjacent: Buckets[i+1].Start == Buckets[i].End+1.
+type Histogram struct {
+	Buckets []Bucket
+}
+
+// ErrInvalid is returned by Validate for malformed histograms.
+var ErrInvalid = errors.New("histogram: invalid bucket structure")
+
+// New constructs a histogram from the given boundaries and values computed
+// over data. boundaries holds the index of the last position in each bucket,
+// in increasing order, with the final entry equal to len(data)-1. Bucket
+// representatives are the means of the covered values, which is optimal for
+// the SSE metric.
+func New(data []float64, boundaries []int) (*Histogram, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("histogram: empty data")
+	}
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("histogram: no boundaries")
+	}
+	if boundaries[len(boundaries)-1] != len(data)-1 {
+		return nil, fmt.Errorf("histogram: last boundary %d != len(data)-1 = %d",
+			boundaries[len(boundaries)-1], len(data)-1)
+	}
+	h := &Histogram{Buckets: make([]Bucket, 0, len(boundaries))}
+	start := 0
+	for _, end := range boundaries {
+		if end < start {
+			return nil, fmt.Errorf("histogram: boundary %d precedes bucket start %d", end, start)
+		}
+		sum := 0.0
+		for i := start; i <= end; i++ {
+			sum += data[i]
+		}
+		h.Buckets = append(h.Buckets, Bucket{
+			Start: start,
+			End:   end,
+			Value: sum / float64(end-start+1),
+		})
+		start = end + 1
+	}
+	return h, nil
+}
+
+// Validate checks the structural invariants: at least one bucket, buckets
+// adjacent and in increasing order, non-negative extents.
+func (h *Histogram) Validate() error {
+	if h == nil || len(h.Buckets) == 0 {
+		return fmt.Errorf("%w: no buckets", ErrInvalid)
+	}
+	prevEnd := h.Buckets[0].Start - 1
+	for i, b := range h.Buckets {
+		if b.Start != prevEnd+1 {
+			return fmt.Errorf("%w: bucket %d starts at %d, expected %d", ErrInvalid, i, b.Start, prevEnd+1)
+		}
+		if b.End < b.Start {
+			return fmt.Errorf("%w: bucket %d has End %d < Start %d", ErrInvalid, i, b.End, b.Start)
+		}
+		prevEnd = b.End
+	}
+	return nil
+}
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.Buckets) }
+
+// Span returns the first and last positions covered by the histogram.
+func (h *Histogram) Span() (start, end int) {
+	if len(h.Buckets) == 0 {
+		return 0, -1
+	}
+	return h.Buckets[0].Start, h.Buckets[len(h.Buckets)-1].End
+}
+
+// bucketAt returns the index of the bucket containing position pos, or -1.
+func (h *Histogram) bucketAt(pos int) int {
+	i := sort.Search(len(h.Buckets), func(i int) bool { return h.Buckets[i].End >= pos })
+	if i == len(h.Buckets) || h.Buckets[i].Start > pos {
+		return -1
+	}
+	return i
+}
+
+// EstimatePoint returns the histogram's estimate of the value at position
+// pos, and whether pos is covered.
+func (h *Histogram) EstimatePoint(pos int) (float64, bool) {
+	i := h.bucketAt(pos)
+	if i < 0 {
+		return 0, false
+	}
+	return h.Buckets[i].Value, true
+}
+
+// EstimateRangeSum returns the histogram's estimate of sum(v[lo..hi]),
+// positions inclusive. Positions outside the histogram's span contribute
+// zero. This is the range-sum estimator evaluated in section 5.1 of the
+// paper: each bucket contributes overlap * Value.
+func (h *Histogram) EstimateRangeSum(lo, hi int) float64 {
+	if hi < lo || len(h.Buckets) == 0 {
+		return 0
+	}
+	start, end := h.Span()
+	if hi < start || lo > end {
+		return 0
+	}
+	if lo < start {
+		lo = start
+	}
+	if hi > end {
+		hi = end
+	}
+	first := h.bucketAt(lo)
+	sum := 0.0
+	for i := first; i < len(h.Buckets); i++ {
+		b := h.Buckets[i]
+		if b.Start > hi {
+			break
+		}
+		l, r := b.Start, b.End
+		if l < lo {
+			l = lo
+		}
+		if r > hi {
+			r = hi
+		}
+		sum += float64(r-l+1) * b.Value
+	}
+	return sum
+}
+
+// EstimateRangeAvg returns the histogram's estimate of the average of
+// v[lo..hi]. It reports false when the range does not intersect the span.
+func (h *Histogram) EstimateRangeAvg(lo, hi int) (float64, bool) {
+	if hi < lo || len(h.Buckets) == 0 {
+		return 0, false
+	}
+	start, end := h.Span()
+	if hi < start || lo > end {
+		return 0, false
+	}
+	cl, ch := lo, hi
+	if cl < start {
+		cl = start
+	}
+	if ch > end {
+		ch = end
+	}
+	return h.EstimateRangeSum(cl, ch) / float64(ch-cl+1), true
+}
+
+// CountAbove estimates how many positions carry a value strictly greater
+// than threshold — "how long was utilization above X" in the paper's
+// monitoring scenario. Under the piecewise-constant model a bucket
+// contributes all or none of its positions.
+func (h *Histogram) CountAbove(threshold float64) int {
+	count := 0
+	for _, b := range h.Buckets {
+		if b.Value > threshold {
+			count += b.Count()
+		}
+	}
+	return count
+}
+
+// CountBelow estimates how many positions carry a value strictly below
+// threshold.
+func (h *Histogram) CountBelow(threshold float64) int {
+	count := 0
+	for _, b := range h.Buckets {
+		if b.Value < threshold {
+			count += b.Count()
+		}
+	}
+	return count
+}
+
+// Reconstruct materializes the histogram's approximation of the underlying
+// sequence over its span, returning a dense slice indexed from the span
+// start.
+func (h *Histogram) Reconstruct() []float64 {
+	start, end := h.Span()
+	if end < start {
+		return nil
+	}
+	out := make([]float64, end-start+1)
+	for _, b := range h.Buckets {
+		for i := b.Start; i <= b.End; i++ {
+			out[i-start] = b.Value
+		}
+	}
+	return out
+}
+
+// SSE returns the sum squared error of the histogram against data, where
+// data[0] corresponds to the first position of the histogram's span.
+func (h *Histogram) SSE(data []float64) float64 {
+	start, _ := h.Span()
+	total := 0.0
+	for _, b := range h.Buckets {
+		for i := b.Start; i <= b.End; i++ {
+			j := i - start
+			if j < 0 || j >= len(data) {
+				continue
+			}
+			d := data[j] - b.Value
+			total += d * d
+		}
+	}
+	return total
+}
+
+// MaxAbsError returns the maximum pointwise absolute error against data
+// (data[0] aligned with the span start). This is the alternative error
+// function the paper notes in footnote 3.
+func (h *Histogram) MaxAbsError(data []float64) float64 {
+	start, _ := h.Span()
+	m := 0.0
+	for _, b := range h.Buckets {
+		for i := b.Start; i <= b.End; i++ {
+			j := i - start
+			if j < 0 || j >= len(data) {
+				continue
+			}
+			if d := math.Abs(data[j] - b.Value); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// Boundaries returns the End index of every bucket, in order.
+func (h *Histogram) Boundaries() []int {
+	out := make([]int, len(h.Buckets))
+	for i, b := range h.Buckets {
+		out[i] = b.End
+	}
+	return out
+}
+
+// Shift returns a copy of the histogram with all positions moved by delta.
+// It is used to translate between window-local and stream-global positions.
+func (h *Histogram) Shift(delta int) *Histogram {
+	out := &Histogram{Buckets: make([]Bucket, len(h.Buckets))}
+	for i, b := range h.Buckets {
+		out.Buckets[i] = Bucket{Start: b.Start + delta, End: b.End + delta, Value: b.Value}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	return h.Shift(0)
+}
+
+// String renders a compact human-readable form, e.g.
+// "[0,3]=2.50 [4,7]=1.00".
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	for i, b := range h.Buckets {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "[%d,%d]=%.4g", b.Start, b.End, b.Value)
+	}
+	return sb.String()
+}

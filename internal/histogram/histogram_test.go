@@ -1,0 +1,340 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewComputesMeans(t *testing.T) {
+	data := []float64{1, 3, 5, 7, 100}
+	h, err := New(data, []int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Bucket{{0, 1, 2}, {2, 3, 6}, {4, 4, 100}}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(h.Buckets), len(want))
+	}
+	for i, b := range h.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestNewRejectsBadBoundaries(t *testing.T) {
+	data := []float64{1, 2, 3}
+	cases := [][]int{
+		{},        // no boundaries
+		{0, 1},    // last boundary not n-1
+		{2, 2},    // duplicate/backwards
+		{1, 0, 2}, // decreasing
+	}
+	for _, bs := range cases {
+		if _, err := New(data, bs); err == nil {
+			t.Errorf("New(%v) succeeded, want error", bs)
+		}
+	}
+	if _, err := New(nil, []int{0}); err == nil {
+		t.Error("New on empty data succeeded, want error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Histogram{Buckets: []Bucket{{0, 2, 1}, {3, 5, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid histogram rejected: %v", err)
+	}
+	bad := []*Histogram{
+		nil,
+		{},
+		{Buckets: []Bucket{{0, 2, 1}, {4, 5, 2}}}, // gap
+		{Buckets: []Bucket{{0, 2, 1}, {2, 5, 2}}}, // overlap
+		{Buckets: []Bucket{{0, -1, 1}}},           // negative extent
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: invalid histogram accepted", i)
+		}
+	}
+}
+
+func TestEstimatePoint(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 2}, {2, 3, 6}}}
+	if v, ok := h.EstimatePoint(0); !ok || v != 2 {
+		t.Errorf("EstimatePoint(0) = %v,%v", v, ok)
+	}
+	if v, ok := h.EstimatePoint(3); !ok || v != 6 {
+		t.Errorf("EstimatePoint(3) = %v,%v", v, ok)
+	}
+	if _, ok := h.EstimatePoint(4); ok {
+		t.Error("EstimatePoint(4) reported covered")
+	}
+	if _, ok := h.EstimatePoint(-1); ok {
+		t.Error("EstimatePoint(-1) reported covered")
+	}
+}
+
+func TestEstimateRangeSumExactOnConstantData(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = 7
+	}
+	h, err := New(data, []int{15, 40, 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]int{{0, 63}, {3, 9}, {15, 16}, {40, 41}, {0, 0}} {
+		got := h.EstimateRangeSum(q[0], q[1])
+		want := 7 * float64(q[1]-q[0]+1)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("range [%d,%d]: got %v, want %v", q[0], q[1], got, want)
+		}
+	}
+}
+
+func TestEstimateRangeSumClampsAndEmpty(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 3, 2}}}
+	if got := h.EstimateRangeSum(2, 1); got != 0 {
+		t.Errorf("inverted range: got %v", got)
+	}
+	if got := h.EstimateRangeSum(-5, 10); got != 8 {
+		t.Errorf("clamped range: got %v, want 8", got)
+	}
+	if got := h.EstimateRangeSum(4, 9); got != 0 {
+		t.Errorf("disjoint range: got %v", got)
+	}
+	empty := &Histogram{}
+	if got := empty.EstimateRangeSum(0, 3); got != 0 {
+		t.Errorf("empty histogram: got %v", got)
+	}
+}
+
+func TestEstimateRangeSumMatchesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	h, err := New(data, []int{9, 30, 31, 77, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := h.Reconstruct()
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(100)
+		hi := lo + rng.Intn(100-lo)
+		want := 0.0
+		for i := lo; i <= hi; i++ {
+			want += rec[i]
+		}
+		got := h.EstimateRangeSum(lo, hi)
+		if !almostEqual(got, want, 1e-10) {
+			t.Fatalf("range [%d,%d]: got %v, want %v", lo, hi, got, want)
+		}
+	}
+}
+
+func TestEstimateRangeAvg(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 2}, {2, 3, 6}}}
+	if v, ok := h.EstimateRangeAvg(0, 3); !ok || !almostEqual(v, 4, 1e-12) {
+		t.Errorf("avg [0,3] = %v,%v want 4", v, ok)
+	}
+	if _, ok := h.EstimateRangeAvg(10, 20); ok {
+		t.Error("avg on disjoint range reported ok")
+	}
+}
+
+func TestSSEZeroWhenDataMatchesBuckets(t *testing.T) {
+	data := []float64{5, 5, 5, 2, 2}
+	h, err := New(data, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.SSE(data); got != 0 {
+		t.Errorf("SSE = %v, want 0", got)
+	}
+	if got := h.MaxAbsError(data); got != 0 {
+		t.Errorf("MaxAbsError = %v, want 0", got)
+	}
+}
+
+func TestSSEMatchesTotalSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 50)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	boundaries := []int{4, 20, 33, 49}
+	h, err := New(data, boundaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := h.SSE(data), TotalSSE(data, boundaries); !almostEqual(a, b, 1e-10) {
+		t.Errorf("SSE %v != TotalSSE %v", a, b)
+	}
+}
+
+func TestShiftAndClone(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 2}, {2, 3, 6}}}
+	s := h.Shift(10)
+	if s.Buckets[0].Start != 10 || s.Buckets[1].End != 13 {
+		t.Errorf("shifted = %v", s)
+	}
+	c := h.Clone()
+	c.Buckets[0].Value = 99
+	if h.Buckets[0].Value != 2 {
+		t.Error("Clone did not deep-copy")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 2.5}}}
+	if got := h.String(); got != "[0,1]=2.5" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: for any data and any valid boundary set, the histogram's
+// range-sum estimate over the full span equals the sum of bucket
+// means*counts, and SSE is non-negative.
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(raw []float64, cuts []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Keep magnitudes bounded per the paper's data model.
+			raw[i] = math.Mod(raw[i], 1000)
+		}
+		bset := map[int]bool{len(raw) - 1: true}
+		for _, c := range cuts {
+			bset[int(c)%len(raw)] = true
+		}
+		boundaries := make([]int, 0, len(bset))
+		for b := range bset {
+			boundaries = append(boundaries, b)
+		}
+		sortInts(boundaries)
+		h, err := New(raw, boundaries)
+		if err != nil {
+			return false
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		start, end := h.Span()
+		if start != 0 || end != len(raw)-1 {
+			return false
+		}
+		if h.SSE(raw) < 0 {
+			return false
+		}
+		// Full-span estimate equals the true total of the reconstruction.
+		total := 0.0
+		for _, b := range h.Buckets {
+			total += b.Sum()
+		}
+		return almostEqual(h.EstimateRangeSum(0, len(raw)-1), total, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestSpanAndBoundariesEmpty(t *testing.T) {
+	var h Histogram
+	if s, e := h.Span(); s != 0 || e != -1 {
+		t.Errorf("empty span = [%d,%d]", s, e)
+	}
+	if h.Reconstruct() != nil {
+		t.Error("empty Reconstruct non-nil")
+	}
+	full := &Histogram{Buckets: []Bucket{{0, 1, 2}, {2, 4, 3}}}
+	bs := full.Boundaries()
+	if len(bs) != 2 || bs[0] != 1 || bs[1] != 4 {
+		t.Errorf("Boundaries = %v", bs)
+	}
+}
+
+func TestEstimateRangeAvgClamping(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 3, 5}}}
+	if v, ok := h.EstimateRangeAvg(-10, 100); !ok || v != 5 {
+		t.Errorf("clamped avg = %v,%v", v, ok)
+	}
+	if _, ok := h.EstimateRangeAvg(3, 2); ok {
+		t.Error("inverted avg reported ok")
+	}
+	var empty Histogram
+	if _, ok := empty.EstimateRangeAvg(0, 1); ok {
+		t.Error("empty avg reported ok")
+	}
+}
+
+func TestMaxAbsErrorPartialData(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 4, 2}}}
+	// Data shorter than the span: out-of-range positions are skipped.
+	if got := h.MaxAbsError([]float64{2, 3}); got != 1 {
+		t.Errorf("MaxAbsError = %v", got)
+	}
+	if got := h.SSE([]float64{2, 3}); got != 1 {
+		t.Errorf("partial SSE = %v", got)
+	}
+}
+
+func TestEndBiasedFullBudgetSingletons(t *testing.T) {
+	data := []float64{4, 1, 9}
+	h, err := EndBiased(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.SSE(data) != 0 {
+		t.Errorf("full-budget end-biased SSE = %v", h.SSE(data))
+	}
+}
+
+func TestStringMultiBucket(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 1, 1}, {2, 3, 2}}}
+	if got := h.String(); got != "[0,1]=1 [2,3]=2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCountAboveBelow(t *testing.T) {
+	h := &Histogram{Buckets: []Bucket{{0, 9, 5}, {10, 14, 50}, {15, 15, 20}}}
+	if got := h.CountAbove(10); got != 6 {
+		t.Errorf("CountAbove(10) = %d, want 6", got)
+	}
+	if got := h.CountAbove(100); got != 0 {
+		t.Errorf("CountAbove(100) = %d", got)
+	}
+	if got := h.CountBelow(10); got != 10 {
+		t.Errorf("CountBelow(10) = %d, want 10", got)
+	}
+	if got := h.CountAbove(5); got != 6 {
+		t.Errorf("strictness: CountAbove(5) = %d, want 6", got)
+	}
+}

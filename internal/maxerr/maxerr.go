@@ -1,0 +1,222 @@
+// Package maxerr implements optimal histograms under the maximum-error
+// metric, the alternative error function footnote 3 of Guha & Koudas
+// (ICDE 2002) mentions: instead of minimizing the sum of squared errors,
+// minimize max_i F(b_i) where F(b_i) is the largest absolute deviation of
+// a value in bucket i from the bucket representative (the midrange, which
+// is optimal for this metric).
+//
+// Unlike the SSE dynamic program, the optimal max-error histogram is
+// computable in O(n log n log Delta) time by binary-searching the error
+// value and greedily covering the sequence with maximal buckets whose
+// value spread stays within twice the error. A quadratic dynamic program
+// is also provided as the reference implementation for testing.
+package maxerr
+
+import (
+	"fmt"
+	"math"
+
+	"streamhist/internal/histogram"
+)
+
+// Result bundles an optimal max-error histogram with its error.
+type Result struct {
+	Histogram *histogram.Histogram
+	// MaxError is max over positions of |v - representative|.
+	MaxError float64
+}
+
+// Build computes a histogram of data with at most b buckets minimizing the
+// maximum absolute error, using binary search over candidate errors plus
+// greedy covering. Bucket representatives are midranges.
+func Build(data []float64, b int) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("maxerr: empty data")
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("maxerr: need at least one bucket, got %d", b)
+	}
+	// Candidate optimal errors are half-spreads of subranges; rather than
+	// enumerate them all we binary-search on the achievable error over
+	// the reals, then snap to the exact greedy outcome. The predicate
+	// "coverable with <= b buckets at error e" is monotone in e.
+	lo, hi := 0.0, halfSpread(data, 0, len(data)-1)
+	if bucketsNeeded(data, hi) > b {
+		// Cannot happen: one bucket always suffices at the full spread.
+		return nil, fmt.Errorf("maxerr: internal error: full spread not coverable")
+	}
+	for iter := 0; iter < 64 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if bucketsNeeded(data, mid) <= b {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	boundaries := greedyCover(data, hi)
+	// Pad with singleton splits if the greedy cover used fewer buckets
+	// than allowed and a strictly better error is achievable; the greedy
+	// already achieves the optimum at error hi, so just materialize.
+	h, err := newMidrange(data, boundaries)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Histogram: h, MaxError: h.MaxAbsError(data)}, nil
+}
+
+// bucketsNeeded returns the number of buckets a greedy left-to-right cover
+// needs so every bucket's half-spread is <= e.
+func bucketsNeeded(data []float64, e float64) int {
+	count := 0
+	i := 0
+	for i < len(data) {
+		lo, hi := data[i], data[i]
+		j := i
+		for j+1 < len(data) {
+			nlo, nhi := lo, hi
+			if data[j+1] < nlo {
+				nlo = data[j+1]
+			}
+			if data[j+1] > nhi {
+				nhi = data[j+1]
+			}
+			if (nhi-nlo)/2 > e {
+				break
+			}
+			lo, hi = nlo, nhi
+			j++
+		}
+		count++
+		i = j + 1
+	}
+	return count
+}
+
+// greedyCover returns the bucket right-boundaries of the greedy cover at
+// error e.
+func greedyCover(data []float64, e float64) []int {
+	var boundaries []int
+	i := 0
+	for i < len(data) {
+		lo, hi := data[i], data[i]
+		j := i
+		for j+1 < len(data) {
+			nlo, nhi := lo, hi
+			if data[j+1] < nlo {
+				nlo = data[j+1]
+			}
+			if data[j+1] > nhi {
+				nhi = data[j+1]
+			}
+			if (nhi-nlo)/2 > e {
+				break
+			}
+			lo, hi = nlo, nhi
+			j++
+		}
+		boundaries = append(boundaries, j)
+		i = j + 1
+	}
+	return boundaries
+}
+
+// newMidrange builds a histogram with midrange representatives (optimal
+// for the max-error metric, unlike the mean used for SSE).
+func newMidrange(data []float64, boundaries []int) (*histogram.Histogram, error) {
+	buckets := make([]histogram.Bucket, 0, len(boundaries))
+	start := 0
+	for _, end := range boundaries {
+		if end < start || end >= len(data) {
+			return nil, fmt.Errorf("maxerr: bad boundary %d", end)
+		}
+		lo, hi := data[start], data[start]
+		for i := start + 1; i <= end; i++ {
+			if data[i] < lo {
+				lo = data[i]
+			}
+			if data[i] > hi {
+				hi = data[i]
+			}
+		}
+		buckets = append(buckets, histogram.Bucket{Start: start, End: end, Value: (lo + hi) / 2})
+		start = end + 1
+	}
+	if start != len(data) {
+		return nil, fmt.Errorf("maxerr: boundaries do not cover data")
+	}
+	h := &histogram.Histogram{Buckets: buckets}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// halfSpread returns (max-min)/2 over data[lo..hi].
+func halfSpread(data []float64, lo, hi int) float64 {
+	mn, mx := data[lo], data[lo]
+	for i := lo + 1; i <= hi; i++ {
+		if data[i] < mn {
+			mn = data[i]
+		}
+		if data[i] > mx {
+			mx = data[i]
+		}
+	}
+	return (mx - mn) / 2
+}
+
+// OptimalErrorDP computes the optimal max-error value by the quadratic
+// dynamic program, the reference implementation used to validate Build.
+func OptimalErrorDP(data []float64, b int) (float64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("maxerr: empty data")
+	}
+	if b <= 0 {
+		return 0, fmt.Errorf("maxerr: need at least one bucket, got %d", b)
+	}
+	n := len(data)
+	if b > n {
+		b = n
+	}
+	// spread[i][j] is expensive to store; compute half-spreads on the fly
+	// with a running min/max per (j, i) sweep.
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for j := 0; j < n; j++ {
+		prev[j] = halfSpread(data, 0, j)
+	}
+	for k := 1; k < b; k++ {
+		for j := 0; j < n; j++ {
+			if j < k {
+				cur[j] = 0
+				continue
+			}
+			best := math.Inf(1)
+			mn, mx := data[j], data[j]
+			// last bucket [i+1..j]: widen leftwards.
+			for i := j - 1; i >= k-1; i-- {
+				if data[i+1] < mn {
+					mn = data[i+1]
+				}
+				if data[i+1] > mx {
+					mx = data[i+1]
+				}
+				spread := (mx - mn) / 2
+				if spread >= best {
+					// Spread only grows as i decreases; nothing better left.
+					break
+				}
+				e := prev[i]
+				if spread > e {
+					e = spread
+				}
+				if e < best {
+					best = e
+				}
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1], nil
+}

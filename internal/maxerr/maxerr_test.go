@@ -1,0 +1,158 @@
+package maxerr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/datagen"
+)
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	if _, err := Build(nil, 3); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([]float64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := OptimalErrorDP(nil, 3); err == nil {
+		t.Error("DP: empty data accepted")
+	}
+	if _, err := OptimalErrorDP([]float64{1}, 0); err == nil {
+		t.Error("DP: zero buckets accepted")
+	}
+}
+
+func TestSingleBucketIsMidrange(t *testing.T) {
+	data := []float64{0, 10, 4}
+	res, err := Build(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.NumBuckets() != 1 {
+		t.Fatalf("buckets = %d", res.Histogram.NumBuckets())
+	}
+	if v := res.Histogram.Buckets[0].Value; v != 5 {
+		t.Errorf("midrange = %v, want 5", v)
+	}
+	if res.MaxError != 5 {
+		t.Errorf("MaxError = %v, want 5", res.MaxError)
+	}
+}
+
+func TestPerfectSplit(t *testing.T) {
+	data := []float64{1, 1, 1, 9, 9}
+	res, err := Build(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Errorf("MaxError = %v, want 0; %v", res.MaxError, res.Histogram)
+	}
+}
+
+func TestBudgetRespectedAndCoverage(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 70, Quantize: true})
+	data := datagen.Series(g, 300)
+	for _, b := range []int{1, 2, 7, 32} {
+		res, err := Build(data, b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if res.Histogram.NumBuckets() > b {
+			t.Errorf("b=%d: %d buckets", b, res.Histogram.NumBuckets())
+		}
+		if s, e := res.Histogram.Span(); s != 0 || e != 299 {
+			t.Errorf("b=%d: span [%d,%d]", b, s, e)
+		}
+		if got := res.Histogram.MaxAbsError(data); math.Abs(got-res.MaxError) > 1e-9*(1+got) {
+			t.Errorf("b=%d: reported %v != recomputed %v", b, res.MaxError, got)
+		}
+	}
+}
+
+// TestBuildMatchesDP: the greedy/binary-search construction must achieve
+// the same optimal max error as the quadratic dynamic program.
+func TestBuildMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		b := 1 + rng.Intn(6)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(rng.Intn(100))
+		}
+		res, err := Build(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalErrorDP(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxError > opt+1e-6*(1+opt) {
+			t.Fatalf("n=%d b=%d: built %v > optimal %v (data %v)", n, b, res.MaxError, opt, data)
+		}
+		if res.MaxError < opt-1e-6*(1+opt) {
+			t.Fatalf("n=%d b=%d: built %v < optimal %v — impossible", n, b, res.MaxError, opt)
+		}
+	}
+}
+
+func TestMoreBucketsNeverWorseQuick(t *testing.T) {
+	f := func(raw []float64, bRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 1000)
+		}
+		b := 1 + int(bRaw)%5
+		r1, err := Build(raw, b)
+		if err != nil {
+			return false
+		}
+		r2, err := Build(raw, b+1)
+		if err != nil {
+			return false
+		}
+		return r2.MaxError <= r1.MaxError+1e-9*(1+r1.MaxError)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxErrVsSSEObjectives: on spiky data the max-error histogram must
+// bound the pointwise error better than it bounds the SSE, and vice versa
+// is not required — just check both objectives are internally consistent.
+func TestGreedyCoverProperties(t *testing.T) {
+	data := []float64{1, 2, 3, 10, 11, 30}
+	// At error 1, runs with spread <= 2 are grouped.
+	bs := greedyCover(data, 1)
+	want := []int{2, 4, 5}
+	if len(bs) != len(want) {
+		t.Fatalf("boundaries %v, want %v", bs, want)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("boundaries %v, want %v", bs, want)
+		}
+	}
+	if got := bucketsNeeded(data, 1); got != 3 {
+		t.Errorf("bucketsNeeded = %d", got)
+	}
+	if got := bucketsNeeded(data, 100); got != 1 {
+		t.Errorf("bucketsNeeded at huge error = %d", got)
+	}
+	if got := bucketsNeeded(data, 0); got != 6 {
+		t.Errorf("bucketsNeeded at zero error = %d (distinct values)", got)
+	}
+}

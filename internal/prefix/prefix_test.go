@@ -1,0 +1,207 @@
+package prefix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/histogram"
+)
+
+func TestSumsBasics(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	s := NewSums(data)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.RangeSum(0, 3); got != 10 {
+		t.Errorf("RangeSum(0,3) = %v", got)
+	}
+	if got := s.RangeSum(1, 2); got != 5 {
+		t.Errorf("RangeSum(1,2) = %v", got)
+	}
+	if got := s.RangeSq(0, 1); got != 5 {
+		t.Errorf("RangeSq(0,1) = %v", got)
+	}
+	if got := s.Mean(0, 3); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.RangeSum(2, 1); got != 0 {
+		t.Errorf("inverted RangeSum = %v", got)
+	}
+}
+
+func TestSumsAppend(t *testing.T) {
+	s := NewSums([]float64{1})
+	s.Append(2)
+	s.Append(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.RangeSum(0, 2); got != 6 {
+		t.Errorf("RangeSum = %v", got)
+	}
+}
+
+func TestSQErrorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float64, 80)
+	for i := range data {
+		data[i] = math.Floor(rng.Float64() * 100)
+	}
+	s := NewSums(data)
+	for lo := 0; lo < len(data); lo += 7 {
+		for hi := lo; hi < len(data); hi += 5 {
+			want := histogram.SSEOf(data, lo, hi)
+			got := s.SQError(lo, hi)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("SQError(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestSQErrorNonNegativeQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		s := NewSums(raw)
+		for lo := 0; lo < len(raw); lo++ {
+			for hi := lo; hi < len(raw); hi++ {
+				if s.SQError(lo, hi) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingSumsRejectsBadCapacity(t *testing.T) {
+	if _, err := NewSlidingSums(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewSlidingSums(-3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestSlidingSumsFilling(t *testing.T) {
+	s, err := NewSlidingSums(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		s.Push(float64(i))
+	}
+	if s.Len() != 3 || s.Seen() != 3 {
+		t.Fatalf("Len=%d Seen=%d", s.Len(), s.Seen())
+	}
+	if got := s.RangeSum(0, 2); got != 6 {
+		t.Errorf("RangeSum = %v", got)
+	}
+	if got := s.Value(1); got != 2 {
+		t.Errorf("Value(1) = %v", got)
+	}
+}
+
+func TestSlidingSumsEviction(t *testing.T) {
+	s, _ := NewSlidingSums(3)
+	for i := 1; i <= 5; i++ {
+		s.Push(float64(i))
+	}
+	// Window should now be [3,4,5].
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	want := []float64{3, 4, 5}
+	got := s.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if s.WindowStart() != 2 {
+		t.Errorf("WindowStart = %d, want 2", s.WindowStart())
+	}
+	if sum := s.RangeSum(0, 2); sum != 12 {
+		t.Errorf("RangeSum = %v, want 12", sum)
+	}
+}
+
+// TestSlidingSumsAgainstOracle drives long streams through windows of
+// several sizes and checks every accessor against a brute-force oracle,
+// crossing many rebase boundaries.
+func TestSlidingSumsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 3, 7, 32} {
+		s, err := NewSlidingSums(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for step := 0; step < 10*n+13; step++ {
+			v := math.Floor(rng.Float64()*1000) - 500
+			s.Push(v)
+			all = append(all, v)
+			start := len(all) - n
+			if start < 0 {
+				start = 0
+			}
+			win := all[start:]
+			if s.Len() != len(win) {
+				t.Fatalf("n=%d step=%d: Len=%d want %d", n, step, s.Len(), len(win))
+			}
+			if int(s.WindowStart()) != start {
+				t.Fatalf("n=%d step=%d: WindowStart=%d want %d", n, step, s.WindowStart(), start)
+			}
+			// Spot-check a few ranges each step.
+			for trial := 0; trial < 3; trial++ {
+				lo := rng.Intn(len(win))
+				hi := lo + rng.Intn(len(win)-lo)
+				wantSum, wantSq := 0.0, 0.0
+				for i := lo; i <= hi; i++ {
+					wantSum += win[i]
+					wantSq += win[i] * win[i]
+				}
+				if got := s.RangeSum(lo, hi); math.Abs(got-wantSum) > 1e-6 {
+					t.Fatalf("n=%d step=%d RangeSum(%d,%d)=%v want %v", n, step, lo, hi, got, wantSum)
+				}
+				if got := s.RangeSq(lo, hi); math.Abs(got-wantSq) > 1e-3 {
+					t.Fatalf("n=%d step=%d RangeSq(%d,%d)=%v want %v", n, step, lo, hi, got, wantSq)
+				}
+				wantErr := histogram.SSEOf(win, lo, hi)
+				if got := s.SQError(lo, hi); math.Abs(got-wantErr) > 1e-3*(1+wantErr) {
+					t.Fatalf("n=%d step=%d SQError(%d,%d)=%v want %v", n, step, lo, hi, got, wantErr)
+				}
+				if got := s.Value(lo); got != win[lo] {
+					t.Fatalf("n=%d step=%d Value(%d)=%v want %v", n, step, lo, got, win[lo])
+				}
+			}
+		}
+	}
+}
+
+func TestSlidingSumsBoundedMemory(t *testing.T) {
+	s, _ := NewSlidingSums(16)
+	for i := 0; i < 100000; i++ {
+		s.Push(float64(i % 97))
+	}
+	if c := cap(s.psum); c > 2*16+1 {
+		t.Errorf("psum capacity grew to %d", c)
+	}
+	if c := cap(s.vals); c > 2*16 {
+		t.Errorf("vals capacity grew to %d", c)
+	}
+}

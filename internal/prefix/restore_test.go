@@ -1,0 +1,116 @@
+package prefix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRestoreSlidingSumsValidation(t *testing.T) {
+	if _, err := RestoreSlidingSums(0, nil, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := RestoreSlidingSums(2, []float64{1, 2, 3}, 3); err == nil {
+		t.Error("overfull restore accepted")
+	}
+	if _, err := RestoreSlidingSums(4, []float64{1, 2}, 1); err == nil {
+		t.Error("seen below fill accepted")
+	}
+}
+
+func TestRestoreSlidingSumsMatchesOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	orig, _ := NewSlidingSums(8)
+	for i := 0; i < 37; i++ {
+		orig.Push(float64(rng.Intn(100)))
+	}
+	restored, err := RestoreSlidingSums(8, orig.Values(), orig.Seen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seen() != orig.Seen() || restored.Len() != orig.Len() {
+		t.Fatalf("Seen/Len: %d/%d vs %d/%d", restored.Seen(), restored.Len(), orig.Seen(), orig.Len())
+	}
+	if restored.WindowStart() != orig.WindowStart() {
+		t.Errorf("WindowStart: %d vs %d", restored.WindowStart(), orig.WindowStart())
+	}
+	// Continue both identically.
+	for i := 0; i < 20; i++ {
+		v := float64(rng.Intn(100))
+		orig.Push(v)
+		restored.Push(v)
+		for lo := 0; lo < orig.Len(); lo += 3 {
+			if a, b := orig.RangeSum(lo, orig.Len()-1), restored.RangeSum(lo, restored.Len()-1); math.Abs(a-b) > 1e-9 {
+				t.Fatalf("diverged: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestRestoreEmptyWindow(t *testing.T) {
+	s, err := RestoreSlidingSums(4, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Seen() != 100 {
+		t.Errorf("Len=%d Seen=%d", s.Len(), s.Seen())
+	}
+	s.Push(5)
+	if s.Value(0) != 5 {
+		t.Error("restored empty store unusable")
+	}
+}
+
+func TestEvictOldestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	s, _ := NewSlidingSums(6)
+	var win []float64
+	for step := 0; step < 300; step++ {
+		switch {
+		case len(win) == 0 || rng.Float64() < 0.6:
+			v := float64(rng.Intn(1000))
+			if len(win) == 6 {
+				win = win[1:]
+			}
+			win = append(win, v)
+			s.Push(v)
+		default:
+			win = win[1:]
+			s.EvictOldest()
+		}
+		if s.Len() != len(win) {
+			t.Fatalf("step %d: Len %d vs %d", step, s.Len(), len(win))
+		}
+		for i, v := range win {
+			if s.Value(i) != v {
+				t.Fatalf("step %d: Value(%d)=%v want %v", step, i, s.Value(i), v)
+			}
+		}
+		if len(win) > 1 {
+			sum := 0.0
+			for _, v := range win {
+				sum += v
+			}
+			if got := s.RangeSum(0, len(win)-1); math.Abs(got-sum) > 1e-9 {
+				t.Fatalf("step %d: RangeSum %v vs %v", step, got, sum)
+			}
+			if got := s.Mean(0, len(win)-1); math.Abs(got-sum/float64(len(win))) > 1e-9 {
+				t.Fatalf("step %d: Mean wrong", step)
+			}
+		}
+	}
+}
+
+func TestDegenerateAccessors(t *testing.T) {
+	s, _ := NewSlidingSums(3)
+	s.Push(5)
+	if got := s.Mean(1, 0); got != 0 {
+		t.Errorf("inverted Mean = %v", got)
+	}
+	if got := s.SQError(0, 0); got != 0 {
+		t.Errorf("singleton SQError = %v", got)
+	}
+	if got := s.RangeSq(1, 0); got != 0 {
+		t.Errorf("inverted RangeSq = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+package prefix
+
+import "fmt"
+
+// SlidingSums maintains prefix sums and prefix sums of squares over the most
+// recent n points of a stream, the SUM' / SQSUM' structure of section 4.5 of
+// the paper. All query positions are window-local: position 0 is the oldest
+// point currently in the window.
+//
+// Internally the arrays are anchored at a point ℓ in the past. Every n
+// arrivals the anchor is moved to the current window start and the arrays
+// are compacted, costing O(n) once per n pushes — O(1) amortized per push,
+// exactly as the paper prescribes ("will require O(n) time, but amortized
+// over n iterations, can be ignored"). Rebasing also bounds the stored
+// magnitudes, keeping float64 cancellation error independent of the stream
+// length.
+type SlidingSums struct {
+	n     int       // window capacity
+	vals  []float64 // raw values, window-local position i at vals[start+i]
+	psum  []float64 // psum[start+i] = sum of values strictly before position i
+	psq   []float64 // same for squares
+	start int       // dead entries at the front, < n between rebases
+	size  int       // current fill, <= n
+	seen  int64     // total points pushed since creation
+}
+
+// NewSlidingSums creates a sliding store for a window of capacity n.
+func NewSlidingSums(n int) (*SlidingSums, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("prefix: window capacity must be positive, got %d", n)
+	}
+	s := &SlidingSums{n: n}
+	s.vals = make([]float64, 0, 2*n)
+	s.psum = make([]float64, 1, 2*n+1)
+	s.psq = make([]float64, 1, 2*n+1)
+	return s, nil
+}
+
+// RestoreSlidingSums reconstructs a sliding store from a snapshot: the
+// current window contents (oldest first, at most n values) and the total
+// number of points the original store had seen.
+func RestoreSlidingSums(n int, values []float64, seen int64) (*SlidingSums, error) {
+	s, err := NewSlidingSums(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) > n {
+		return nil, fmt.Errorf("prefix: %d values exceed capacity %d", len(values), n)
+	}
+	if seen < int64(len(values)) {
+		return nil, fmt.Errorf("prefix: seen=%d below window fill %d", seen, len(values))
+	}
+	for _, v := range values {
+		s.Push(v)
+	}
+	s.seen = seen
+	return s, nil
+}
+
+// Capacity returns the window capacity n.
+func (s *SlidingSums) Capacity() int { return s.n }
+
+// Len returns the current number of points in the window (<= Capacity).
+func (s *SlidingSums) Len() int { return s.size }
+
+// Seen returns the total number of points pushed since creation.
+func (s *SlidingSums) Seen() int64 { return s.seen }
+
+// WindowStart returns the 0-based stream position of the oldest point in
+// the window.
+func (s *SlidingSums) WindowStart() int64 { return s.seen - int64(s.size) }
+
+// Push appends a new point, evicting the temporally oldest point when the
+// window is full.
+func (s *SlidingSums) Push(v float64) {
+	if s.size == s.n {
+		s.start++
+	} else {
+		s.size++
+	}
+	s.vals = append(s.vals, v)
+	last := len(s.psum) - 1
+	s.psum = append(s.psum, s.psum[last]+v)
+	s.psq = append(s.psq, s.psq[last]+v*v)
+	s.seen++
+	if s.start >= s.n {
+		s.rebase()
+	}
+}
+
+// EvictOldest drops the oldest point without admitting a new one,
+// shrinking the window. It supports time-based windows, where points
+// expire by age rather than by count. It reports whether a point was
+// evicted.
+func (s *SlidingSums) EvictOldest() bool {
+	if s.size == 0 {
+		return false
+	}
+	s.start++
+	s.size--
+	if s.start >= s.n {
+		s.rebase()
+	}
+	return true
+}
+
+// rebase moves the anchor to the current window start, compacting the
+// arrays and resetting accumulated magnitudes.
+func (s *SlidingSums) rebase() {
+	base := s.psum[s.start]
+	baseSq := s.psq[s.start]
+	m := len(s.psum) - s.start // window prefixes to keep (= size+1)
+	for i := 0; i < m; i++ {
+		s.psum[i] = s.psum[s.start+i] - base
+		s.psq[i] = s.psq[s.start+i] - baseSq
+	}
+	s.psum = s.psum[:m]
+	s.psq = s.psq[:m]
+	copy(s.vals, s.vals[s.start:])
+	s.vals = s.vals[:s.size]
+	s.start = 0
+}
+
+// Value returns the value at window-local position i (0 = oldest).
+func (s *SlidingSums) Value(i int) float64 {
+	return s.vals[s.start+i]
+}
+
+// Values returns a copy of the window contents, oldest first.
+func (s *SlidingSums) Values() []float64 {
+	out := make([]float64, s.size)
+	copy(out, s.vals[s.start:s.start+s.size])
+	return out
+}
+
+// RangeSum returns sum of window positions lo..hi inclusive.
+func (s *SlidingSums) RangeSum(lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	return s.psum[s.start+hi+1] - s.psum[s.start+lo]
+}
+
+// RangeSq returns sum of squares of window positions lo..hi inclusive.
+func (s *SlidingSums) RangeSq(lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	return s.psq[s.start+hi+1] - s.psq[s.start+lo]
+}
+
+// Mean returns the mean of window positions lo..hi inclusive.
+func (s *SlidingSums) Mean(lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	return s.RangeSum(lo, hi) / float64(hi-lo+1)
+}
+
+// SQError returns SQERROR[lo,hi] over window-local positions: the SSE of
+// representing the covered values by their mean, clamped at zero.
+func (s *SlidingSums) SQError(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	n := float64(hi - lo + 1)
+	sum := s.RangeSum(lo, hi)
+	e := s.RangeSq(lo, hi) - sum*sum/n
+	if e < 0 {
+		e = 0
+	}
+	return e
+}

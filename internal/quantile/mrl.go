@@ -1,0 +1,167 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MRL is a one-pass approximate quantile summary in the Munro-Paterson /
+// Manku-Rajagopalan-Lindsay lineage the paper cites ([MP80], [SRL98]): a
+// ladder of buffers of k elements each. Incoming values fill a level-0
+// buffer; whenever two buffers share a level they are collapsed — merged
+// and downsampled by two with alternating offsets — into one buffer a
+// level higher, so n values occupy O(k log(n/k)) space and the rank error
+// is O(n log(n/k) / k).
+type MRL struct {
+	k       int
+	levels  [][]float64 // levels[l] is nil or a sorted buffer of weight 2^l
+	current []float64   // filling level-0 buffer, unsorted
+	n       int64
+	flip    bool // alternates the downsampling offset between collapses
+}
+
+// NewMRL creates a summary with buffer size k >= 2.
+func NewMRL(k int) (*MRL, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("quantile: MRL buffer size must be >= 2, got %d", k)
+	}
+	return &MRL{k: k}, nil
+}
+
+// N returns the number of values inserted.
+func (m *MRL) N() int64 { return m.n }
+
+// Size returns the number of stored values across all buffers.
+func (m *MRL) Size() int {
+	total := len(m.current)
+	for _, b := range m.levels {
+		total += len(b)
+	}
+	return total
+}
+
+// Insert adds a value.
+func (m *MRL) Insert(v float64) {
+	m.n++
+	m.current = append(m.current, v)
+	if len(m.current) < m.k {
+		return
+	}
+	buf := m.current
+	m.current = make([]float64, 0, m.k)
+	sort.Float64s(buf)
+	m.promote(buf, 0)
+}
+
+// promote places a sorted buffer at the given level, collapsing upwards
+// while the level is occupied.
+func (m *MRL) promote(buf []float64, level int) {
+	for {
+		for len(m.levels) <= level {
+			m.levels = append(m.levels, nil)
+		}
+		if m.levels[level] == nil {
+			m.levels[level] = buf
+			return
+		}
+		buf = m.collapse(m.levels[level], buf)
+		m.levels[level] = nil
+		level++
+	}
+}
+
+// collapse merges two sorted k-buffers and keeps every other element,
+// alternating the starting offset so the downsampling is unbiased.
+func (m *MRL) collapse(a, b []float64) []float64 {
+	merged := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	offset := 0
+	if m.flip {
+		offset = 1
+	}
+	m.flip = !m.flip
+	out := make([]float64, 0, (len(merged)+1)/2)
+	for idx := offset; idx < len(merged); idx += 2 {
+		out = append(out, merged[idx])
+	}
+	return out
+}
+
+// Merge folds another summary with the same buffer size into m: the
+// ladders combine level by level, so summaries of disjoint substreams
+// merge into a valid summary of their union — the property that makes the
+// buffer-collapse family usable in distributed settings.
+func (m *MRL) Merge(o *MRL) error {
+	if m.k != o.k {
+		return fmt.Errorf("quantile: MRL buffer sizes differ: %d vs %d", m.k, o.k)
+	}
+	for l, buf := range o.levels {
+		if buf != nil {
+			m.promote(append([]float64(nil), buf...), l)
+		}
+	}
+	// Ladder values are accounted directly; the partial buffer re-enters
+	// through Insert, which counts each value itself.
+	m.n += o.n - int64(len(o.current))
+	for _, v := range o.current {
+		m.Insert(v)
+	}
+	return nil
+}
+
+// Query returns an approximate phi-quantile (phi in [0,1]).
+func (m *MRL) Query(phi float64) (float64, error) {
+	if m.n == 0 {
+		return 0, fmt.Errorf("quantile: empty summary")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	// Build the weighted sorted union of all buffers.
+	type wv struct {
+		v float64
+		w int64
+	}
+	var all []wv
+	for _, v := range m.current {
+		all = append(all, wv{v, 1})
+	}
+	for l, buf := range m.levels {
+		w := int64(1) << uint(l)
+		for _, v := range buf {
+			all = append(all, wv{v, w})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v < all[b].v })
+	var totalW int64
+	for _, e := range all {
+		totalW += e.w
+	}
+	target := int64(math.Ceil(phi * float64(totalW)))
+	if target < 1 {
+		target = 1
+	}
+	var acc int64
+	for _, e := range all {
+		acc += e.w
+		if acc >= target {
+			return e.v, nil
+		}
+	}
+	return all[len(all)-1].v, nil
+}

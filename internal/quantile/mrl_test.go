@@ -1,0 +1,167 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMRLValidation(t *testing.T) {
+	if _, err := NewMRL(1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewMRL(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMRLEmptyQuery(t *testing.T) {
+	m, _ := NewMRL(8)
+	if _, err := m.Query(0.5); err == nil {
+		t.Error("query on empty summary succeeded")
+	}
+}
+
+func TestMRLSmallExact(t *testing.T) {
+	// Fewer values than one buffer: answers are exact.
+	m, _ := NewMRL(64)
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		m.Insert(v)
+	}
+	if v, _ := m.Query(0); v != 1 {
+		t.Errorf("min = %v", v)
+	}
+	if v, _ := m.Query(1); v != 9 {
+		t.Errorf("max = %v", v)
+	}
+	if v, _ := m.Query(0.5); v != 5 {
+		t.Errorf("median = %v", v)
+	}
+}
+
+// TestMRLRankAccuracy: rank error must stay within the O(n log(n/k)/k)
+// envelope; we assert a generous concrete bound.
+func TestMRLRankAccuracy(t *testing.T) {
+	for _, k := range []int{64, 256} {
+		for _, n := range []int{1000, 50000} {
+			rng := rand.New(rand.NewSource(int64(k*n) + 190))
+			m, err := NewMRL(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = rng.Float64() * 1e6
+			}
+			for _, v := range data {
+				m.Insert(v)
+			}
+			if m.N() != int64(n) {
+				t.Fatalf("N = %d", m.N())
+			}
+			levels := math.Log2(float64(n)/float64(k)) + 2
+			slack := int(float64(n)*levels/float64(k)) + 1
+			for _, phi := range []float64{0.1, 0.5, 0.9} {
+				got, err := m.Query(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rank := RankOf(data, got)
+				target := int(math.Ceil(phi * float64(n)))
+				if d := rank - target; d > slack || d < -slack {
+					t.Errorf("k=%d n=%d phi=%g: rank %d, target %d, slack %d", k, n, phi, rank, target, slack)
+				}
+			}
+		}
+	}
+}
+
+// TestMRLSpaceLogarithmic: storage must stay near k*log(n/k), far below n.
+func TestMRLSpaceLogarithmic(t *testing.T) {
+	m, _ := NewMRL(128)
+	rng := rand.New(rand.NewSource(191))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		m.Insert(rng.Float64())
+	}
+	if m.Size() > 128*25 {
+		t.Errorf("size %d not logarithmic (k=128, n=%d)", m.Size(), n)
+	}
+}
+
+func TestMRLSortedInput(t *testing.T) {
+	m, _ := NewMRL(32)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Insert(float64(i))
+	}
+	med, err := m.Query(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-n/2) > 0.15*n {
+		t.Errorf("sorted-input median = %v", med)
+	}
+}
+
+func TestMRLQueryClamps(t *testing.T) {
+	m, _ := NewMRL(8)
+	for i := 1; i <= 20; i++ {
+		m.Insert(float64(i))
+	}
+	lo, _ := m.Query(-2)
+	hi, _ := m.Query(3)
+	if lo > hi {
+		t.Errorf("clamped queries inverted: %v > %v", lo, hi)
+	}
+}
+
+func TestMRLMerge(t *testing.T) {
+	a, _ := NewMRL(32)
+	b, _ := NewMRL(32)
+	union, _ := NewMRL(32)
+	rng := rand.New(rand.NewSource(192))
+	var all []float64
+	for i := 0; i < 3000; i++ {
+		v := rng.Float64() * 1000
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Insert(v)
+		} else {
+			b.Insert(v)
+		}
+		union.Insert(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 3000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, err := a.Query(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := RankOf(all, got)
+		target := int(phi * 3000)
+		if d := rank - target; d > 600 || d < -600 {
+			t.Errorf("phi=%g: merged rank %d vs target %d", phi, rank, target)
+		}
+	}
+	// b must be unaffected and still usable.
+	if b.N() != 1500 {
+		t.Errorf("source summary N changed: %d", b.N())
+	}
+	if _, err := b.Query(0.5); err != nil {
+		t.Errorf("source summary unusable after merge: %v", err)
+	}
+}
+
+func TestMRLMergeRejectsMismatchedK(t *testing.T) {
+	a, _ := NewMRL(16)
+	b, _ := NewMRL(32)
+	if err := a.Merge(b); err == nil {
+		t.Error("k mismatch accepted")
+	}
+}

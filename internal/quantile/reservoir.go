@@ -1,0 +1,69 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir is a classical uniform reservoir sample of a stream (Vitter's
+// Algorithm R), the baseline the quantile literature the paper cites
+// compares against: quantiles of the sample estimate quantiles of the
+// stream.
+// The zero value is unusable; construct with NewReservoir.
+type Reservoir struct {
+	capacity int
+	seen     int64
+	sample   []float64
+	rng      *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding up to capacity values, using a
+// deterministic source seeded with seed.
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("quantile: reservoir capacity must be positive, got %d", capacity)
+	}
+	return &Reservoir{
+		capacity: capacity,
+		sample:   make([]float64, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Insert offers a value to the reservoir.
+func (r *Reservoir) Insert(v float64) {
+	r.seen++
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.capacity) {
+		r.sample[j] = v
+	}
+}
+
+// N returns the number of values offered.
+func (r *Reservoir) N() int64 { return r.seen }
+
+// Size returns the current sample size.
+func (r *Reservoir) Size() int { return len(r.sample) }
+
+// Query estimates the phi-quantile from the sample.
+func (r *Reservoir) Query(phi float64) (float64, error) {
+	if len(r.sample) == 0 {
+		return 0, fmt.Errorf("quantile: empty reservoir")
+	}
+	cp := make([]float64, len(r.sample))
+	copy(cp, r.sample)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(phi * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(cp) {
+		rank = len(cp)
+	}
+	return cp[rank-1], nil
+}

@@ -1,0 +1,79 @@
+package quantile
+
+import (
+	"fmt"
+
+	"streamhist/internal/codec"
+)
+
+// snapshot format: magic "SGK1", eps, n, pending, tuple count, then per
+// tuple v, g, delta.
+const gkMagic = "SGK1"
+
+// MarshalBinary snapshots the summary, implementing
+// encoding.BinaryMarshaler.
+func (s *GK) MarshalBinary() ([]byte, error) {
+	w := codec.NewWriter(gkMagic)
+	w.Float64(s.eps)
+	w.Int64(s.n)
+	w.Int64(s.pending)
+	w.Int(len(s.tuples))
+	for _, t := range s.tuples {
+		w.Float64(t.v)
+		w.Int64(t.g)
+		w.Int64(t.delta)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// implementing encoding.BinaryUnmarshaler. The receiver is replaced only
+// on success, after validating the invariants (sorted values, positive
+// gaps, ranks covering n).
+func (s *GK) UnmarshalBinary(data []byte) error {
+	r, err := codec.NewReader(data, gkMagic)
+	if err != nil {
+		return fmt.Errorf("quantile: %w", err)
+	}
+	eps := r.Float64()
+	n := r.Int64()
+	pending := r.Int64()
+	count := r.Int()
+	if r.Err() != nil {
+		return fmt.Errorf("quantile: %w", r.Err())
+	}
+	const tupleBytes = 24
+	if count < 0 || count > r.Remaining()/tupleBytes {
+		return fmt.Errorf("quantile: implausible tuple count %d", count)
+	}
+	restored, err := NewGK(eps)
+	if err != nil {
+		return fmt.Errorf("quantile: snapshot config invalid: %w", err)
+	}
+	tuples := make([]gkTuple, count)
+	var rankSum int64
+	for i := range tuples {
+		tuples[i] = gkTuple{v: r.Float64(), g: r.Int64(), delta: r.Int64()}
+		if r.Err() != nil {
+			return fmt.Errorf("quantile: %w", r.Err())
+		}
+		if tuples[i].g <= 0 || tuples[i].delta < 0 {
+			return fmt.Errorf("quantile: tuple %d has invalid g=%d delta=%d", i, tuples[i].g, tuples[i].delta)
+		}
+		if i > 0 && tuples[i].v < tuples[i-1].v {
+			return fmt.Errorf("quantile: tuples out of order at %d", i)
+		}
+		rankSum += tuples[i].g
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("quantile: %w", err)
+	}
+	if rankSum != n {
+		return fmt.Errorf("quantile: rank mass %d != n %d", rankSum, n)
+	}
+	restored.n = n
+	restored.pending = pending
+	restored.tuples = tuples
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,113 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGKSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	orig, _ := NewGK(0.02)
+	var data []float64
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64() * 1e6
+		data = append(data, v)
+		orig.Insert(v)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored GK
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != orig.N() || restored.Size() != orig.Size() {
+		t.Fatalf("N/Size: %d/%d vs %d/%d", restored.N(), restored.Size(), orig.N(), orig.Size())
+	}
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		a, err1 := orig.Query(phi)
+		b, err2 := restored.Query(phi)
+		if err1 != nil || err2 != nil || a != b {
+			t.Errorf("phi=%g: %v vs %v (%v %v)", phi, a, b, err1, err2)
+		}
+	}
+	// Both continue identically.
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 1e6
+		orig.Insert(v)
+		restored.Insert(v)
+	}
+	a, _ := orig.Query(0.5)
+	b, _ := restored.Query(0.5)
+	if a != b {
+		t.Errorf("diverged after restore: %v vs %v", a, b)
+	}
+}
+
+func TestGKSnapshotEmpty(t *testing.T) {
+	orig, _ := NewGK(0.1)
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored GK
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	restored.Insert(7)
+	if v, err := restored.Query(0.5); err != nil || v != 7 {
+		t.Errorf("restored empty summary unusable: %v %v", v, err)
+	}
+}
+
+func TestGKSnapshotRejectsCorrupt(t *testing.T) {
+	orig, _ := NewGK(0.1)
+	for i := 0; i < 100; i++ {
+		orig.Insert(float64(i))
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored GK
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), blob[4:]...),
+		"truncated": blob[:len(blob)-5],
+		"trailing":  append(append([]byte{}, blob...), 1),
+	}
+	for name, in := range cases {
+		if err := restored.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Rank-mass mismatch: flip n.
+	bad := append([]byte{}, blob...)
+	bad[12]++ // low byte of n
+	if err := restored.UnmarshalBinary(bad); err == nil {
+		t.Error("rank-mass mismatch accepted")
+	}
+}
+
+// FuzzGKSnapshotRestore: decoder must never panic and accepted snapshots
+// must be usable.
+func FuzzGKSnapshotRestore(f *testing.F) {
+	s, _ := NewGK(0.1)
+	for i := 0; i < 200; i++ {
+		s.Insert(float64(i % 17))
+	}
+	valid, _ := s.MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte("SGK1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var restored GK
+		if err := restored.UnmarshalBinary(data); err != nil {
+			return
+		}
+		restored.Insert(1)
+		if _, err := restored.Query(0.5); err != nil {
+			t.Fatalf("restored summary unusable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Package query generates the random range-aggregation workloads of the
+// paper's section 5.1 ("the starting points as well as the span of the
+// queries is chosen uniformly and independently") and scores estimators
+// against exact answers.
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamhist/internal/prefix"
+)
+
+// Range is an inclusive position range [Lo, Hi].
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of positions covered.
+func (r Range) Len() int { return r.Hi - r.Lo + 1 }
+
+// RandomRanges draws count queries over positions [0, n): the start is
+// uniform and the span is uniform in [1, n-start], matching section 5.1.
+func RandomRanges(seed int64, count, n int) ([]Range, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("query: domain must be positive, got %d", n)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("query: negative count %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Range, count)
+	for i := range out {
+		lo := rng.Intn(n)
+		span := 1 + rng.Intn(n-lo)
+		out[i] = Range{Lo: lo, Hi: lo + span - 1}
+	}
+	return out, nil
+}
+
+// Estimator answers range-sum queries over positions.
+type Estimator interface {
+	EstimateRangeSum(lo, hi int) float64
+}
+
+// EstimatorFunc adapts a closure to Estimator.
+type EstimatorFunc func(lo, hi int) float64
+
+// EstimateRangeSum invokes the closure.
+func (f EstimatorFunc) EstimateRangeSum(lo, hi int) float64 { return f(lo, hi) }
+
+// Metrics aggregates estimation error over a workload. MAE is the paper's
+// reported "average" (mean absolute error of the range sums); MRE is the
+// mean relative error over queries with nonzero truth; RMSE the root mean
+// squared error.
+type Metrics struct {
+	Count int
+	MAE   float64
+	MRE   float64
+	RMSE  float64
+	MaxAE float64
+}
+
+// Evaluate scores est against the exact answers for data over queries.
+func Evaluate(est Estimator, data []float64, queries []Range) Metrics {
+	sums := prefix.NewSums(data)
+	return EvaluateAgainst(est, func(lo, hi int) float64 {
+		return sums.RangeSum(lo, hi)
+	}, queries)
+}
+
+// EvaluateAgainst scores est against an arbitrary truth oracle.
+func EvaluateAgainst(est Estimator, truth func(lo, hi int) float64, queries []Range) Metrics {
+	var m Metrics
+	sumSq := 0.0
+	relCount := 0
+	for _, q := range queries {
+		got := est.EstimateRangeSum(q.Lo, q.Hi)
+		want := truth(q.Lo, q.Hi)
+		ae := math.Abs(got - want)
+		m.MAE += ae
+		sumSq += ae * ae
+		if ae > m.MaxAE {
+			m.MaxAE = ae
+		}
+		if want != 0 {
+			m.MRE += ae / math.Abs(want)
+			relCount++
+		}
+		m.Count++
+	}
+	if m.Count > 0 {
+		m.MAE /= float64(m.Count)
+		m.RMSE = math.Sqrt(sumSq / float64(m.Count))
+	}
+	if relCount > 0 {
+		m.MRE /= float64(relCount)
+	}
+	return m
+}

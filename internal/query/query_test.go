@@ -1,0 +1,106 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomRangesBounds(t *testing.T) {
+	qs, err := RandomRanges(1, 1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1000 {
+		t.Fatalf("count = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.Lo < 0 || q.Hi >= 50 || q.Hi < q.Lo {
+			t.Fatalf("bad query %+v", q)
+		}
+		if q.Len() != q.Hi-q.Lo+1 {
+			t.Fatalf("Len mismatch %+v", q)
+		}
+	}
+}
+
+func TestRandomRangesRejectsBadArgs(t *testing.T) {
+	if _, err := RandomRanges(1, 10, 0); err == nil {
+		t.Error("zero domain accepted")
+	}
+	if _, err := RandomRanges(1, -1, 10); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestRandomRangesDeterministic(t *testing.T) {
+	a, _ := RandomRanges(9, 100, 64)
+	b, _ := RandomRanges(9, 100, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestEvaluatePerfectEstimator(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	qs, _ := RandomRanges(2, 200, len(data))
+	exact := EstimatorFunc(func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i <= hi; i++ {
+			s += data[i]
+		}
+		return s
+	})
+	m := Evaluate(exact, data, qs)
+	if m.MAE != 0 || m.RMSE != 0 || m.MRE != 0 || m.MaxAE != 0 {
+		t.Errorf("perfect estimator scored %+v", m)
+	}
+	if m.Count != 200 {
+		t.Errorf("Count = %d", m.Count)
+	}
+}
+
+func TestEvaluateBiasedEstimator(t *testing.T) {
+	data := []float64{10, 10, 10, 10}
+	qs := []Range{{0, 3}, {1, 2}}
+	biased := EstimatorFunc(func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i <= hi; i++ {
+			s += data[i]
+		}
+		return s + 5
+	})
+	m := Evaluate(biased, data, qs)
+	if m.MAE != 5 {
+		t.Errorf("MAE = %v, want 5", m.MAE)
+	}
+	if m.RMSE != 5 {
+		t.Errorf("RMSE = %v, want 5", m.RMSE)
+	}
+	if m.MaxAE != 5 {
+		t.Errorf("MaxAE = %v", m.MaxAE)
+	}
+	wantMRE := (5.0/40 + 5.0/20) / 2
+	if math.Abs(m.MRE-wantMRE) > 1e-12 {
+		t.Errorf("MRE = %v, want %v", m.MRE, wantMRE)
+	}
+}
+
+func TestEvaluateAgainstHandlesZeroTruth(t *testing.T) {
+	est := EstimatorFunc(func(lo, hi int) float64 { return 1 })
+	m := EvaluateAgainst(est, func(lo, hi int) float64 { return 0 }, []Range{{0, 1}})
+	if m.MRE != 0 {
+		t.Errorf("MRE should skip zero-truth queries, got %v", m.MRE)
+	}
+	if m.MAE != 1 {
+		t.Errorf("MAE = %v", m.MAE)
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	m := Evaluate(EstimatorFunc(func(lo, hi int) float64 { return 0 }), []float64{1}, nil)
+	if m.Count != 0 || m.MAE != 0 {
+		t.Errorf("empty workload scored %+v", m)
+	}
+}

@@ -1,0 +1,282 @@
+// Package rtree implements an in-memory R-tree over d-dimensional
+// rectangles: STR (sort-tile-recursive) bulk loading, rectangle range
+// queries, and best-first nearest-neighbor search by MINDIST. It is the
+// index substrate of the GEMINI similarity-search pipeline the paper's
+// section 5.2 experiments rely on (Keogh et al. index APCA features with
+// exactly such a tree).
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned d-dimensional rectangle.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect validates and builds a rectangle.
+func NewRect(min, max []float64) (Rect, error) {
+	if len(min) == 0 || len(min) != len(max) {
+		return Rect{}, fmt.Errorf("rtree: dimension mismatch %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: min[%d]=%v above max[%d]=%v", i, min[i], i, max[i])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+// Point builds a degenerate rectangle at p.
+func Point(p []float64) Rect {
+	return Rect{Min: p, Max: p}
+}
+
+// Dims returns the dimensionality.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Intersects reports whether two rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Max[i] < o.Min[i] || o.Max[i] < r.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	for i := range r.Min {
+		if o.Min[i] < r.Min[i] || o.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDist returns the minimum Euclidean distance from point p to the
+// rectangle (0 when p is inside) — the MINDIST pruning bound of
+// Roussopoulos et al.
+func (r Rect) MinDist(p []float64) float64 {
+	s := 0.0
+	for i := range r.Min {
+		var d float64
+		switch {
+		case p[i] < r.Min[i]:
+			d = r.Min[i] - p[i]
+		case p[i] > r.Max[i]:
+			d = p[i] - r.Max[i]
+		}
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// union grows r to cover o, returning a fresh rect.
+func union(r, o Rect) Rect {
+	min := make([]float64, len(r.Min))
+	max := make([]float64, len(r.Max))
+	for i := range min {
+		min[i] = math.Min(r.Min[i], o.Min[i])
+		max[i] = math.Max(r.Max[i], o.Max[i])
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// Entry is a leaf payload: a rectangle and its identifier.
+type Entry struct {
+	Rect Rect
+	ID   int
+}
+
+type node struct {
+	rect     Rect
+	children []*node // nil for leaves
+	entries  []Entry // nil for internal nodes
+}
+
+// Tree is a bulk-loaded R-tree. The zero value is unusable; construct with
+// BulkLoad.
+type Tree struct {
+	root *node
+	dims int
+	size int
+	fan  int
+}
+
+// BulkLoad builds a tree over the entries using the STR packing algorithm
+// with the given fanout (entries/children per node, >= 2).
+func BulkLoad(entries []Entry, fanout int) (*Tree, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("rtree: no entries")
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout must be >= 2, got %d", fanout)
+	}
+	dims := entries[0].Rect.Dims()
+	for i, e := range entries {
+		if e.Rect.Dims() != dims {
+			return nil, fmt.Errorf("rtree: entry %d has %d dims, want %d", i, e.Rect.Dims(), dims)
+		}
+	}
+	// Leaf level: STR-tile the entries.
+	leaves := packEntries(append([]Entry(nil), entries...), dims, fanout)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes, dims, fanout)
+	}
+	return &Tree{root: nodes[0], dims: dims, size: len(entries), fan: fanout}, nil
+}
+
+// center returns the midpoint of a rect along dim d.
+func center(r Rect, d int) float64 { return (r.Min[d] + r.Max[d]) / 2 }
+
+// packEntries tiles entries into leaf nodes, recursively slicing along
+// successive dimensions.
+func packEntries(entries []Entry, dims, fanout int) []*node {
+	var leaves []*node
+	var rec func(es []Entry, dim int)
+	rec = func(es []Entry, dim int) {
+		if len(es) <= fanout {
+			leaf := &node{entries: es, rect: es[0].Rect}
+			for _, e := range es[1:] {
+				leaf.rect = union(leaf.rect, e.Rect)
+			}
+			leaves = append(leaves, leaf)
+			return
+		}
+		sort.Slice(es, func(a, b int) bool {
+			return center(es[a].Rect, dim) < center(es[b].Rect, dim)
+		})
+		// Number of vertical slabs so each slab holds ~fanout^k entries.
+		leavesNeeded := (len(es) + fanout - 1) / fanout
+		slabs := int(math.Ceil(math.Pow(float64(leavesNeeded), 1/float64(dims-dim))))
+		if dim == dims-1 || slabs < 1 {
+			slabs = leavesNeeded
+		}
+		per := (len(es) + slabs - 1) / slabs
+		next := dim + 1
+		if next >= dims {
+			next = dims - 1
+		}
+		for start := 0; start < len(es); start += per {
+			end := start + per
+			if end > len(es) {
+				end = len(es)
+			}
+			rec(es[start:end], next)
+		}
+	}
+	rec(entries, 0)
+	return leaves
+}
+
+// packNodes groups child nodes into parents by center order.
+func packNodes(children []*node, dims, fanout int) []*node {
+	sort.Slice(children, func(a, b int) bool {
+		return center(children[a].rect, 0) < center(children[b].rect, 0)
+	})
+	var parents []*node
+	for start := 0; start < len(children); start += fanout {
+		end := start + fanout
+		if end > len(children) {
+			end = len(children)
+		}
+		p := &node{children: children[start:end:end], rect: children[start].rect}
+		for _, c := range children[start+1 : end] {
+			p.rect = union(p.rect, c.rect)
+		}
+		parents = append(parents, p)
+	}
+	return parents
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Search appends to dst the IDs of all entries whose rectangles intersect
+// q, and returns the slice.
+func (t *Tree) Search(q Rect, dst []int) ([]int, error) {
+	if q.Dims() != t.dims {
+		return nil, fmt.Errorf("rtree: query has %d dims, want %d", q.Dims(), t.dims)
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.rect.Intersects(q) {
+			return
+		}
+		if n.entries != nil {
+			for _, e := range n.entries {
+				if e.Rect.Intersects(q) {
+					dst = append(dst, e.ID)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return dst, nil
+}
+
+// Neighbor is a nearest-neighbor result: an entry ID and the MINDIST from
+// the query point to its rectangle.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// pqItem is a best-first search frontier element.
+type pqItem struct {
+	dist  float64
+	n     *node
+	entry *Entry
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(a, b int) bool { return p[a].dist < p[b].dist }
+func (p pq) Swap(a, b int)      { p[a], p[b] = p[b], p[a] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; x := old[len(old)-1]; *p = old[:len(old)-1]; return x }
+
+// NearestK returns the k entries with smallest MINDIST to the query point,
+// in increasing distance order, using best-first traversal.
+func (t *Tree) NearestK(point []float64, k int) ([]Neighbor, error) {
+	if len(point) != t.dims {
+		return nil, fmt.Errorf("rtree: query has %d dims, want %d", len(point), t.dims)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rtree: k must be positive, got %d", k)
+	}
+	frontier := &pq{{dist: t.root.rect.MinDist(point), n: t.root}}
+	var out []Neighbor
+	for frontier.Len() > 0 && len(out) < k {
+		item := heap.Pop(frontier).(pqItem)
+		switch {
+		case item.entry != nil:
+			out = append(out, Neighbor{ID: item.entry.ID, Dist: item.dist})
+		case item.n.entries != nil:
+			for i := range item.n.entries {
+				e := &item.n.entries[i]
+				heap.Push(frontier, pqItem{dist: e.Rect.MinDist(point), entry: e})
+			}
+		default:
+			for _, c := range item.n.children {
+				heap.Push(frontier, pqItem{dist: c.rect.MinDist(point), n: c})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mkEntries(t *testing.T, rng *rand.Rand, n, dims int) ([]Entry, [][]float64) {
+	t.Helper()
+	entries := make([]Entry, n)
+	points := make([][]float64, n)
+	for i := range entries {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		points[i] = p
+		entries[i] = Entry{Rect: Point(p), ID: i}
+	}
+	return entries, points
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(nil, nil); err == nil {
+		t.Error("empty rect accepted")
+	}
+	if _, err := NewRect([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	r, err := NewRect([]float64{0, 0}, []float64{1, 1})
+	if err != nil || r.Dims() != 2 {
+		t.Errorf("valid rect rejected: %v", err)
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	b, _ := NewRect([]float64{1, 1}, []float64{3, 3})
+	c, _ := NewRect([]float64{5, 5}, []float64{6, 6})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects reported overlapping")
+	}
+	inner, _ := NewRect([]float64{0.5, 0.5}, []float64{1, 1})
+	if !a.Contains(inner) {
+		t.Error("contained rect not contained")
+	}
+	if a.Contains(b) {
+		t.Error("partial overlap reported contained")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	if got := r.MinDist([]float64{1, 1}); got != 0 {
+		t.Errorf("inside MinDist = %v", got)
+	}
+	if got := r.MinDist([]float64{5, 2}); got != 3 {
+		t.Errorf("axis MinDist = %v", got)
+	}
+	if got := r.MinDist([]float64{5, 6}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("corner MinDist = %v", got)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(nil, 8); err == nil {
+		t.Error("empty load accepted")
+	}
+	es := []Entry{{Rect: Point([]float64{1})}}
+	if _, err := BulkLoad(es, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	mixed := []Entry{{Rect: Point([]float64{1})}, {Rect: Point([]float64{1, 2})}}
+	if _, err := BulkLoad(mixed, 4); err == nil {
+		t.Error("mixed dims accepted")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for _, dims := range []int{1, 2, 5} {
+		for _, n := range []int{1, 7, 200} {
+			entries, points := mkEntries(t, rng, n, dims)
+			tree, err := BulkLoad(entries, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.Len() != n || tree.Dims() != dims {
+				t.Fatalf("Len/Dims = %d/%d", tree.Len(), tree.Dims())
+			}
+			for trial := 0; trial < 30; trial++ {
+				min := make([]float64, dims)
+				max := make([]float64, dims)
+				for d := range min {
+					a, b := rng.Float64()*100, rng.Float64()*100
+					min[d], max[d] = math.Min(a, b), math.Max(a, b)
+				}
+				q, _ := NewRect(min, max)
+				got, err := tree.Search(q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []int
+				for i, p := range points {
+					if q.Intersects(Point(p)) {
+						want = append(want, i)
+					}
+				}
+				sort.Ints(got)
+				if len(got) != len(want) {
+					t.Fatalf("dims=%d n=%d: got %d results, want %d", dims, n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("result mismatch: %v vs %v", got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchDimMismatch(t *testing.T) {
+	entries, _ := mkEntries(t, rand.New(rand.NewSource(1)), 5, 2)
+	tree, _ := BulkLoad(entries, 4)
+	if _, err := tree.Search(Point([]float64{1}), nil); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := tree.NearestK([]float64{1}, 1); err == nil {
+		t.Error("NN dim mismatch accepted")
+	}
+	if _, err := tree.NearestK([]float64{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	entries, points := mkEntries(t, rng, 300, 3)
+	tree, err := BulkLoad(entries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		k := 1 + rng.Intn(10)
+		got, err := tree.NearestK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type cand struct {
+			id   int
+			dist float64
+		}
+		var all []cand
+		for i, p := range points {
+			s := 0.0
+			for d := range p {
+				diff := p[d] - q[d]
+				s += diff * diff
+			}
+			all = append(all, cand{i, math.Sqrt(s)})
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].dist < all[b].dist })
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Dist-all[i].dist) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %v, want %v", trial, i, got[i].Dist, all[i].dist)
+			}
+		}
+	}
+}
+
+func TestNearestKMoreThanSize(t *testing.T) {
+	entries, _ := mkEntries(t, rand.New(rand.NewSource(2)), 5, 2)
+	tree, _ := BulkLoad(entries, 4)
+	got, err := tree.NearestK([]float64{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("got %d neighbors", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Error("neighbors not in increasing distance order")
+		}
+	}
+}

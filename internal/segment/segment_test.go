@@ -1,0 +1,207 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/histogram"
+	"streamhist/internal/vopt"
+)
+
+// histogramT shortens the shared return type of both constructions.
+type histogramT = histogram.Histogram
+
+func TestValidation(t *testing.T) {
+	for name, f := range map[string]func([]float64, int) error{
+		"BottomUp": func(d []float64, b int) error { _, err := BottomUp(d, b); return err },
+		"TopDown":  func(d []float64, b int) error { _, err := TopDown(d, b); return err },
+	} {
+		if err := f(nil, 3); err == nil {
+			t.Errorf("%s: empty data accepted", name)
+		}
+		if err := f([]float64{1, 2}, 0); err == nil {
+			t.Errorf("%s: zero segments accepted", name)
+		}
+	}
+}
+
+func TestPerfectStepRecovery(t *testing.T) {
+	data := make([]float64, 0, 30)
+	for _, level := range []float64{5, 80, 20} {
+		for i := 0; i < 10; i++ {
+			data = append(data, level)
+		}
+	}
+	bu, err := BottomUp(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.SSE(data) != 0 {
+		t.Errorf("bottom-up SSE = %v on a 3-level step: %v", bu.SSE(data), bu)
+	}
+	td, err := TopDown(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.SSE(data) != 0 {
+		t.Errorf("top-down SSE = %v: %v", td.SSE(data), td)
+	}
+}
+
+func TestBudgetAndCoverage(t *testing.T) {
+	g := datagen.NewUtilization(datagen.UtilizationConfig{Seed: 200, Quantize: true})
+	data := datagen.Series(g, 300)
+	for _, b := range []int{1, 2, 9, 64} {
+		for name, build := range map[string]func([]float64, int) (sseAndShape, error){
+			"BottomUp": wrap(BottomUp),
+			"TopDown":  wrap(TopDown),
+		} {
+			h, err := build(data, b)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", name, b, err)
+			}
+			if h.NumBuckets() > b {
+				t.Errorf("%s b=%d: %d segments", name, b, h.NumBuckets())
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("%s b=%d: %v", name, b, err)
+			}
+			if s, e := h.Span(); s != 0 || e != 299 {
+				t.Errorf("%s b=%d: span [%d,%d]", name, b, s, e)
+			}
+		}
+	}
+}
+
+// sseAndShape is the subset of histogram behaviour the tests need.
+type sseAndShape interface {
+	SSE([]float64) float64
+	NumBuckets() int
+	Validate() error
+	Span() (int, int)
+}
+
+func wrap(f func([]float64, int) (*histogramT, error)) func([]float64, int) (sseAndShape, error) {
+	return func(d []float64, b int) (sseAndShape, error) { return f(d, b) }
+}
+
+// TestHeuristicsNearOptimal: both heuristics must land within a small
+// factor of the optimal V-optimal SSE on realistic data, and never below
+// it.
+func TestHeuristicsNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(150)
+		b := 2 + rng.Intn(8)
+		data := make([]float64, n)
+		level := 100.0
+		for i := range data {
+			if rng.Float64() < 0.08 {
+				level = float64(rng.Intn(500))
+			}
+			data[i] = level + rng.NormFloat64()*4
+		}
+		opt, err := vopt.Error(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, build := range map[string]func([]float64, int) (*histogramT, error){
+			"BottomUp": BottomUp,
+			"TopDown":  TopDown,
+		} {
+			h, err := build(data, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sse := h.SSE(data)
+			if sse < opt-1e-6*(1+opt) {
+				t.Fatalf("%s: SSE %v below optimal %v — impossible", name, sse, opt)
+			}
+			if sse > 8*opt+1e-6 {
+				t.Errorf("%s trial %d (n=%d b=%d): SSE %v more than 8x optimal %v",
+					name, trial, n, b, sse, opt)
+			}
+		}
+	}
+}
+
+// TestBottomUpMatchesNaive: the heap-based bottom-up must produce the same
+// final SSE as a naive O(n^2) greedy merge.
+func TestBottomUpMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		b := 1 + rng.Intn(5)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(rng.Intn(50))
+		}
+		fast, err := BottomUp(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := naiveBottomUp(data, b)
+		if math.Abs(fast.SSE(data)-naive) > 1e-6*(1+naive) {
+			t.Fatalf("trial %d: heap %v vs naive %v (data %v b %d)",
+				trial, fast.SSE(data), naive, data, b)
+		}
+	}
+}
+
+// naiveBottomUp is the quadratic reference merge.
+func naiveBottomUp(data []float64, b int) float64 {
+	type seg struct{ start, end int }
+	segs := make([]seg, len(data))
+	for i := range segs {
+		segs[i] = seg{i, i}
+	}
+	sse := func(s seg) float64 {
+		sum, sq := 0.0, 0.0
+		for i := s.start; i <= s.end; i++ {
+			sum += data[i]
+			sq += data[i] * data[i]
+		}
+		m := float64(s.end - s.start + 1)
+		v := sq - sum*sum/m
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	for len(segs) > b {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 0; i+1 < len(segs); i++ {
+			merged := seg{segs[i].start, segs[i+1].end}
+			cost := sse(merged) - sse(segs[i]) - sse(segs[i+1])
+			if cost < bestCost {
+				bestCost = cost
+				bestIdx = i
+			}
+		}
+		segs[bestIdx].end = segs[bestIdx+1].end
+		segs = append(segs[:bestIdx+1], segs[bestIdx+2:]...)
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += sse(s)
+	}
+	return total
+}
+
+func TestMoreSegmentsThanPoints(t *testing.T) {
+	data := []float64{3, 1, 4}
+	for name, build := range map[string]func([]float64, int) (*histogramT, error){
+		"BottomUp": BottomUp,
+		"TopDown":  TopDown,
+	} {
+		h, err := build(data, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.SSE(data) != 0 {
+			t.Errorf("%s: SSE %v with full budget", name, h.SSE(data))
+		}
+	}
+}

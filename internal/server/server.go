@@ -1,0 +1,296 @@
+// Package server exposes a fixed-window stream summary over HTTP: ingest
+// stream points, query range sums and inspect the current histogram —
+// the "network operators commonly pose queries" scenario of the paper's
+// introduction, as a deployable component.
+//
+// Endpoints:
+//
+//	POST /ingest              body: one value per line (text), appended to the stream
+//	GET  /histogram           current window buckets as JSON
+//	GET  /query?lo=&hi=       range-sum estimate over window positions
+//	GET  /quantile?phi=       whole-stream quantile (GK summary)
+//	GET  /selectivity?lo=&hi= fraction of stream values in [lo,hi]
+//	GET  /stats               stream statistics
+//	GET  /snapshot            binary fixed-window snapshot for restart recovery
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"streamhist/internal/core"
+	"streamhist/internal/drift"
+	"streamhist/internal/quantile"
+	"streamhist/internal/stream"
+	"streamhist/internal/vhist"
+)
+
+// Server is the HTTP handler state. The zero value is unusable; construct
+// with New.
+type Server struct {
+	mu      sync.Mutex
+	fw      *core.FixedWindow
+	gk      *quantile.GK
+	sed     *vhist.StreamingEqualDepth
+	det     *drift.Detector
+	stats   stream.Counter
+	mux     *http.ServeMux
+	maxBody int64
+}
+
+// New creates a server maintaining, over the ingested stream, a
+// fixed-window histogram (last n points, b buckets, growth factor delta),
+// a whole-stream GK quantile summary, and a streaming equi-depth value
+// histogram for selectivity queries.
+func New(n, b int, eps, delta float64) (*Server, error) {
+	fw, err := core.NewWithDelta(n, b, eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	gk, err := quantile.NewGK(0.01)
+	if err != nil {
+		return nil, err
+	}
+	sed, err := vhist.NewStreamingEqualDepth(b, 0.25/float64(b))
+	if err != nil {
+		return nil, err
+	}
+	det, err := drift.NewDetector(50)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{fw: fw, gk: gk, sed: sed, det: det, mux: http.NewServeMux(), maxBody: 32 << 20}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/histogram", s.handleHistogram)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/quantile", s.handleQuantile)
+	s.mux.HandleFunc("/selectivity", s.handleSelectivity)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/drift", s.handleDrift)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	values, err := stream.ReadAll(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	for _, v := range values {
+		s.fw.PushLazy(v)
+		s.gk.Insert(v)
+		s.sed.Push(v)
+		s.stats.Push(v)
+	}
+	seen := s.fw.Seen()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"ingested": len(values), "seen": seen})
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.fw.Histogram()
+	windowStart := s.fw.WindowStart()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	type bucketJSON struct {
+		Start int     `json:"start"`
+		End   int     `json:"end"`
+		Value float64 `json:"value"`
+	}
+	buckets := make([]bucketJSON, len(res.Histogram.Buckets))
+	for i, b := range res.Histogram.Buckets {
+		buckets[i] = bucketJSON{Start: b.Start, End: b.End, Value: b.Value}
+	}
+	writeJSON(w, map[string]any{
+		"windowStart": windowStart,
+		"sse":         res.SSE,
+		"buckets":     buckets,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	lo, err1 := strconv.Atoi(r.URL.Query().Get("lo"))
+	hi, err2 := strconv.Atoi(r.URL.Query().Get("hi"))
+	if err1 != nil || err2 != nil {
+		http.Error(w, "lo and hi must be integers", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	length := s.fw.Len()
+	if lo < 0 || hi >= length || hi < lo {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("range [%d,%d] outside window [0,%d]", lo, hi, length-1), http.StatusBadRequest)
+		return
+	}
+	res, err := s.fw.Histogram()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"lo":       lo,
+		"hi":       hi,
+		"estimate": res.Histogram.EstimateRangeSum(lo, hi),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.stats
+	length, seen := s.fw.Len(), s.fw.Seen()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"seen":     seen,
+		"window":   length,
+		"mean":     st.Mean(),
+		"variance": st.Variance(),
+		"min":      st.Min,
+		"max":      st.Max,
+	})
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
+	if err != nil || phi < 0 || phi > 1 {
+		http.Error(w, "phi must be a number in [0,1]", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	v, qerr := s.gk.Query(phi)
+	n := s.gk.N()
+	s.mu.Unlock()
+	if qerr != nil {
+		http.Error(w, qerr.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"phi": phi, "value": v, "n": n})
+}
+
+func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	lo, err1 := strconv.ParseFloat(r.URL.Query().Get("lo"), 64)
+	hi, err2 := strconv.ParseFloat(r.URL.Query().Get("hi"), 64)
+	if err1 != nil || err2 != nil || hi < lo {
+		http.Error(w, "lo and hi must be numbers with lo <= hi", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	h, herr := s.sed.Histogram()
+	s.mu.Unlock()
+	if herr != nil {
+		http.Error(w, herr.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"lo": lo, "hi": hi,
+		"selectivity":    h.Selectivity(lo, hi),
+		"estimatedCount": h.EstimateCount(lo, hi),
+	})
+}
+
+// handleSnapshot serves the fixed-window snapshot as a binary download so
+// a restarted collector can resume the window (see core.UnmarshalBinary).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	blob, err := s.fw.MarshalBinary()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(blob); err != nil {
+		return
+	}
+}
+
+// handleDrift compares the current window's histogram against the drift
+// reference (installed on the first call), returning the normalized L2
+// distance and whether the distribution drifted; on drift the reference
+// re-anchors to the current window.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.fw.Histogram()
+	if err != nil {
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	// While the window is still filling its span grows between calls;
+	// re-anchor rather than compare histograms of different extents.
+	if ref := s.det.Reference(); ref != nil {
+		rs, re := ref.Span()
+		cs, ce := res.Histogram.Span()
+		if rs != cs || re != ce {
+			s.det.Reset()
+		}
+	}
+	dist, drifted, derr := s.det.Observe(res.Histogram)
+	alarms, checks := s.det.Alarms(), s.det.Checks()
+	s.mu.Unlock()
+	if derr != nil {
+		http.Error(w, derr.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"distance": dist,
+		"drifted":  drifted,
+		"alarms":   alarms,
+		"checks":   checks,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing useful left to do.
+		return
+	}
+}

@@ -1,0 +1,217 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+
+	"streamhist/internal/rtree"
+)
+
+// PAA computes the d-dimensional Piecewise Aggregate Approximation of a
+// series: the means of d (near-)equal-length segments. With the scaled
+// feature distance below it lower-bounds the true Euclidean distance,
+// which makes it indexable — the GEMINI reduction the similarity
+// literature the paper builds on uses.
+func PAA(series []float64, d int) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("similarity: empty series")
+	}
+	if d <= 0 || d > len(series) {
+		return nil, fmt.Errorf("similarity: invalid PAA dimension %d for length %d", d, len(series))
+	}
+	out := make([]float64, d)
+	n := len(series)
+	for i := 0; i < d; i++ {
+		start := i * n / d
+		end := (i + 1) * n / d
+		sum := 0.0
+		for j := start; j < end; j++ {
+			sum += series[j]
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out, nil
+}
+
+// PAADist returns the lower-bounding feature distance between two PAA
+// vectors of series of length n: sqrt(n/d * sum (a_i-b_i)^2) <= L2(A, B)
+// when segments have equal length n/d.
+func PAADist(a, b []float64, n int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("similarity: PAA dimension mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("similarity: empty PAA vectors")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(float64(n) / float64(len(a)) * s), nil
+}
+
+// IndexedCollection answers similarity queries over a series collection
+// through an R-tree on PAA features: candidates come from the index, exact
+// distances verify them — the full GEMINI pipeline, as opposed to Index's
+// linear lower-bound scan.
+type IndexedCollection struct {
+	series [][]float64
+	feats  [][]float64
+	tree   *rtree.Tree
+	dims   int
+	n      int // series length
+}
+
+// NewIndexedCollection builds the index with d-dimensional PAA features.
+// All series must have equal length, a multiple of d for an exact lower
+// bound.
+func NewIndexedCollection(series [][]float64, d int) (*IndexedCollection, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("similarity: empty collection")
+	}
+	n := len(series[0])
+	if n%d != 0 {
+		return nil, fmt.Errorf("similarity: series length %d not a multiple of PAA dimension %d", n, d)
+	}
+	feats := make([][]float64, len(series))
+	entries := make([]rtree.Entry, len(series))
+	for i, s := range series {
+		if len(s) != n {
+			return nil, fmt.Errorf("similarity: series %d has length %d, want %d", i, len(s), n)
+		}
+		f, err := PAA(s, d)
+		if err != nil {
+			return nil, err
+		}
+		// Scale features so plain Euclidean distance in feature space is
+		// the lower bound: multiply by sqrt(n/d).
+		scaled := make([]float64, d)
+		scale := math.Sqrt(float64(n) / float64(d))
+		for j, v := range f {
+			scaled[j] = v * scale
+		}
+		feats[i] = scaled
+		entries[i] = rtree.Entry{Rect: rtree.Point(scaled), ID: i}
+	}
+	tree, err := rtree.BulkLoad(entries, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexedCollection{series: series, feats: feats, tree: tree, dims: d, n: n}, nil
+}
+
+// Len returns the number of indexed series.
+func (ic *IndexedCollection) Len() int { return len(ic.series) }
+
+// queryFeature computes the scaled PAA feature of a query.
+func (ic *IndexedCollection) queryFeature(query []float64) ([]float64, error) {
+	if len(query) != ic.n {
+		return nil, fmt.Errorf("similarity: query length %d, want %d", len(query), ic.n)
+	}
+	f, err := PAA(query, ic.dims)
+	if err != nil {
+		return nil, err
+	}
+	scale := math.Sqrt(float64(ic.n) / float64(ic.dims))
+	for j := range f {
+		f[j] *= scale
+	}
+	return f, nil
+}
+
+// RangeQuery returns all series within radius of the query (exact L2),
+// using an index rectangle search for candidates. It reports how many
+// candidates needed exact verification.
+func (ic *IndexedCollection) RangeQuery(query []float64, radius float64) (matches []int, verified int, err error) {
+	qf, err := ic.queryFeature(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	min := make([]float64, ic.dims)
+	max := make([]float64, ic.dims)
+	for i := range qf {
+		min[i] = qf[i] - radius
+		max[i] = qf[i] + radius
+	}
+	rect, err := rtree.NewRect(min, max)
+	if err != nil {
+		return nil, 0, err
+	}
+	candidates, err := ic.tree.Search(rect, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range candidates {
+		// The box search over-approximates the feature ball; re-check the
+		// feature distance before paying for the exact one.
+		fd := euclid(qf, ic.feats[id])
+		if fd > radius {
+			continue
+		}
+		d, err := Euclidean(query, ic.series[id])
+		if err != nil {
+			return nil, 0, err
+		}
+		verified++
+		if d <= radius {
+			matches = append(matches, id)
+		}
+	}
+	return matches, verified, nil
+}
+
+// NearestNeighbor returns the exact nearest series using incremental
+// best-first index traversal with lower-bound pruning. It reports how many
+// exact distance computations were spent.
+func (ic *IndexedCollection) NearestNeighbor(query []float64) (best int, dist float64, verified int, err error) {
+	qf, err := ic.queryFeature(query)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Pull neighbors in increasing lower-bound order; stop when the next
+	// lower bound exceeds the best exact distance.
+	k := 4
+	best, dist = -1, math.Inf(1)
+	seen := 0
+	for seen < ic.Len() {
+		if k > ic.Len() {
+			k = ic.Len()
+		}
+		neighbors, err := ic.tree.NearestK(qf, k)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		done := false
+		for _, nb := range neighbors[seen:] {
+			if nb.Dist > dist {
+				done = true
+				break
+			}
+			d, err := Euclidean(query, ic.series[nb.ID])
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			verified++
+			if d < dist {
+				dist = d
+				best = nb.ID
+			}
+		}
+		seen = len(neighbors)
+		if done || seen == ic.Len() {
+			break
+		}
+		k *= 2
+	}
+	return best, dist, verified, nil
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

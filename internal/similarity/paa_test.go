@@ -1,0 +1,198 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPAAValidation(t *testing.T) {
+	if _, err := PAA(nil, 2); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := PAA([]float64{1, 2}, 0); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := PAA([]float64{1, 2}, 3); err == nil {
+		t.Error("dims above length accepted")
+	}
+}
+
+func TestPAAMeans(t *testing.T) {
+	f, err := PAA([]float64{1, 3, 5, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != 2 || f[1] != 6 {
+		t.Errorf("PAA = %v", f)
+	}
+	full, err := PAA([]float64{1, 3, 5, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 3, 5, 7} {
+		if full[i] != v {
+			t.Errorf("identity PAA = %v", full)
+		}
+	}
+}
+
+// TestPAADistLowerBounds: the scaled PAA distance never exceeds the true
+// Euclidean distance when segments divide evenly.
+func TestPAADistLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	const n, d = 64, 8
+	for trial := 0; trial < 100; trial++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 50
+			b[i] = rng.NormFloat64() * 50
+		}
+		fa, _ := PAA(a, d)
+		fb, _ := PAA(b, d)
+		lb, err := PAADist(fa, fb, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		true2, _ := Euclidean(a, b)
+		if lb > true2+1e-9 {
+			t.Fatalf("PAA dist %v exceeds true %v", lb, true2)
+		}
+	}
+}
+
+func TestPAADistValidation(t *testing.T) {
+	if _, err := PAADist([]float64{1}, []float64{1, 2}, 4); err == nil {
+		t.Error("mismatch accepted")
+	}
+	if _, err := PAADist(nil, nil, 4); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func paaCorpus(t *testing.T, count, n int, seed int64) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		s := make([]float64, n)
+		level := rng.Float64() * 200
+		for j := range s {
+			if rng.Float64() < 0.05 {
+				level = rng.Float64() * 200
+			}
+			s[j] = level + rng.NormFloat64()*5
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestNewIndexedCollectionValidation(t *testing.T) {
+	if _, err := NewIndexedCollection(nil, 4); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := NewIndexedCollection([][]float64{{1, 2, 3}}, 2); err == nil {
+		t.Error("non-divisible length accepted")
+	}
+	if _, err := NewIndexedCollection([][]float64{{1, 2}, {1, 2, 3, 4}}, 2); err == nil {
+		t.Error("ragged collection accepted")
+	}
+}
+
+func TestIndexedRangeQueryMatchesBruteForce(t *testing.T) {
+	corpus := paaCorpus(t, 150, 64, 141)
+	ic, err := NewIndexedCollection(corpus, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float64, 64)
+		src := corpus[rng.Intn(len(corpus))]
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*3
+		}
+		for _, radius := range []float64{20, 100, 500} {
+			got, verified, err := ic.RangeQuery(q, radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []int
+			for i, s := range corpus {
+				d, _ := Euclidean(q, s)
+				if d <= radius {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("radius %v: got %v, want %v", radius, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("radius %v: got %v, want %v", radius, got, want)
+				}
+			}
+			if verified > len(corpus) {
+				t.Errorf("verified %d > corpus size", verified)
+			}
+		}
+	}
+}
+
+func TestIndexedNearestNeighborMatchesBruteForce(t *testing.T) {
+	corpus := paaCorpus(t, 200, 32, 143)
+	ic, err := NewIndexedCollection(corpus, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(144))
+	totalVerified := 0
+	for trial := 0; trial < 25; trial++ {
+		q := make([]float64, 32)
+		src := corpus[rng.Intn(len(corpus))]
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*2
+		}
+		best, dist, verified, err := ic.NearestNeighbor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfBest, bfDist := -1, math.Inf(1)
+		for i, s := range corpus {
+			d, _ := Euclidean(q, s)
+			if d < bfDist {
+				bfDist = d
+				bfBest = i
+			}
+		}
+		if math.Abs(dist-bfDist) > 1e-9*(1+bfDist) {
+			t.Fatalf("trial %d: NN %d at %v, brute force %d at %v", trial, best, dist, bfBest, bfDist)
+		}
+		totalVerified += verified
+	}
+	// Pruning must save work: far fewer exact computations than full scans.
+	if totalVerified >= 25*len(corpus)/2 {
+		t.Errorf("index verified %d distances over 25 queries — pruning ineffective", totalVerified)
+	}
+}
+
+func TestIndexedQueryLengthMismatch(t *testing.T) {
+	corpus := paaCorpus(t, 10, 16, 145)
+	ic, err := NewIndexedCollection(corpus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.RangeQuery([]float64{1, 2}, 5); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, _, _, err := ic.NearestNeighbor([]float64{1, 2}); err == nil {
+		t.Error("short NN query accepted")
+	}
+	if ic.Len() != 10 {
+		t.Errorf("Len = %d", ic.Len())
+	}
+}

@@ -1,0 +1,189 @@
+// Package similarity implements the time-series similarity-search setting
+// of the paper's section 5.2: series are summarized by B-segment
+// piecewise-constant approximations (our histograms, or APCA), candidate
+// sets for range queries are produced by a lower-bounding distance on the
+// approximations, and quality is measured by false positives (candidates
+// whose true distance exceeds the radius). A correct lower bound can never
+// cause false dismissals; the property tests verify that invariant.
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamhist/internal/histogram"
+	"streamhist/internal/prefix"
+)
+
+// Euclidean returns the L2 distance between equal-length series.
+func Euclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("similarity: length mismatch %d vs %d", len(a), len(b))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// LowerBound computes the Keogh et al. lower-bounding distance between a
+// raw query series and a piecewise-constant approximation of a data
+// series: project the query onto the approximation's segmentation and
+// accumulate sqrt(sum_i len_i * (mean(Q over seg_i) - h_i)^2). For every
+// series S approximated by h, LowerBound(Q, h) <= Euclidean(Q, S).
+func LowerBound(querySums *prefix.Sums, h *histogram.Histogram) (float64, error) {
+	start, end := h.Span()
+	if start != 0 || end != querySums.Len()-1 {
+		return 0, fmt.Errorf("similarity: approximation span [%d,%d] does not match query length %d",
+			start, end, querySums.Len())
+	}
+	s := 0.0
+	for _, b := range h.Buckets {
+		qMean := querySums.Mean(b.Start, b.End)
+		d := qMean - b.Value
+		s += float64(b.Count()) * d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Builder produces a B-segment approximation of a series. Implementations
+// wrap APCA or any of the histogram constructions.
+type Builder func(series []float64, b int) (*histogram.Histogram, error)
+
+// Index holds a collection of series with their approximations, supporting
+// filtered range queries.
+type Index struct {
+	series  [][]float64
+	approx  []*histogram.Histogram
+	budget  int
+	builder Builder
+}
+
+// NewIndex approximates every series with b segments using build.
+func NewIndex(series [][]float64, b int, build Builder) (*Index, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("similarity: empty collection")
+	}
+	idx := &Index{series: series, budget: b, builder: build}
+	idx.approx = make([]*histogram.Histogram, len(series))
+	for i, s := range series {
+		h, err := build(s, b)
+		if err != nil {
+			return nil, fmt.Errorf("similarity: approximating series %d: %w", i, err)
+		}
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("similarity: series %d: %w", i, err)
+		}
+		idx.approx[i] = h
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed series.
+func (idx *Index) Len() int { return len(idx.series) }
+
+// Approximation returns the stored approximation of series i.
+func (idx *Index) Approximation(i int) *histogram.Histogram { return idx.approx[i] }
+
+// RangeResult reports the outcome of a filtered range query.
+type RangeResult struct {
+	Matches        []int // series with true distance <= radius
+	Candidates     []int // series passing the lower-bound filter
+	FalsePositives int   // candidates that are not matches
+	FalseDismissed int   // matches missed by the filter (0 for a valid LB)
+}
+
+// RangeQuery returns all series within radius of query, filtering with the
+// lower bound first and verifying candidates with the exact distance. It
+// also audits the filter against a full scan so experiments can report
+// false-positive and (always-zero) false-dismissal counts.
+func (idx *Index) RangeQuery(query []float64, radius float64) (*RangeResult, error) {
+	qs := prefix.NewSums(query)
+	res := &RangeResult{}
+	matchSet := make(map[int]bool)
+	for i, s := range idx.series {
+		d, err := Euclidean(query, s)
+		if err != nil {
+			return nil, err
+		}
+		if d <= radius {
+			res.Matches = append(res.Matches, i)
+			matchSet[i] = true
+		}
+	}
+	for i := range idx.series {
+		lb, err := LowerBound(qs, idx.approx[i])
+		if err != nil {
+			return nil, err
+		}
+		if lb <= radius {
+			res.Candidates = append(res.Candidates, i)
+			if !matchSet[i] {
+				res.FalsePositives++
+			}
+		} else if matchSet[i] {
+			res.FalseDismissed++
+		}
+	}
+	return res, nil
+}
+
+// NearestNeighbor returns the index and distance of the closest series,
+// using the lower bound to skip exact computations (the classical GEMINI
+// scheme). It also reports how many exact distance computations were
+// needed.
+func (idx *Index) NearestNeighbor(query []float64) (best int, dist float64, exactComputations int, err error) {
+	qs := prefix.NewSums(query)
+	type cand struct {
+		i  int
+		lb float64
+	}
+	cands := make([]cand, len(idx.series))
+	for i := range idx.series {
+		lb, err := LowerBound(qs, idx.approx[i])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		cands[i] = cand{i, lb}
+	}
+	// Process in increasing lower-bound order; stop when the next lower
+	// bound exceeds the best exact distance found.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	best, dist = -1, math.Inf(1)
+	for _, c := range cands {
+		if c.lb > dist {
+			break
+		}
+		d, err := Euclidean(query, idx.series[c.i])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		exactComputations++
+		if d < dist {
+			dist = d
+			best = c.i
+		}
+	}
+	return best, dist, exactComputations, nil
+}
+
+// SlidingSubsequences cuts a long series into subsequences of length m
+// with the given stride, the subsequence-matching corpus of section 5.2.
+func SlidingSubsequences(series []float64, m, stride int) ([][]float64, error) {
+	if m <= 0 || m > len(series) {
+		return nil, fmt.Errorf("similarity: invalid subsequence length %d for series of %d", m, len(series))
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("similarity: stride must be positive, got %d", stride)
+	}
+	var out [][]float64
+	for start := 0; start+m <= len(series); start += stride {
+		sub := make([]float64, m)
+		copy(sub, series[start:start+m])
+		out = append(out, sub)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReaderParsesValuesSkipsCommentsAndBlanks(t *testing.T) {
+	in := "1.5\n\n# comment\n  2 \n-3e2\n"
+	r := NewReader(strings.NewReader(in))
+	want := []float64{1.5, 2, -300}
+	for _, w := range want {
+		v, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != w {
+			t.Errorf("got %v, want %v", v, w)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+	// EOF is sticky.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("EOF not sticky: %v", err)
+	}
+}
+
+func TestReaderReportsParseErrorWithLine(t *testing.T) {
+	r := NewReader(strings.NewReader("1\nnope\n3\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error = %v", err)
+	}
+	// Errors are sticky too.
+	if _, err2 := r.Next(); err2 != err {
+		t.Errorf("error not sticky: %v vs %v", err2, err)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("io boom") }
+
+func TestReaderPropagatesIOError(t *testing.T) {
+	r := NewReader(failingReader{})
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("expected io error, got %v", err)
+	}
+}
+
+func TestReadAllAndWriteRoundTrip(t *testing.T) {
+	values := []float64{0, -1.25, 3e10, 42}
+	var buf bytes.Buffer
+	if err := Write(&buf, values); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(values) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Errorf("roundtrip[%d] = %v, want %v", i, got[i], values[i])
+		}
+	}
+}
+
+func TestReadAllError(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("x\n")); err == nil {
+		t.Error("malformed input accepted")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b Counter
+	tee := Tee{&a, &b}
+	for i := 1; i <= 4; i++ {
+		tee.Push(float64(i))
+	}
+	if a.N != 4 || b.N != 4 || a.Sum != 10 || b.Sum != 10 {
+		t.Errorf("tee state a=%+v b=%+v", a, b)
+	}
+}
+
+func TestConsumerFunc(t *testing.T) {
+	total := 0.0
+	c := ConsumerFunc(func(v float64) { total += v })
+	c.Push(2)
+	c.Push(3)
+	if total != 5 {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	r := NewReader(strings.NewReader("1\n2\n3\n"))
+	var c Counter
+	n, err := Copy(&c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || c.Sum != 6 {
+		t.Errorf("n=%d sum=%v", n, c.Sum)
+	}
+	// Copy stops at errors.
+	r2 := NewReader(strings.NewReader("1\nbad\n"))
+	var c2 Counter
+	n2, err := Copy(&c2, r2)
+	if err == nil {
+		t.Error("expected error")
+	}
+	if n2 != 1 {
+		t.Errorf("copied %d before error", n2)
+	}
+}
+
+func TestCounterStats(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 || c.Variance() != 0 {
+		t.Error("empty counter stats nonzero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		c.Push(v)
+	}
+	if c.Mean() != 5 {
+		t.Errorf("mean = %v", c.Mean())
+	}
+	if math.Abs(c.Variance()-4) > 1e-9 {
+		t.Errorf("variance = %v, want 4", c.Variance())
+	}
+	if c.Min != 2 || c.Max != 9 {
+		t.Errorf("min/max = %v/%v", c.Min, c.Max)
+	}
+}

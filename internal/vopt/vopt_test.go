@@ -1,0 +1,267 @@
+package vopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/histogram"
+	"streamhist/internal/prefix"
+)
+
+// bruteForce enumerates every bucketization of data into at most b buckets
+// and returns the minimal SSE. Exponential; only for tiny inputs.
+func bruteForce(data []float64, b int) float64 {
+	n := len(data)
+	best := math.Inf(1)
+	var rec func(start, remaining int, acc float64)
+	rec = func(start, remaining int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if remaining == 1 {
+			total := acc + histogram.SSEOf(data, start, n-1)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start; end <= n-remaining; end++ {
+			rec(end+1, remaining-1, acc+histogram.SSEOf(data, start, end))
+		}
+	}
+	if b > n {
+		b = n
+	}
+	rec(0, b, 0)
+	return best
+}
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	if _, err := Build(nil, 3); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([]float64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := Error(nil, 3); err == nil {
+		t.Error("Error: empty data accepted")
+	}
+	if _, err := Error([]float64{1}, -1); err == nil {
+		t.Error("Error: negative buckets accepted")
+	}
+}
+
+func TestSingleBucketIsGlobalMean(t *testing.T) {
+	data := []float64{2, 4, 6, 8}
+	res, err := Build(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.NumBuckets() != 1 {
+		t.Fatalf("buckets = %d", res.Histogram.NumBuckets())
+	}
+	if v := res.Histogram.Buckets[0].Value; v != 5 {
+		t.Errorf("value = %v, want 5", v)
+	}
+	want := histogram.SSEOf(data, 0, 3)
+	if math.Abs(res.SSE-want) > 1e-9 {
+		t.Errorf("SSE = %v, want %v", res.SSE, want)
+	}
+}
+
+func TestPerfectSplitFound(t *testing.T) {
+	data := []float64{5, 5, 5, 5, 9, 9, 9}
+	res, err := Build(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE != 0 {
+		t.Fatalf("SSE = %v, want 0; histogram %v", res.SSE, res.Histogram)
+	}
+	if res.Histogram.Buckets[0].End != 3 {
+		t.Errorf("split at %d, want 3", res.Histogram.Buckets[0].End)
+	}
+}
+
+func TestMoreBucketsThanPoints(t *testing.T) {
+	data := []float64{1, 7, 3}
+	res, err := Build(data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE != 0 {
+		t.Errorf("SSE = %v, want 0", res.SSE)
+	}
+	if res.Histogram.NumBuckets() != 3 {
+		t.Errorf("buckets = %d, want 3", res.Histogram.NumBuckets())
+	}
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 points
+		b := 1 + rng.Intn(4)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(rng.Intn(20))
+		}
+		res, err := Build(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(data, b)
+		if math.Abs(res.SSE-want) > 1e-6*(1+want) {
+			t.Fatalf("n=%d b=%d data=%v: SSE %v, brute force %v", n, b, data, res.SSE, want)
+		}
+		// The reported SSE must equal the actual SSE of the returned buckets.
+		actual := res.Histogram.SSE(data)
+		if math.Abs(res.SSE-actual) > 1e-6*(1+actual) {
+			t.Fatalf("reported SSE %v != actual %v", res.SSE, actual)
+		}
+	}
+}
+
+func TestErrorMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		b := 1 + rng.Intn(8)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Floor(rng.NormFloat64() * 50)
+		}
+		res, err := Build(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Error(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SSE-e) > 1e-6*(1+e) {
+			t.Fatalf("Build SSE %v != Error %v", res.SSE, e)
+		}
+	}
+}
+
+// TestMonotonicityObservations verifies the two facts section 4.2 of the
+// paper rests on: SQERROR[i+1,j] is non-increasing in i for fixed j, and
+// HERROR[i,k] is non-decreasing in i for fixed k.
+func TestMonotonicityObservations(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := make([]float64, 60)
+	for i := range data {
+		data[i] = float64(rng.Intn(100))
+	}
+	sums := prefix.NewSums(data)
+	j := len(data) - 1
+	prev := math.Inf(1)
+	for i := 0; i < j; i++ {
+		cur := sums.SQError(i+1, j)
+		if cur > prev+1e-9 {
+			t.Fatalf("SQERROR[%d+1,%d]=%v increased past %v", i, j, cur, prev)
+		}
+		prev = cur
+	}
+	for _, k := range []int{1, 2, 4} {
+		prevH := -1.0
+		for i := k; i <= j; i++ {
+			h, err := Error(data[:i+1], k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h < prevH-1e-9 {
+				t.Fatalf("HERROR[%d,%d]=%v decreased below %v", i, k, h, prevH)
+			}
+			prevH = h
+		}
+	}
+}
+
+// Property: adding a bucket never increases the optimal error, and the
+// optimal error is never negative.
+func TestQuickMoreBucketsNeverWorse(t *testing.T) {
+	f := func(raw []float64, bRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 100)
+		}
+		b := 1 + int(bRaw)%6
+		e1, err := Error(raw, b)
+		if err != nil {
+			return false
+		}
+		e2, err := Error(raw, b+1)
+		if err != nil {
+			return false
+		}
+		return e1 >= 0 && e2 <= e1+1e-6*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBuckets(t *testing.T) {
+	if _, err := MinBuckets(nil, 5); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := MinBuckets([]float64{1}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	// Three flat runs: zero error needs exactly 3 buckets.
+	data := []float64{5, 5, 5, 9, 9, 9, 1, 1, 1}
+	b, err := MinBuckets(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Errorf("MinBuckets(0) = %d, want 3", b)
+	}
+	// A huge budget is satisfied by one bucket.
+	b, err = MinBuckets(data, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 {
+		t.Errorf("MinBuckets(huge) = %d, want 1", b)
+	}
+	// The returned count achieves the budget and count-1 does not.
+	rng := rand.New(rand.NewSource(12))
+	noisy := make([]float64, 60)
+	for i := range noisy {
+		noisy[i] = float64(rng.Intn(100))
+	}
+	budget := 5000.0
+	b, err = MinBuckets(noisy, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Error(noisy, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > budget {
+		t.Errorf("MinBuckets result %d has error %v > budget %v", b, e, budget)
+	}
+	if b > 1 {
+		e2, err := Error(noisy, b-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2 <= budget {
+			t.Errorf("b-1 = %d also satisfies the budget (%v <= %v)", b-1, e2, budget)
+		}
+	}
+}

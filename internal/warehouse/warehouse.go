@@ -1,0 +1,80 @@
+// Package warehouse models the "approximate queries on data warehouses"
+// setting of the paper's section 5.2: a stored fact column is summarized
+// once by a histogram built in a single scan, and subsequent range
+// aggregation queries are answered from the summary instead of the data.
+// The experiments compare the one-pass agglomerative construction against
+// the optimal (quadratic) construction on accuracy and build time.
+package warehouse
+
+import (
+	"fmt"
+	"time"
+
+	"streamhist/internal/histogram"
+	"streamhist/internal/prefix"
+	"streamhist/internal/query"
+)
+
+// Column is a stored fact column with exact prefix sums for ground truth.
+type Column struct {
+	name string
+	data []float64
+	sums *prefix.Sums
+}
+
+// NewColumn stores data under name.
+func NewColumn(name string, data []float64) (*Column, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("warehouse: empty column %q", name)
+	}
+	return &Column{name: name, data: data, sums: prefix.NewSums(data)}, nil
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.data) }
+
+// Data returns the stored values (not a copy; callers must not mutate).
+func (c *Column) Data() []float64 { return c.data }
+
+// ExactRangeSum answers sum(rows lo..hi) exactly.
+func (c *Column) ExactRangeSum(lo, hi int) float64 { return c.sums.RangeSum(lo, hi) }
+
+// Summary is a histogram summary of a column together with build metadata.
+type Summary struct {
+	Column    *Column
+	Histogram *histogram.Histogram
+	BuildTime time.Duration
+	Method    string
+}
+
+// Builder constructs a histogram summary of data with b buckets.
+type Builder func(data []float64, b int) (*histogram.Histogram, error)
+
+// Summarize builds a summary of c with b buckets using build, timing the
+// construction.
+func Summarize(c *Column, b int, method string, build Builder) (*Summary, error) {
+	start := time.Now()
+	h, err := build(c.data, b)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: summarizing %q with %s: %w", c.name, method, err)
+	}
+	elapsed := time.Since(start)
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("warehouse: %s produced invalid histogram: %w", method, err)
+	}
+	return &Summary{Column: c, Histogram: h, BuildTime: elapsed, Method: method}, nil
+}
+
+// EstimateRangeSum answers a range-sum query from the summary.
+func (s *Summary) EstimateRangeSum(lo, hi int) float64 {
+	return s.Histogram.EstimateRangeSum(lo, hi)
+}
+
+// Evaluate scores the summary on a query workload against the exact
+// column.
+func (s *Summary) Evaluate(queries []query.Range) query.Metrics {
+	return query.EvaluateAgainst(s, s.Column.ExactRangeSum, queries)
+}

@@ -1,0 +1,107 @@
+package warehouse
+
+import (
+	"testing"
+
+	"streamhist/internal/agglom"
+	"streamhist/internal/datagen"
+	"streamhist/internal/histogram"
+	"streamhist/internal/query"
+	"streamhist/internal/vopt"
+)
+
+func optimalBuilder(data []float64, b int) (*histogram.Histogram, error) {
+	res, err := vopt.Build(data, b)
+	if err != nil {
+		return nil, err
+	}
+	return res.Histogram, nil
+}
+
+func agglomBuilder(eps float64) Builder {
+	return func(data []float64, b int) (*histogram.Histogram, error) {
+		res, err := agglom.Build(data, b, eps)
+		if err != nil {
+			return nil, err
+		}
+		return res.Histogram, nil
+	}
+}
+
+func TestNewColumnRejectsEmpty(t *testing.T) {
+	if _, err := NewColumn("x", nil); err == nil {
+		t.Error("empty column accepted")
+	}
+}
+
+func TestColumnExactRangeSum(t *testing.T) {
+	c, err := NewColumn("sales", []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "sales" || c.Len() != 4 {
+		t.Errorf("Name=%q Len=%d", c.Name(), c.Len())
+	}
+	if got := c.ExactRangeSum(1, 3); got != 9 {
+		t.Errorf("ExactRangeSum = %v", got)
+	}
+}
+
+func TestSummarizeAndEvaluate(t *testing.T) {
+	data := datagen.Series(datagen.NewUtilization(datagen.UtilizationConfig{Seed: 50, Quantize: true}), 2000)
+	c, err := NewColumn("util", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := query.RandomRanges(51, 300, c.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt, err := Summarize(c, 16, "optimal", optimalBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Summarize(c, 16, "agglom", agglomBuilder(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOpt := opt.Evaluate(qs)
+	mApp := app.Evaluate(qs)
+	if mOpt.Count != 300 || mApp.Count != 300 {
+		t.Fatalf("counts %d %d", mOpt.Count, mApp.Count)
+	}
+	// The one-pass approximation must be in the same accuracy ballpark as
+	// the optimal summary (the paper: "comparable in accuracy").
+	if mApp.MAE > 5*mOpt.MAE+1e-6 {
+		t.Errorf("agglom MAE %v far above optimal %v", mApp.MAE, mOpt.MAE)
+	}
+	if opt.BuildTime <= 0 || app.BuildTime <= 0 {
+		t.Error("build times not recorded")
+	}
+	if opt.Method != "optimal" || app.Method != "agglom" {
+		t.Error("method labels lost")
+	}
+}
+
+func TestSummarizeErrorPropagation(t *testing.T) {
+	c, _ := NewColumn("x", []float64{1, 2, 3})
+	bad := func(data []float64, b int) (*histogram.Histogram, error) {
+		return nil, errBoom
+	}
+	if _, err := Summarize(c, 2, "bad", bad); err == nil {
+		t.Error("builder error swallowed")
+	}
+	invalid := func(data []float64, b int) (*histogram.Histogram, error) {
+		return &histogram.Histogram{}, nil
+	}
+	if _, err := Summarize(c, 2, "invalid", invalid); err == nil {
+		t.Error("invalid histogram accepted")
+	}
+}
+
+var errBoom = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,76 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentGeometry(t *testing.T) {
+	data := make([]float64, 8)
+	s, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 covers [0,8) with midpoint 4; node 2 covers [0,4); node 3
+	// covers [4,8); node 7 covers [6,8).
+	cases := map[int][3]int{
+		1: {0, 4, 8},
+		2: {0, 2, 4},
+		3: {4, 6, 8},
+		7: {6, 7, 8},
+	}
+	for j, want := range cases {
+		start, mid, end := s.segment(j)
+		if start != want[0] || mid != want[1] || end != want[2] {
+			t.Errorf("segment(%d) = (%d,%d,%d), want %v", j, start, mid, end, want)
+		}
+	}
+	if got := s.segLen(1); got != 8 {
+		t.Errorf("segLen(1) = %d", got)
+	}
+	if got := s.segLen(7); got != 2 {
+		t.Errorf("segLen(7) = %d", got)
+	}
+}
+
+func TestBitsHelper(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9}
+	for in, want := range cases {
+		if got := bits(in); got != want {
+			t.Errorf("bits(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	if got := overlap(0, 10, 5, 7); got != 3 {
+		t.Errorf("overlap = %d", got)
+	}
+	if got := overlap(0, 2, 5, 7); got != 0 {
+		t.Errorf("disjoint overlap = %d", got)
+	}
+	if got := overlap(6, 6, 5, 7); got != 1 {
+		t.Errorf("point overlap = %d", got)
+	}
+}
+
+func TestSSEAgainstDifferentData(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	s, err := Build(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := []float64{1, 2, 3, 5}
+	if got := s.SSE(other); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SSE against shifted data = %v, want 1", got)
+	}
+}

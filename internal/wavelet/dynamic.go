@@ -1,0 +1,53 @@
+package wavelet
+
+import "fmt"
+
+// Update applies a point change to the underlying sequence: the value at
+// position i changes by delta. Only the O(log n) coefficients on the
+// error-tree path from the root to position i are touched — the dynamic
+// maintenance of Matias, Vitter & Wang (VLDB 2000), the paper's [MVW00]
+// reference. The retained top-B set is recomputed lazily on the next
+// query.
+//
+// Dynamic updates require the sequence length to be a power of two (with
+// mean padding, a value change would also move every padded slot); Rebuild
+// remains the general path.
+func (s *Synopsis) Update(i int, delta float64) error {
+	if s.n != s.padded {
+		return fmt.Errorf("wavelet: dynamic updates require a power-of-two length, have %d (padded %d)", s.n, s.padded)
+	}
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("wavelet: position %d out of range [0,%d)", i, s.n)
+	}
+	if delta == 0 {
+		return nil
+	}
+	s.full[0] += delta / float64(s.padded)
+	j := 1
+	lo, hi := 0, s.padded
+	for hi-lo > 1 {
+		segLen := hi - lo
+		mid := lo + segLen/2
+		if i < mid {
+			s.full[j] += delta / float64(segLen)
+			j = 2 * j
+			hi = mid
+		} else {
+			s.full[j] -= delta / float64(segLen)
+			j = 2*j + 1
+			lo = mid
+		}
+	}
+	s.dirty = true
+	return nil
+}
+
+// ensureSelected re-ranks and re-selects the top-B coefficient set if
+// dynamic updates have invalidated it.
+func (s *Synopsis) ensureSelected() {
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.selectTop(s.b)
+}

@@ -1,0 +1,118 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUpdateRejectsBadArgs(t *testing.T) {
+	s, err := Build([]float64{1, 2, 3}, 2) // padded to 4: non-pow2 original
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(0, 1); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+	s2, err := Build([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Update(-1, 1); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := s2.Update(4, 1); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if err := s2.Update(1, 0); err != nil {
+		t.Errorf("zero delta rejected: %v", err)
+	}
+}
+
+// TestUpdateMatchesRebuild: after any sequence of point updates, the
+// synopsis must be bit-identical to one rebuilt from scratch on the
+// modified data.
+func TestUpdateMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const n = 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(rng.Intn(1000))
+	}
+	s, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 50; step++ {
+		i := rng.Intn(n)
+		delta := float64(rng.Intn(200) - 100)
+		data[i] += delta
+		if err := s.Update(i, delta); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(data, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < n; pos++ {
+			a, b := s.EstimatePoint(pos), fresh.EstimatePoint(pos)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(b)) {
+				t.Fatalf("step %d pos %d: updated %v != fresh %v", step, pos, a, b)
+			}
+		}
+		if a, b := s.EstimateRangeSum(3, 40), fresh.EstimateRangeSum(3, 40); math.Abs(a-b) > 1e-6*(1+math.Abs(b)) {
+			t.Fatalf("step %d: range sum %v != %v", step, a, b)
+		}
+	}
+}
+
+// TestUpdateTouchesLogNCoefficients verifies the O(log n) claim: a point
+// update changes exactly log2(n)+1 entries of the full coefficient vector.
+func TestUpdateTouchesLogNCoefficients(t *testing.T) {
+	const n = 128
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	s, err := Build(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, len(s.full))
+	copy(before, s.full)
+	if err := s.Update(37, 100); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range s.full {
+		if s.full[i] != before[i] {
+			changed++
+		}
+	}
+	want := 8 // log2(128) + 1
+	if changed != want {
+		t.Errorf("update touched %d coefficients, want %d", changed, want)
+	}
+}
+
+// TestUpdateKeepsTopBFresh: an update that creates a dominant coefficient
+// must evict a weaker one from the retained set on the next query.
+func TestUpdateKeepsTopBFresh(t *testing.T) {
+	const n = 32
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 10
+	}
+	s, err := Build(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant data: one coefficient. Spike position 5 dramatically.
+	if err := s.Update(5, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	got := s.EstimatePoint(5)
+	if got < 1e5 {
+		t.Errorf("estimate at spiked position = %v; top-B not refreshed", got)
+	}
+}

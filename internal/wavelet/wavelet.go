@@ -1,0 +1,295 @@
+// Package wavelet implements Haar-wavelet histograms (Matias, Vitter & Wang,
+// SIGMOD 1998), the baseline the paper compares against in Figure 6. A
+// synopsis keeps the B Haar coefficients with the largest L2-normalized
+// magnitude; point and range-sum queries are answered directly from the
+// sparse coefficient set in O(B) without reconstructing the sequence.
+//
+// In the paper's fixed-window comparison the wavelet synopsis is recomputed
+// from scratch each time the window slides ("Wavelet histograms are computed
+// again from scratch every time a new point enters"); Rebuild supports that
+// usage without reallocating.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coefficient is one retained Haar coefficient. Index 0 is the overall
+// average; index j >= 1 is the detail coefficient of the standard Haar
+// error-tree node j (level floor(log2 j)).
+type Coefficient struct {
+	Index int
+	Value float64
+}
+
+// Synopsis is a top-B Haar wavelet summary of a fixed-length sequence.
+type Synopsis struct {
+	n      int // original sequence length
+	padded int // power-of-two transform length
+	b      int // retained-coefficient budget
+	dirty  bool
+	coeffs []Coefficient
+	scratch
+}
+
+// scratch holds reusable buffers so Rebuild is allocation-free after the
+// first call.
+type scratch struct {
+	work []float64
+	full []float64
+	rank []int
+}
+
+// Transform computes the full unnormalized Haar decomposition of data,
+// padding to the next power of two with the data mean. The returned slice
+// has the padded length; entry 0 is the overall average and entry j >= 1
+// the detail (avgLeft - avgRight)/2 of node j.
+func Transform(data []float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wavelet: empty data")
+	}
+	padded := nextPow2(len(data))
+	out := make([]float64, padded)
+	transformInto(data, out, make([]float64, padded))
+	return out, nil
+}
+
+func transformInto(data []float64, coeffs, work []float64) {
+	padded := len(coeffs)
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	copy(work, data)
+	for i := len(data); i < padded; i++ {
+		work[i] = mean
+	}
+	// Repeated pairwise averaging; details land at coeffs[half+i].
+	for length := padded; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := work[2*i], work[2*i+1]
+			coeffs[half+i] = (a - b) / 2
+			work[i] = (a + b) / 2
+		}
+	}
+	coeffs[0] = work[0]
+}
+
+// Inverse reconstructs the padded sequence from a full coefficient vector.
+func Inverse(coeffs []float64) []float64 {
+	n := len(coeffs)
+	out := make([]float64, n)
+	out[0] = coeffs[0]
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		// Expand in place from the back to avoid clobbering.
+		for i := half - 1; i >= 0; i-- {
+			avg := out[i]
+			d := coeffs[half+i]
+			out[2*i] = avg + d
+			out[2*i+1] = avg - d
+		}
+	}
+	return out
+}
+
+// Build computes a top-b synopsis of data.
+func Build(data []float64, b int) (*Synopsis, error) {
+	s := &Synopsis{}
+	if err := s.Rebuild(data, b); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Rebuild recomputes the synopsis for new data, reusing internal buffers.
+// It is the from-scratch per-slide rebuild used by the Figure 6 baseline.
+func (s *Synopsis) Rebuild(data []float64, b int) error {
+	if len(data) == 0 {
+		return fmt.Errorf("wavelet: empty data")
+	}
+	if b <= 0 {
+		return fmt.Errorf("wavelet: need at least one coefficient, got %d", b)
+	}
+	padded := nextPow2(len(data))
+	if cap(s.full) < padded {
+		s.full = make([]float64, padded)
+		s.work = make([]float64, padded)
+	}
+	s.full = s.full[:padded]
+	s.work = s.work[:padded]
+	s.n = len(data)
+	s.padded = padded
+	s.b = b
+	s.dirty = false
+	transformInto(data, s.full, s.work)
+	s.selectTop(b)
+	return nil
+}
+
+// selectTop ranks coefficients by L2-normalized magnitude
+// |c| * sqrt(support) and retains the b largest nonzero ones.
+func (s *Synopsis) selectTop(b int) {
+	padded := s.padded
+	if cap(s.rank) < padded {
+		s.rank = make([]int, padded)
+	}
+	s.rank = s.rank[:padded]
+	for i := range s.rank {
+		s.rank[i] = i
+	}
+	weight := func(j int) float64 {
+		c := math.Abs(s.full[j])
+		if j == 0 {
+			return c * math.Sqrt(float64(padded))
+		}
+		return c * math.Sqrt(float64(s.segLen(j)))
+	}
+	sort.Slice(s.rank, func(a, b int) bool {
+		wa, wb := weight(s.rank[a]), weight(s.rank[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return s.rank[a] < s.rank[b]
+	})
+	if b > padded {
+		b = padded
+	}
+	s.coeffs = s.coeffs[:0]
+	for _, j := range s.rank[:b] {
+		if s.full[j] == 0 {
+			continue
+		}
+		s.coeffs = append(s.coeffs, Coefficient{Index: j, Value: s.full[j]})
+	}
+}
+
+// Len returns the original sequence length.
+func (s *Synopsis) Len() int { return s.n }
+
+// Coefficients returns the retained coefficients (at most B, fewer when the
+// sequence has fewer nonzero coefficients).
+func (s *Synopsis) Coefficients() []Coefficient {
+	s.ensureSelected()
+	return s.coeffs
+}
+
+// segLen returns the support length of detail node j >= 1.
+func (s *Synopsis) segLen(j int) int {
+	level := bits(j)
+	return s.padded >> level
+}
+
+// segment returns the support [start, mid, end) of detail node j >= 1:
+// +Value on [start, mid), -Value on [mid, end).
+func (s *Synopsis) segment(j int) (start, mid, end int) {
+	level := bits(j)
+	sl := s.padded >> level
+	pos := j - (1 << level)
+	start = pos * sl
+	mid = start + sl/2
+	end = start + sl
+	return
+}
+
+// EstimatePoint returns the synopsis's estimate of the value at position i.
+func (s *Synopsis) EstimatePoint(i int) float64 {
+	s.ensureSelected()
+	v := 0.0
+	for _, c := range s.coeffs {
+		if c.Index == 0 {
+			v += c.Value
+			continue
+		}
+		start, mid, end := s.segment(c.Index)
+		switch {
+		case i >= start && i < mid:
+			v += c.Value
+		case i >= mid && i < end:
+			v -= c.Value
+		}
+	}
+	return v
+}
+
+// EstimateRangeSum returns the estimate of sum(v[lo..hi]), inclusive,
+// clamped to the original sequence bounds, in O(B).
+func (s *Synopsis) EstimateRangeSum(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n-1 {
+		hi = s.n - 1
+	}
+	if hi < lo {
+		return 0
+	}
+	s.ensureSelected()
+	sum := 0.0
+	for _, c := range s.coeffs {
+		if c.Index == 0 {
+			sum += c.Value * float64(hi-lo+1)
+			continue
+		}
+		start, mid, end := s.segment(c.Index)
+		left := overlap(lo, hi, start, mid-1)
+		right := overlap(lo, hi, mid, end-1)
+		sum += c.Value * float64(left-right)
+	}
+	return sum
+}
+
+// Reconstruct materializes the approximation of the original sequence.
+func (s *Synopsis) Reconstruct() []float64 {
+	out := make([]float64, s.n)
+	for i := range out {
+		out[i] = s.EstimatePoint(i)
+	}
+	return out
+}
+
+// SSE returns the sum squared error of the synopsis against data (which
+// must be the sequence it was built from, or one of equal length).
+func (s *Synopsis) SSE(data []float64) float64 {
+	total := 0.0
+	for i, v := range data {
+		d := v - s.EstimatePoint(i)
+		total += d * d
+	}
+	return total
+}
+
+func overlap(lo, hi, a, b int) int {
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b < a {
+		return 0
+	}
+	return b - a + 1
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// bits returns floor(log2(j)) for j >= 1.
+func bits(j int) int {
+	l := 0
+	for j > 1 {
+		j >>= 1
+		l++
+	}
+	return l
+}

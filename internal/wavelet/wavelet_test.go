@@ -1,0 +1,260 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformRejectsEmpty(t *testing.T) {
+	if _, err := Transform(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestTransformInverseRoundTripPow2(t *testing.T) {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	coeffs, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Inverse(coeffs)
+	for i, v := range data {
+		if math.Abs(rec[i]-v) > 1e-9 {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, rec[i], v)
+		}
+	}
+}
+
+func TestTransformPadsWithMean(t *testing.T) {
+	data := []float64{2, 4, 6} // mean 4, padded to length 4
+	coeffs, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coeffs) != 4 {
+		t.Fatalf("padded length %d", len(coeffs))
+	}
+	rec := Inverse(coeffs)
+	for i, v := range data {
+		if math.Abs(rec[i]-v) > 1e-9 {
+			t.Fatalf("rec[%d] = %v, want %v", i, rec[i], v)
+		}
+	}
+	if math.Abs(rec[3]-4) > 1e-9 {
+		t.Errorf("pad value = %v, want the mean 4", rec[3])
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 1e4)
+		}
+		coeffs, err := Transform(raw)
+		if err != nil {
+			return false
+		}
+		rec := Inverse(coeffs)
+		for i, v := range raw {
+			if math.Abs(rec[i]-v) > 1e-6*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([]float64{1, 2}, 0); err == nil {
+		t.Error("zero coefficients accepted")
+	}
+}
+
+func TestFullBudgetIsExact(t *testing.T) {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	s, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if got := s.EstimatePoint(i); math.Abs(got-v) > 1e-9 {
+			t.Fatalf("point %d = %v, want %v", i, got, v)
+		}
+	}
+	if got := s.SSE(data); got > 1e-9 {
+		t.Errorf("SSE = %v, want 0", got)
+	}
+}
+
+func TestConstantDataNeedsOneCoefficient(t *testing.T) {
+	data := make([]float64, 32)
+	for i := range data {
+		data[i] = 7
+	}
+	s, err := Build(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SSE(data); got != 0 {
+		t.Errorf("SSE = %v", got)
+	}
+	if len(s.Coefficients()) != 1 {
+		t.Errorf("coefficients = %v", s.Coefficients())
+	}
+}
+
+func TestRangeSumMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	data := make([]float64, 100) // non-power-of-2 length
+	for i := range data {
+		data[i] = float64(rng.Intn(1000))
+	}
+	s, err := Build(data, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(len(data))
+		hi := lo + rng.Intn(len(data)-lo)
+		want := 0.0
+		for i := lo; i <= hi; i++ {
+			want += s.EstimatePoint(i)
+		}
+		got := s.EstimateRangeSum(lo, hi)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("range [%d,%d]: got %v, want %v", lo, hi, got, want)
+		}
+	}
+	// Degenerate and clamped ranges.
+	if got := s.EstimateRangeSum(5, 4); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+	full := s.EstimateRangeSum(-10, 10*len(data))
+	if math.Abs(full-s.EstimateRangeSum(0, len(data)-1)) > 1e-9 {
+		t.Error("clamping changed full-range answer")
+	}
+}
+
+func TestMoreCoefficientsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(rng.Intn(100))
+	}
+	prev := math.Inf(1)
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		s, err := Build(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse := s.SSE(data)
+		if sse > prev+1e-9 {
+			t.Fatalf("b=%d: SSE %v exceeds previous %v", b, sse, prev)
+		}
+		prev = sse
+	}
+	if prev > 1e-9 {
+		t.Errorf("full budget SSE = %v, want ~0", prev)
+	}
+}
+
+func TestRebuildReusesAndMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := &Synopsis{}
+	for round := 0; round < 5; round++ {
+		data := make([]float64, 48)
+		for i := range data {
+			data[i] = float64(rng.Intn(500))
+		}
+		if err := s.Rebuild(data, 6); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(data, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := s.SSE(data), fresh.SSE(data); math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("round %d: rebuilt SSE %v != fresh %v", round, a, b)
+		}
+	}
+}
+
+func TestReconstructLength(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	s, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := s.Reconstruct(); len(rec) != 5 {
+		t.Errorf("Reconstruct length = %d", len(rec))
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+// TestTopBIsEnergyOptimal: keeping the B largest normalized coefficients
+// minimizes the padded-signal L2 error among coefficient subsets of size B
+// (Parseval). We verify against exhaustive subsets on a tiny signal.
+func TestTopBIsEnergyOptimal(t *testing.T) {
+	data := []float64{9, 1, 8, 2, 7, 3, 6, 4}
+	full, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(full)
+	const b = 3
+	bestSSE := math.Inf(1)
+	// Exhaustive subsets of size b.
+	var idxs []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(idxs) == b {
+			kept := make([]float64, n)
+			for _, j := range idxs {
+				kept[j] = full[j]
+			}
+			r := Inverse(kept)
+			sse := 0.0
+			for i, v := range data {
+				d := r[i] - v
+				sse += d * d
+			}
+			if sse < bestSSE {
+				bestSSE = sse
+			}
+			return
+		}
+		for j := start; j < n; j++ {
+			idxs = append(idxs, j)
+			rec(j + 1)
+			idxs = idxs[:len(idxs)-1]
+		}
+	}
+	rec(0)
+	s, err := Build(data, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.SSE(data)
+	if got > bestSSE+1e-6*(1+bestSSE) {
+		t.Errorf("top-B SSE %v exceeds best subset SSE %v", got, bestSSE)
+	}
+}

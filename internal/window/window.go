@@ -1,0 +1,76 @@
+// Package window implements the cyclic buffer M[0..n-1] of section 3 of
+// Guha & Koudas (ICDE 2002): a sliding window over a data stream in which,
+// when point i >= n arrives, the temporally oldest point is evicted and the
+// new point takes its slot. Successive window contents share n-1 points.
+package window
+
+import "fmt"
+
+// Ring is a fixed-capacity cyclic buffer of float64 stream points.
+// The zero value is unusable; construct with NewRing.
+type Ring struct {
+	buf  []float64
+	head int   // index of the oldest element when full
+	size int   // current fill
+	seen int64 // total pushes
+}
+
+// NewRing creates a ring with capacity n.
+func NewRing(n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("window: capacity must be positive, got %d", n)
+	}
+	return &Ring{buf: make([]float64, n)}, nil
+}
+
+// Capacity returns the fixed capacity n.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Len returns the current number of buffered points.
+func (r *Ring) Len() int { return r.size }
+
+// Full reports whether the window has filled to capacity.
+func (r *Ring) Full() bool { return r.size == len(r.buf) }
+
+// Seen returns the total number of points pushed.
+func (r *Ring) Seen() int64 { return r.seen }
+
+// Push inserts v, evicting the oldest point if full. It returns the evicted
+// value and whether an eviction happened.
+func (r *Ring) Push(v float64) (evicted float64, wasFull bool) {
+	if r.size < len(r.buf) {
+		r.buf[(r.head+r.size)%len(r.buf)] = v
+		r.size++
+		r.seen++
+		return 0, false
+	}
+	evicted = r.buf[r.head]
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	r.seen++
+	return evicted, true
+}
+
+// At returns the point at window-local position i (0 = oldest).
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("window: index %d out of range [0,%d)", i, r.size))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Snapshot copies the current contents, oldest first, into dst if it has
+// sufficient capacity, else into a fresh slice, and returns the slice.
+func (r *Ring) Snapshot(dst []float64) []float64 {
+	if cap(dst) < r.size {
+		dst = make([]float64, r.size)
+	}
+	dst = dst[:r.size]
+	for i := 0; i < r.size; i++ {
+		dst[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return dst
+}
+
+// WindowStart returns the stream position of the oldest buffered point.
+func (r *Ring) WindowStart() int64 { return r.seen - int64(r.size) }

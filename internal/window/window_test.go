@@ -1,0 +1,109 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewRingRejectsBadCapacity(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewRing(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRingFillAndEvict(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Full() {
+		t.Error("new ring reports full")
+	}
+	for i := 1; i <= 3; i++ {
+		if _, wasFull := r.Push(float64(i)); wasFull {
+			t.Errorf("push %d evicted while filling", i)
+		}
+	}
+	if !r.Full() || r.Len() != 3 {
+		t.Fatalf("Full=%v Len=%d", r.Full(), r.Len())
+	}
+	ev, wasFull := r.Push(4)
+	if !wasFull || ev != 1 {
+		t.Errorf("evicted %v,%v want 1,true", ev, wasFull)
+	}
+	want := []float64{2, 3, 4}
+	got := r.Snapshot(nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	if r.At(0) != 2 || r.At(2) != 4 {
+		t.Errorf("At: %v %v", r.At(0), r.At(2))
+	}
+	if r.WindowStart() != 1 {
+		t.Errorf("WindowStart = %d", r.WindowStart())
+	}
+}
+
+func TestRingAtPanicsOutOfRange(t *testing.T) {
+	r, _ := NewRing(2)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestRingSnapshotReusesBuffer(t *testing.T) {
+	r, _ := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Push(float64(i))
+	}
+	buf := make([]float64, 0, 8)
+	out := r.Snapshot(buf[:cap(buf)])
+	if &out[0] != &buf[:1][0] {
+		t.Error("Snapshot did not reuse provided buffer")
+	}
+}
+
+func TestRingAgainstSliceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 16} {
+		r, err := NewRing(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for step := 0; step < 5*n+7; step++ {
+			v := float64(rng.Intn(1000))
+			r.Push(v)
+			all = append(all, v)
+			start := len(all) - n
+			if start < 0 {
+				start = 0
+			}
+			win := all[start:]
+			if r.Len() != len(win) {
+				t.Fatalf("n=%d: Len=%d want %d", n, r.Len(), len(win))
+			}
+			got := r.Snapshot(nil)
+			for i := range win {
+				if got[i] != win[i] {
+					t.Fatalf("n=%d step=%d: snapshot %v want %v", n, step, got, win)
+				}
+				if r.At(i) != win[i] {
+					t.Fatalf("n=%d step=%d: At(%d)=%v want %v", n, step, i, r.At(i), win[i])
+				}
+			}
+			if int(r.Seen()) != len(all) {
+				t.Fatalf("Seen=%d want %d", r.Seen(), len(all))
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package streamhist
+
+import (
+	"streamhist/internal/datagen"
+	"streamhist/internal/query"
+	"streamhist/internal/similarity"
+)
+
+// Generator produces an unbounded synthetic stream, one value per Next.
+type Generator = datagen.Generator
+
+// UtilizationConfig parameterizes the utilization-trace generator; zero
+// fields take documented defaults.
+type UtilizationConfig = datagen.UtilizationConfig
+
+// NewUtilization creates the router-utilization-like trace generator used
+// throughout the experiments as the stand-in for the paper's AT&T data
+// (see DESIGN.md for the substitution rationale).
+func NewUtilization(cfg UtilizationConfig) Generator {
+	return datagen.NewUtilization(cfg)
+}
+
+// NewRandomWalk creates a bounded random-walk generator.
+func NewRandomWalk(seed int64, start, step, min, max float64, quantize bool) (Generator, error) {
+	return datagen.NewRandomWalk(seed, start, step, min, max, quantize)
+}
+
+// NewStepSignal creates a noisy piecewise-constant signal generator.
+func NewStepSignal(seed int64, meanRunLength, levelMin, levelMax, noise float64, quantize bool) (Generator, error) {
+	return datagen.NewStepSignal(seed, meanRunLength, levelMin, levelMax, noise, quantize)
+}
+
+// NewZipf creates an i.i.d. Zipf-value generator with skew s over [1, n].
+func NewZipf(seed int64, s float64, n uint64) (Generator, error) {
+	return datagen.NewZipf(seed, s, n)
+}
+
+// NewGaussianMixture creates an i.i.d. Gaussian-mixture generator.
+func NewGaussianMixture(seed int64, modes int, lo, hi, sigma float64) (Generator, error) {
+	return datagen.NewGaussianMixture(seed, modes, lo, hi, sigma)
+}
+
+// Series drains n values from a generator into a slice.
+func Series(g Generator, n int) []float64 {
+	return datagen.Series(g, n)
+}
+
+// Regime is one phase of a regime-switching stream.
+type Regime = datagen.Regime
+
+// NewRegimeSwitcher concatenates generators phase by phase, cycling after
+// the last — streams with operational regime changes.
+func NewRegimeSwitcher(regimes []Regime) (Generator, error) {
+	return datagen.NewRegimeSwitcher(regimes)
+}
+
+// GeneratorFunc adapts a closure to Generator.
+type GeneratorFunc = datagen.Func
+
+// RangeQuery is an inclusive position range [Lo, Hi].
+type RangeQuery = query.Range
+
+// QueryMetrics aggregates estimation error over a workload.
+type QueryMetrics = query.Metrics
+
+// RangeEstimator answers range-sum queries over positions.
+type RangeEstimator = query.Estimator
+
+// RangeEstimatorFunc adapts a closure to RangeEstimator.
+type RangeEstimatorFunc = query.EstimatorFunc
+
+// RandomRangeQueries draws count queries over positions [0, n) with
+// uniform independent start and span, the workload of the paper's
+// section 5.1.
+func RandomRangeQueries(seed int64, count, n int) ([]RangeQuery, error) {
+	return query.RandomRanges(seed, count, n)
+}
+
+// EvaluateRangeSums scores an estimator against exact range sums of data
+// over the given queries.
+func EvaluateRangeSums(est RangeEstimator, data []float64, queries []RangeQuery) QueryMetrics {
+	return query.Evaluate(est, data, queries)
+}
+
+// SimilarityIndex holds a collection of series approximated by B-segment
+// summaries and answers filtered range and nearest-neighbor queries, the
+// setting of the paper's section 5.2 similarity experiments.
+type SimilarityIndex = similarity.Index
+
+// SimilarityBuilder produces a B-segment approximation of a series.
+type SimilarityBuilder = similarity.Builder
+
+// SimilarityRangeResult reports matches, candidates and false positives of
+// a filtered similarity range query.
+type SimilarityRangeResult = similarity.RangeResult
+
+// NewSimilarityIndex approximates every series with b segments using build
+// (for example BuildAPCA, or a V-optimal construction via Optimal).
+func NewSimilarityIndex(series [][]float64, b int, build SimilarityBuilder) (*SimilarityIndex, error) {
+	return similarity.NewIndex(series, b, build)
+}
+
+// Euclidean returns the L2 distance between equal-length series.
+func Euclidean(a, b []float64) (float64, error) {
+	return similarity.Euclidean(a, b)
+}
+
+// IndexedCollection answers similarity queries through an R-tree over PAA
+// features — the GEMINI pipeline: index candidates, verify exactly, never
+// dismiss falsely.
+type IndexedCollection = similarity.IndexedCollection
+
+// NewIndexedCollection builds an R-tree-backed similarity index with
+// d-dimensional PAA features (series length must be a multiple of d).
+func NewIndexedCollection(series [][]float64, d int) (*IndexedCollection, error) {
+	return similarity.NewIndexedCollection(series, d)
+}
+
+// PAA computes the d-dimensional Piecewise Aggregate Approximation of a
+// series.
+func PAA(series []float64, d int) ([]float64, error) {
+	return similarity.PAA(series, d)
+}
+
+// SlidingSubsequences cuts a long series into length-m subsequences with
+// the given stride.
+func SlidingSubsequences(series []float64, m, stride int) ([][]float64, error) {
+	return similarity.SlidingSubsequences(series, m, stride)
+}
