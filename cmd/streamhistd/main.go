@@ -1,6 +1,7 @@
 // Command streamhistd serves a fixed-window stream summary over HTTP.
 //
-//	streamhistd -addr :8080 -window 4096 -buckets 16 -eps 0.1
+//	streamhistd -addr :8080 -window 4096 -buckets 16 -eps 0.1 \
+//	    -data-dir /var/lib/streamhistd -checkpoint-interval 30s -fsync
 //
 // Then:
 //
@@ -11,13 +12,40 @@
 //	curl 'localhost:8080/selectivity?lo=200&hi=400'
 //	curl localhost:8080/stats
 //	curl -o window.snap localhost:8080/snapshot
+//	curl -X POST --data-binary @window.snap localhost:8080/restore
+//	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
+//
+// Durability: with -data-dir set, every acknowledged ingest batch is
+// appended to a write-ahead log before it is applied, and the window
+// state is checkpointed atomically every -checkpoint-interval and on
+// shutdown. After a crash the daemon recovers by loading the newest
+// checkpoint and replaying the log tail; with -fsync the guarantee is
+// that no acknowledged batch is lost, without it at most the un-fsynced
+// suffix of acknowledgements is. The whole-stream summaries (/quantile,
+// /selectivity, /stats) restart from the replayed tail only — the window
+// itself is recovered exactly.
+//
+// Overload: at most -max-inflight ingests are admitted concurrently;
+// beyond that the daemon answers 429 with Retry-After rather than
+// queueing unboundedly. Request bodies are capped at -maxbody bytes
+// (413 beyond), and every request is bounded by -request-timeout.
+//
+// Shutdown: SIGINT/SIGTERM flips /readyz to 503, drains in-flight
+// requests (up to -shutdown-timeout), takes a final checkpoint and seals
+// the log.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"streamhist/internal/server"
@@ -25,17 +53,35 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		window  = flag.Int("window", 4096, "sliding window capacity")
-		buckets = flag.Int("buckets", 16, "histogram bucket budget")
-		eps     = flag.Float64("eps", 0.1, "approximation precision")
-		delta   = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		window   = flag.Int("window", 4096, "sliding window capacity")
+		buckets  = flag.Int("buckets", 16, "histogram bucket budget")
+		eps      = flag.Float64("eps", 0.1, "approximation precision")
+		delta    = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "period of automatic checkpoints (0: only at shutdown)")
+		fsync    = flag.Bool("fsync", true, "fsync the write-ahead log on every acknowledged ingest")
+		inflight = flag.Int("max-inflight", 64, "maximum concurrently admitted /ingest requests before answering 429")
+		maxBody  = flag.Int64("maxbody", 32<<20, "maximum request body bytes for /ingest and /restore (413 beyond)")
+		reqTmo   = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0: none)")
+		shutTmo  = flag.Duration("shutdown-timeout", 10*time.Second, "deadline for draining in-flight requests at shutdown")
 	)
 	flag.Parse()
 	if *delta == 0 {
 		*delta = *eps
 	}
-	s, err := server.New(*window, *buckets, *eps, *delta)
+	s, err := server.Open(server.Options{
+		Window:             *window,
+		Buckets:            *buckets,
+		Eps:                *eps,
+		Delta:              *delta,
+		MaxBody:            *maxBody,
+		MaxInflight:        *inflight,
+		RequestTimeout:     *reqTmo,
+		DataDir:            *dataDir,
+		CheckpointInterval: *ckptIvl,
+		SyncEveryAppend:    *fsync,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +90,40 @@ func main() {
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("streamhistd listening on %s (window %d, B=%d, eps=%g, delta=%g)\n",
-		*addr, *window, *buckets, *eps, *delta)
-	log.Fatal(srv.ListenAndServe())
+	durable := "in-memory only"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("data-dir %s, checkpoint every %s, fsync=%v", *dataDir, *ckptIvl, *fsync)
+	}
+	fmt.Printf("streamhistd listening on %s (window %d, B=%d, eps=%g, delta=%g; %s)\n",
+		*addr, *window, *buckets, *eps, *delta, durable)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal; still persist what we have.
+		if cerr := s.Close(); cerr != nil {
+			log.Printf("streamhistd: %v", cerr)
+		}
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("streamhistd: shutting down (draining up to %s)", *shutTmo)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutTmo)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("streamhistd: drain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		log.Fatalf("streamhistd: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("streamhistd: final checkpoint written (seen=%d); bye", s.Seen())
+	} else {
+		log.Printf("streamhistd: bye (seen=%d, state not persisted)", s.Seen())
+	}
 }

@@ -1,0 +1,253 @@
+// Package faults abstracts the filesystem operations the durability layer
+// (internal/wal, internal/checkpoint) performs, so tests can inject
+// failures at any individual operation and prove that recovery from the
+// surviving on-disk state is correct at every crash point.
+//
+// Two implementations are provided: OS, a thin passthrough to the os
+// package, and Injector, a wrapper that counts mutating operations and
+// fails — optionally after a short write — at the Nth one, then keeps
+// failing, modelling a process that crashed mid-operation and never wrote
+// again.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the durability layer writes through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the set of filesystem operations the durability layer performs.
+// Read-side operations never fail under injection (a crashed process does
+// not lose the ability of a *future* process to read what reached disk).
+type FS interface {
+	// OpenFile opens name with os-style flags. Creation (O_CREATE on a
+	// missing file) counts as a mutating operation under injection.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so renames/creates within it are durable.
+	SyncDir(name string) error
+	// Stat stats a file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile opens via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile reads via os.ReadFile.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists via os.ReadDir.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Rename renames via os.Rename.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove removes via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate truncates via os.Truncate.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll creates via os.MkdirAll.
+func (OS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Stat stats via os.Stat.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// ErrInjected is returned by every faulted operation of an Injector.
+var ErrInjected = errors.New("faults: injected failure")
+
+// IsInjected reports whether err stems from an injected fault.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Injector wraps an FS and fails the Nth mutating operation — and every
+// mutating operation after it, modelling a crash. When the faulted
+// operation is a Write, half of the buffer is written first (a torn
+// write), exercising the WAL's tail-truncation path. Read operations
+// always pass through: after the "crash", tests reopen the state through
+// a fresh FS, but the injector's reads stay usable for debugging.
+//
+// Mutating operations counted: OpenFile with O_CREATE, Write, Sync,
+// Rename, Remove, Truncate, SyncDir. MkdirAll is idempotent setup and is
+// not counted.
+type Injector struct {
+	inner FS
+
+	mu        sync.Mutex
+	remaining int // ops until the fault fires; <0 disables injection
+	tripped   bool
+	ops       int // total mutating ops observed (attempted)
+}
+
+// NewInjector wraps inner, faulting the failAfter-th mutating operation
+// (1-based). failAfter < 0 disables injection, making the Injector a
+// pure operation counter.
+func NewInjector(inner FS, failAfter int) *Injector {
+	return &Injector{inner: inner, remaining: failAfter}
+}
+
+// Ops returns the number of mutating operations attempted so far.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Tripped reports whether the fault has fired.
+func (in *Injector) Tripped() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.tripped
+}
+
+// op accounts one mutating operation and reports whether it must fail.
+func (in *Injector) op() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	if in.tripped {
+		return true
+	}
+	if in.remaining < 0 {
+		return false
+	}
+	in.remaining--
+	if in.remaining == 0 {
+		in.tripped = true
+		return true
+	}
+	return false
+}
+
+// OpenFile counts as mutating only when it may create the file.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if _, err := in.inner.Stat(name); err != nil {
+			// Creating a new file is a metadata write.
+			if in.op() {
+				return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+			}
+		}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f, name: name}, nil
+}
+
+// ReadFile passes through.
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.inner.ReadFile(name) }
+
+// ReadDir passes through.
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.inner.ReadDir(name) }
+
+// Rename is mutating.
+func (in *Injector) Rename(oldname, newname string) error {
+	if in.op() {
+		return fmt.Errorf("rename %s: %w", oldname, ErrInjected)
+	}
+	return in.inner.Rename(oldname, newname)
+}
+
+// Remove is mutating.
+func (in *Injector) Remove(name string) error {
+	if in.op() {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	return in.inner.Remove(name)
+}
+
+// Truncate is mutating.
+func (in *Injector) Truncate(name string, size int64) error {
+	if in.op() {
+		return fmt.Errorf("truncate %s: %w", name, ErrInjected)
+	}
+	return in.inner.Truncate(name, size)
+}
+
+// MkdirAll passes through (idempotent setup, not counted).
+func (in *Injector) MkdirAll(name string, perm os.FileMode) error {
+	return in.inner.MkdirAll(name, perm)
+}
+
+// SyncDir is mutating (it is the durability point of renames).
+func (in *Injector) SyncDir(name string) error {
+	if in.op() {
+		return fmt.Errorf("syncdir %s: %w", name, ErrInjected)
+	}
+	return in.inner.SyncDir(name)
+}
+
+// Stat passes through.
+func (in *Injector) Stat(name string) (fs.FileInfo, error) { return in.inner.Stat(name) }
+
+type injectedFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+// Write fails at the fault point after writing half the buffer — the torn
+// write a real crash can leave behind.
+func (f *injectedFile) Write(p []byte) (int, error) {
+	if f.in.op() {
+		n := 0
+		if len(p) > 1 {
+			n, _ = f.f.Write(p[:len(p)/2])
+		}
+		return n, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+	}
+	return f.f.Write(p)
+}
+
+// Sync is mutating (it is the durability point of writes).
+func (f *injectedFile) Sync() error {
+	if f.in.op() {
+		return fmt.Errorf("sync %s: %w", f.name, ErrInjected)
+	}
+	return f.f.Sync()
+}
+
+// Close is not counted: closing neither persists nor loses data, and a
+// crashed process's descriptors are closed by the kernel anyway.
+func (f *injectedFile) Close() error { return f.f.Close() }

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInjectorDisabledCountsOps(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, -1)
+	f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// create + write + sync + rename = 4 (close is free)
+	if got := inj.Ops(); got != 4 {
+		t.Errorf("Ops = %d, want 4", got)
+	}
+	if inj.Tripped() {
+		t.Error("disabled injector tripped")
+	}
+}
+
+func TestInjectorTripsAtNAndStaysTripped(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, 2)
+	f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed write")); err == nil { // op 2: fault
+		t.Fatal("op 2 did not fault")
+	} else if !IsInjected(err) {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if !inj.Tripped() {
+		t.Error("not tripped after fault")
+	}
+	// Everything mutating keeps failing: the process "crashed".
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Error("write after trip succeeded")
+	}
+	if err := f.Sync(); err == nil {
+		t.Error("sync after trip succeeded")
+	}
+	if err := inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err == nil {
+		t.Error("rename after trip succeeded")
+	}
+	// Reads still pass through.
+	if _, err := inj.ReadFile(filepath.Join(dir, "a")); err != nil {
+		t.Errorf("read after trip failed: %v", err)
+	}
+}
+
+// TestInjectorShortWrite checks the faulting write is torn, not absent:
+// half the buffer reaches the file, like a real crash mid-write.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	inj := NewInjector(OS{}, 2)
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err == nil { // op 2
+		t.Fatal("expected injected failure")
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Errorf("torn write left %q, want first half", data)
+	}
+}
+
+func TestOpenFileCountsOnlyCreation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exists")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS{}, 1)
+	// Opening an existing file, even with O_CREATE, is not a metadata write.
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open of existing file faulted: %v", err)
+	}
+	f.Close()
+	if inj.Tripped() {
+		t.Error("tripped without a mutating op")
+	}
+	// Creating a missing file is.
+	if _, err := inj.OpenFile(filepath.Join(dir, "new"), os.O_WRONLY|os.O_CREATE, 0o644); err == nil {
+		t.Error("creation did not fault")
+	}
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamhist/internal/core"
+	"streamhist/internal/faults"
+)
+
+// The crash-point workload: window smaller than the stream so recovery
+// exercises a slid window, integer values so prefix sums are exact and
+// recovered state can be compared bit-for-bit against a fresh maintainer.
+const (
+	cwWindow  = 16
+	cwBuckets = 4
+	cwEps     = 0.2
+)
+
+func crashBatches() [][]float64 {
+	out := make([][]float64, 12)
+	x := 0
+	for i := range out {
+		b := make([]float64, 4)
+		for j := range b {
+			b[j] = float64((x*37 + 11) % 23)
+			x++
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func batchBody(b []float64) string {
+	var sb strings.Builder
+	for _, v := range b {
+		fmt.Fprintf(&sb, "%g\n", v)
+	}
+	return sb.String()
+}
+
+func quietLogf(string, ...any) {}
+
+func crashOptions(dir string, fsys faults.FS) Options {
+	return Options{
+		Window: cwWindow, Buckets: cwBuckets, Eps: cwEps, Delta: cwEps,
+		DataDir: dir, FS: fsys, SyncEveryAppend: true, Logf: quietLogf,
+	}
+}
+
+// runWorkload drives one daemon lifetime: 12 ingest batches with manual
+// checkpoints after batches 4 and 8, never Closing — the "process" ends
+// by crashing. It returns the number of acknowledged values; after the
+// injected fault fires, ingests fail with 500 and are not counted.
+func runWorkload(t *testing.T, dir string, fsys faults.FS) (acked int) {
+	t.Helper()
+	s, err := Open(crashOptions(dir, fsys))
+	if err != nil {
+		t.Fatalf("initial open: %v", err)
+	}
+	for i, b := range crashBatches() {
+		rec := do(t, s, http.MethodPost, "/ingest", batchBody(b))
+		switch rec.Code {
+		case http.StatusOK:
+			acked += len(b)
+		case http.StatusInternalServerError:
+			// Post-fault: the WAL refused the batch; nothing was applied.
+		default:
+			t.Fatalf("batch %d: unexpected status %d: %s", i, rec.Code, rec.Body)
+		}
+		if i == 3 || i == 7 {
+			_ = s.Checkpoint() // expected to fail after the fault
+		}
+	}
+	return acked
+}
+
+// expectEqualState asserts the recovered server's window state is
+// identical to a fresh FixedWindow fed prefix.
+func expectEqualState(t *testing.T, s *Server, prefix []float64) {
+	t.Helper()
+	ref, err := core.NewWithDelta(cwWindow, cwBuckets, cwEps, cwEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PushBatch(prefix)
+	s.mu.Lock()
+	gotSeen := s.fw.Seen()
+	gotWin := s.fw.Window()
+	s.mu.Unlock()
+	if gotSeen != int64(len(prefix)) {
+		t.Fatalf("recovered seen=%d, want %d", gotSeen, len(prefix))
+	}
+	if !reflect.DeepEqual(gotWin, ref.Window()) {
+		t.Fatalf("recovered window %v\nwant %v", gotWin, ref.Window())
+	}
+	if len(prefix) == 0 {
+		return
+	}
+	refRes, err := ref.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	gotRes, err := s.fw.Histogram()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatalf("recovered histogram: %v", err)
+	}
+	if !reflect.DeepEqual(gotRes.Histogram, refRes.Histogram) || gotRes.SSE != refRes.SSE {
+		t.Fatalf("recovered histogram %+v (sse=%g)\nwant %+v (sse=%g)",
+			gotRes.Histogram, gotRes.SSE, refRes.Histogram, refRes.SSE)
+	}
+	// And the HTTP surface serves it.
+	if rec := do(t, s, http.MethodGet, "/histogram", ""); rec.Code != http.StatusOK {
+		t.Fatalf("/histogram after recovery: %d", rec.Code)
+	}
+}
+
+// TestCrashRecoveryMatrix injects a crash at every filesystem mutation of
+// the whole workload — each WAL create/append/fsync, each checkpoint
+// write/rename/dir-sync, each rotation and truncation — and proves that
+// restarting from the surviving files yields a window identical to a
+// fresh maintainer fed the un-lost prefix of the stream. The durability
+// contract under fsync-every-append: no acknowledged batch is ever lost;
+// at most the single in-flight unacknowledged batch may additionally
+// survive (crash after its record reached the log, before the ack).
+func TestCrashRecoveryMatrix(t *testing.T) {
+	batches := crashBatches()
+	var allValues []float64
+	for _, b := range batches {
+		allValues = append(allValues, b...)
+	}
+	const batchLen = 4
+
+	// Probe pass: no fault, count the mutating filesystem operations.
+	probe := faults.NewInjector(faults.OS{}, -1)
+	if acked := runWorkload(t, t.TempDir(), probe); acked != len(allValues) {
+		t.Fatalf("probe run acked %d of %d", acked, len(allValues))
+	}
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("probe counted implausibly few crash points: %d", total)
+	}
+	t.Logf("crash-point matrix: %d injected fault points", total)
+
+	for n := 1; n <= total; n++ {
+		t.Run(fmt.Sprintf("op%03d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faults.NewInjector(faults.OS{}, n)
+			acked := runWorkload(t, dir, inj)
+			if !inj.Tripped() {
+				t.Fatal("fault never fired")
+			}
+			// The crash: the first server is abandoned un-Closed. Restart
+			// from disk through a clean filesystem.
+			s2, err := Open(crashOptions(dir, faults.OS{}))
+			if err != nil {
+				t.Fatalf("recovery after fault at op %d: %v", n, err)
+			}
+			defer s2.Close()
+			recSeen := int(s2.Seen())
+			if recSeen < acked {
+				t.Fatalf("durability violated: recovered seen=%d < acknowledged %d", recSeen, acked)
+			}
+			if recSeen > acked+batchLen {
+				t.Fatalf("recovered seen=%d, but only %d acked (+%d in flight max)", recSeen, acked, batchLen)
+			}
+			expectEqualState(t, s2, allValues[:recSeen])
+
+			// The recovered daemon must be fully serviceable.
+			if rec := do(t, s2, http.MethodPost, "/ingest", "1\n2\n"); rec.Code != http.StatusOK {
+				t.Fatalf("ingest after recovery: %d: %s", rec.Code, rec.Body)
+			}
+			if err := s2.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestGracefulShutdownRoundTrip: a clean Close persists everything; a
+// reopened daemon continues exactly where the old one stopped, and the
+// draining daemon refuses writes.
+func TestGracefulShutdownRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	batches := crashBatches()
+	s, err := Open(crashOptions(dir, faults.OS{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for _, b := range batches {
+		if rec := do(t, s, http.MethodPost, "/ingest", batchBody(b)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest: %d", rec.Code)
+		}
+		all = append(all, b...)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Draining: reads still served, writes refused, readiness 503.
+	if rec := do(t, s, http.MethodGet, "/readyz", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/ingest", "1\n"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("ingest while draining: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/histogram", ""); rec.Code != http.StatusOK {
+		t.Errorf("histogram while draining: %d", rec.Code)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+
+	s2, err := Open(crashOptions(dir, faults.OS{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	expectEqualState(t, s2, all)
+	if rec := do(t, s2, http.MethodGet, "/readyz", ""); rec.Code != http.StatusOK {
+		t.Errorf("readyz after reopen: %d", rec.Code)
+	}
+}

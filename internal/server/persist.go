@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"streamhist/internal/checkpoint"
+	"streamhist/internal/faults"
+	"streamhist/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Window, Buckets, Eps, Delta configure the fixed-window maintainer
+	// (see core.NewWithDelta). When a checkpoint is recovered its recorded
+	// configuration supersedes these.
+	Window  int
+	Buckets int
+	Eps     float64
+	Delta   float64
+
+	// MaxBody caps an /ingest or /restore request body; 0 means 32 MiB.
+	MaxBody int64
+	// MaxInflight bounds concurrently-admitted /ingest requests; beyond it
+	// the server answers 429 with Retry-After. 0 means 64.
+	MaxInflight int
+	// RequestTimeout bounds each request end to end via http.TimeoutHandler;
+	// 0 disables.
+	RequestTimeout time.Duration
+
+	// DataDir enables durability: a write-ahead log plus periodic
+	// checkpoints live here, and Open recovers from them. Empty means the
+	// server is memory-only and loses the window on exit.
+	DataDir string
+	// CheckpointInterval is the period of the automatic checkpoint loop;
+	// 0 disables the loop (checkpoints then happen only at Close and via
+	// explicit Checkpoint calls, and the WAL grows until one happens).
+	CheckpointInterval time.Duration
+	// SyncEveryAppend fsyncs the WAL on every acknowledged ingest. When
+	// false, a crash loses at most the un-fsynced suffix of acknowledged
+	// batches (the OS flushes on its own schedule).
+	SyncEveryAppend bool
+	// SegmentBytes is the WAL segment rotation threshold; 0 uses the WAL
+	// default.
+	SegmentBytes int64
+	// FS is the filesystem the durability layer writes through; nil means
+	// the real one. Tests inject faults here.
+	FS faults.FS
+
+	// Logf receives operational messages (recovery progress, checkpoint
+	// failures); nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxBody == 0 {
+		o.MaxBody = 32 << 20
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 64
+	}
+	if o.FS == nil {
+		o.FS = faults.OS{}
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// Open constructs a server and, when opts.DataDir is set, recovers its
+// state from disk: load the newest valid checkpoint, replay the WAL tail
+// past it, verify the window invariants, and only then report ready. The
+// returned server must be Closed to take the final checkpoint.
+func Open(opts Options) (*Server, error) {
+	opts.setDefaults()
+	fw, gk, sed, det, err := newState(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		fw: fw, gk: gk, sed: sed, det: det,
+		mux:      http.NewServeMux(),
+		maxBody:  opts.MaxBody,
+		inflight: make(chan struct{}, opts.MaxInflight),
+		opts:     opts,
+		fs:       opts.FS,
+	}
+	s.state.Store(stateStarting)
+	s.routes()
+	if opts.DataDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+		if opts.CheckpointInterval > 0 {
+			s.stop = make(chan struct{})
+			s.loopDone = make(chan struct{})
+			go s.checkpointLoop(opts.CheckpointInterval)
+		}
+	}
+	s.state.Store(stateReady)
+	return s, nil
+}
+
+// recover rebuilds the in-memory state from DataDir. The fixed window is
+// restored exactly (checkpoint + WAL replay); the whole-stream summaries
+// (quantiles, selectivity, running stats) are rebuilt from the replayed
+// WAL tail only, since their full history is bounded away by design.
+func (s *Server) recover() error {
+	if err := s.fs.MkdirAll(s.opts.DataDir, 0o755); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	blob, seen, err := checkpoint.Latest(s.fs, s.opts.DataDir)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if blob != nil {
+		if err := s.fw.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("server: checkpoint at seen=%d unusable: %w", seen, err)
+		}
+		s.opts.Logf("streamhistd: recovered checkpoint at seen=%d (window %d points)", seen, s.fw.Len())
+	}
+	w, err := wal.Open(wal.Options{
+		Dir:             s.opts.DataDir,
+		FS:              s.fs,
+		SegmentBytes:    s.opts.SegmentBytes,
+		SyncEveryAppend: s.opts.SyncEveryAppend,
+	})
+	if err != nil {
+		return err
+	}
+	var replayed int64
+	err = w.Replay(func(start int64, values []float64) error {
+		for i, v := range values {
+			switch p := start + int64(i); {
+			case p < s.fw.Seen():
+				// Covered by the checkpoint.
+			case p == s.fw.Seen():
+				s.fw.PushLazy(v)
+				s.gk.Insert(v)
+				s.sed.Push(v)
+				s.stats.Push(v)
+				replayed++
+			default:
+				return fmt.Errorf("gap: record for position %d but state ends at %d", p, s.fw.Seen())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
+	if replayed > 0 {
+		s.opts.Logf("streamhistd: replayed %d points from the wal (seen=%d)", replayed, s.fw.Seen())
+	}
+	// Recovery invariants: the window never holds more than min(seen, n)
+	// points, and the log must be positioned to accept the next ingest.
+	if want := min(s.fw.Seen(), int64(s.fw.Capacity())); int64(s.fw.Len()) != want {
+		return fmt.Errorf("server: recovery invariant violated: window holds %d points, want %d", s.fw.Len(), want)
+	}
+	if end := w.End(); end >= 0 && end < s.fw.Seen() {
+		// The checkpoint is ahead of the log (the un-fsynced WAL tail was
+		// lost, or the log was truncated after the checkpoint): restart the
+		// log at the recovered position so appends continue contiguously.
+		if err := w.Reset(s.fw.Seen()); err != nil {
+			return err
+		}
+	}
+	s.wal = w
+	return nil
+}
+
+// Checkpoint atomically persists the current fixed-window state and then
+// drops WAL segments the checkpoint covers. Safe to call concurrently
+// with ingests; concurrent Checkpoint calls are serialized.
+func (s *Server) Checkpoint() error {
+	if s.opts.DataDir == "" {
+		return fmt.Errorf("server: no data dir configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	blob, err := s.fw.MarshalBinary()
+	seen := s.fw.Seen()
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := checkpoint.Save(s.fs, s.opts.DataDir, seen, blob); err != nil {
+		return err
+	}
+	checkpoint.Prune(s.fs, s.opts.DataDir, 2)
+	if s.wal != nil {
+		// Only after the checkpoint is durable may covered log segments go.
+		// Rotate first so the just-covered active segment becomes deletable
+		// on the next checkpoint.
+		if err := s.wal.Rotate(); err != nil {
+			return err
+		}
+		if err := s.wal.TruncateBefore(seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seen returns the number of stream points ingested (for tests and the
+// daemon's shutdown log line).
+func (s *Server) Seen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fw.Seen()
+}
+
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer close(s.loopDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil {
+				s.opts.Logf("streamhistd: periodic checkpoint failed: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Close drains the server: readiness flips to 503, new writes are
+// refused, the checkpoint loop stops, a final checkpoint is taken and the
+// WAL is sealed. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.state.Store(stateDraining)
+		if s.stop != nil {
+			close(s.stop)
+			<-s.loopDone
+		}
+		if s.opts.DataDir != "" {
+			if err := s.Checkpoint(); err != nil {
+				s.closeErr = fmt.Errorf("server: final checkpoint: %w", err)
+			}
+		}
+		if s.wal != nil {
+			if err := s.wal.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}

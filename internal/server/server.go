@@ -11,58 +11,105 @@
 //	GET  /quantile?phi=       whole-stream quantile (GK summary)
 //	GET  /selectivity?lo=&hi= fraction of stream values in [lo,hi]
 //	GET  /stats               stream statistics
-//	GET  /snapshot            binary fixed-window snapshot for restart recovery
+//	GET  /snapshot            binary fixed-window snapshot (operator download)
+//	POST /restore             replace the window from a /snapshot download
+//	GET  /drift               distribution-change check against a reference
+//	GET  /healthz             liveness (always 200 while the process runs)
+//	GET  /readyz              readiness (503 while recovering or draining)
+//
+// With Options.DataDir set the server is crash-safe: acknowledged ingests
+// are appended to a write-ahead log (internal/wal) before being applied,
+// periodic checkpoints (internal/checkpoint) bound replay time, and Open
+// recovers the window after a crash by loading the latest checkpoint and
+// replaying the WAL tail. See persist.go.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"streamhist/internal/core"
 	"streamhist/internal/drift"
+	"streamhist/internal/faults"
 	"streamhist/internal/quantile"
 	"streamhist/internal/stream"
 	"streamhist/internal/vhist"
+	"streamhist/internal/wal"
+)
+
+// Server states, in lifecycle order.
+const (
+	stateStarting int32 = iota // recovering; not yet serving
+	stateReady                 // serving normally
+	stateDraining              // shutting down; reads OK, writes refused
 )
 
 // Server is the HTTP handler state. The zero value is unusable; construct
-// with New.
+// with New or Open.
 type Server struct {
-	mu      sync.Mutex
-	fw      *core.FixedWindow
-	gk      *quantile.GK
-	sed     *vhist.StreamingEqualDepth
-	det     *drift.Detector
-	stats   stream.Counter
+	mu    sync.Mutex
+	fw    *core.FixedWindow
+	gk    *quantile.GK
+	sed   *vhist.StreamingEqualDepth
+	det   *drift.Detector
+	stats stream.Counter
+
 	mux     *http.ServeMux
+	handler http.Handler
 	maxBody int64
+
+	// Overload protection: a slot must be free to admit an /ingest.
+	inflight chan struct{}
+	state    atomic.Int32
+
+	// Durability (nil / zero when DataDir is unset).
+	opts      Options
+	fs        faults.FS
+	wal       *wal.WAL
+	ckptMu    sync.Mutex // serializes Checkpoint
+	stop      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New creates a server maintaining, over the ingested stream, a
-// fixed-window histogram (last n points, b buckets, growth factor delta),
-// a whole-stream GK quantile summary, and a streaming equi-depth value
-// histogram for selectivity queries.
+// New creates an in-memory server (no durability) maintaining, over the
+// ingested stream, a fixed-window histogram (last n points, b buckets,
+// growth factor delta), a whole-stream GK quantile summary, and a
+// streaming equi-depth value histogram for selectivity queries.
+// Crash-safe servers are constructed with Open.
 func New(n, b int, eps, delta float64) (*Server, error) {
-	fw, err := core.NewWithDelta(n, b, eps, delta)
+	return Open(Options{Window: n, Buckets: b, Eps: eps, Delta: delta})
+}
+
+// newState builds the summary set for the configured window.
+func newState(o Options) (*core.FixedWindow, *quantile.GK, *vhist.StreamingEqualDepth, *drift.Detector, error) {
+	fw, err := core.NewWithDelta(o.Window, o.Buckets, o.Eps, o.Delta)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	gk, err := quantile.NewGK(0.01)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
-	sed, err := vhist.NewStreamingEqualDepth(b, 0.25/float64(b))
+	sed, err := vhist.NewStreamingEqualDepth(o.Buckets, 0.25/float64(o.Buckets))
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	det, err := drift.NewDetector(50)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
-	s := &Server{fw: fw, gk: gk, sed: sed, det: det, mux: http.NewServeMux(), maxBody: 32 << 20}
+	return fw, gk, sed, det, nil
+}
+
+func (s *Server) routes() {
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/histogram", s.handleHistogram)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -70,13 +117,19 @@ func New(n, b int, eps, delta float64) (*Server, error) {
 	s.mux.HandleFunc("/quantile", s.handleQuantile)
 	s.mux.HandleFunc("/selectivity", s.handleSelectivity)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/restore", s.handleRestore)
 	s.mux.HandleFunc("/drift", s.handleDrift)
-	return s, nil
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.handler = s.mux
+	if s.opts.RequestTimeout > 0 {
+		s.handler = http.TimeoutHandler(s.mux, s.opts.RequestTimeout, "request timed out\n")
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -84,13 +137,44 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	// Admission control: refuse rather than queue when every in-flight
+	// slot is taken, so saturation surfaces as fast 429s instead of
+	// unbounded goroutine and memory growth.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "too many in-flight ingests", http.StatusTooManyRequests)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	values, err := stream.ReadAll(body)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.mu.Lock()
+	if s.wal != nil {
+		// Write-ahead: the batch is durable (to the configured fsync
+		// policy) before it is applied or acknowledged, so an acknowledged
+		// batch is never silently lost by a crash.
+		if err := s.wal.Append(s.fw.Seen(), values); err != nil {
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("wal append: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
 	for _, v := range values {
 		s.fw.PushLazy(v)
 		s.gk.Insert(v)
@@ -136,6 +220,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
+	s.mu.Lock()
+	length := s.fw.Len()
+	s.mu.Unlock()
+	if length == 0 {
+		http.Error(w, "window is empty", http.StatusConflict)
+		return
+	}
 	lo, err1 := strconv.Atoi(r.URL.Query().Get("lo"))
 	hi, err2 := strconv.Atoi(r.URL.Query().Get("hi"))
 	if err1 != nil || err2 != nil {
@@ -143,7 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	length := s.fw.Len()
+	length = s.fw.Len()
 	if lo < 0 || hi >= length || hi < lo {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("range [%d,%d] outside window [0,%d]", lo, hi, length-1), http.StatusBadRequest)
@@ -228,7 +319,7 @@ func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot serves the fixed-window snapshot as a binary download so
-// a restarted collector can resume the window (see core.UnmarshalBinary).
+// an operator can archive the window or seed another daemon via /restore.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -245,6 +336,65 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(blob); err != nil {
 		return
 	}
+}
+
+// handleRestore is the inverse of /snapshot: it replaces the window with
+// an uploaded snapshot so an operator can seed a fresh daemon. The
+// whole-stream summaries (quantiles, selectivity, stats, drift reference)
+// are not part of a window snapshot and restart empty. On a durable
+// server the restored state is checkpointed and the WAL reset before the
+// request is acknowledged.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	restored := &core.FixedWindow{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		http.Error(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	o := s.opts
+	o.Window, o.Buckets = restored.Capacity(), restored.Buckets()
+	o.Eps, o.Delta = restored.Epsilon(), restored.Delta()
+	_, gk, sed, det, err := newState(o)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.fw, s.gk, s.sed, s.det = restored, gk, sed, det
+	s.stats = stream.Counter{}
+	seen, length := restored.Seen(), restored.Len()
+	s.mu.Unlock()
+	if s.wal != nil {
+		// Make the replacement durable before acknowledging: checkpoint the
+		// new state, then restart the log at its stream position.
+		if err := s.Checkpoint(); err != nil {
+			http.Error(w, fmt.Sprintf("checkpointing restored state: %v", err), http.StatusInternalServerError)
+			return
+		}
+		if err := s.wal.Reset(seen); err != nil {
+			http.Error(w, fmt.Sprintf("resetting wal: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"restored": true, "seen": seen, "window": length})
 }
 
 // handleDrift compares the current window's histogram against the drift
@@ -285,6 +435,34 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		"alarms":   alarms,
 		"checks":   checks,
 	})
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while the server recovers state at
+// startup or drains at shutdown, so load balancers stop routing before
+// writes start failing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var status string
+	switch s.state.Load() {
+	case stateReady:
+		status = "ready"
+	case stateDraining:
+		status = "draining"
+	default:
+		status = "starting"
+	}
+	if status != "ready" {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": status})
+		return
+	}
+	writeJSON(w, map[string]any{"status": status})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,509 @@
+// Package wal implements the write-ahead log that makes streamhistd's
+// sliding window durable. A sliding-window summary is exactly the state
+// that cannot be recomputed after a fault — the stream is gone — so every
+// acknowledged ingest batch is framed, checksummed and appended here
+// before it is applied to the in-memory summaries.
+//
+// Layout: the log is a sequence of segment files
+//
+//	wal-<seq>-<start>.log
+//
+// in a data directory, where seq orders the segments and start is the
+// stream position (total points seen) of the first value recorded in the
+// segment. Each segment begins with a 4-byte magic and the start position;
+// records follow as
+//
+//	uint32 payload length | uint32 CRC-32C(payload) | payload
+//
+// with payload = int64 start position of the batch, then the batch's
+// float64 values, all little-endian. Records are contiguous in stream
+// position across segments, so a segment is garbage once a checkpoint
+// covers every position before its successor's start — TruncateBefore
+// deletes such segments by filename arithmetic alone.
+//
+// Recovery tolerates exactly the damage a crash can cause: a torn or
+// half-written record at the tail of the last segment, which Open
+// truncates away. Corruption anywhere else means sealed, fsynced data was
+// lost and is reported as an error rather than skipped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"streamhist/internal/faults"
+)
+
+const (
+	magic     = "SWL1"
+	headerLen = len(magic) + 8 // magic + segment start position
+	recHdrLen = 8              // payload length + CRC
+	// maxPayload bounds a record so a corrupt length prefix cannot drive a
+	// huge allocation: 1M values per batch is far beyond any HTTP ingest.
+	maxPayload = 8 + 8*(1<<20)
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
+	DefaultSegmentBytes = 4 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding the segments. Created if missing.
+	Dir string
+	// FS is the filesystem to operate through; nil means the real one.
+	FS faults.FS
+	// SegmentBytes is the size at which the active segment is sealed and a
+	// new one started; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// SyncEveryAppend fsyncs after each Append. When false the OS decides
+	// when buffered records reach disk, and a crash may lose the un-fsynced
+	// suffix of acknowledged batches.
+	SyncEveryAppend bool
+}
+
+// WAL is an open write-ahead log. Methods are safe for concurrent use;
+// the caller additionally serializes Append ordering (records must be
+// contiguous in stream position) — streamhistd appends under its state
+// mutex while the checkpoint loop rotates and truncates concurrently.
+type WAL struct {
+	mu        sync.Mutex
+	dir       string
+	fs        faults.FS
+	segBytes  int64
+	syncEvery bool
+
+	segs    []segment // sorted by seq; last is the active one (if any)
+	cur     faults.File
+	curSize int64
+	nextSeq uint64
+	lastEnd int64 // stream position after the last record; -1 = empty log
+	// repair is the size to truncate the active segment back to before
+	// the next append, after a failed write left a torn (or un-fsyncable)
+	// record at its tail; -1 means the tail is clean.
+	repair int64
+}
+
+type segment struct {
+	name  string
+	seq   uint64
+	start int64
+}
+
+// Open scans dir, truncates a torn tail off the last segment, and
+// positions the log for appending. A missing or empty dir is a fresh log.
+func Open(opts Options) (*WAL, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faults.OS{}
+	}
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(fsys, opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1}
+	if n := len(segs); n > 0 {
+		w.nextSeq = segs[n-1].seq + 1
+	}
+	for len(w.segs) > 0 {
+		err := w.openLast()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, errBadHeader) {
+			return nil, err
+		}
+		// A crash during segment creation tore the header before any
+		// record could exist: the file is garbage, fall back to the
+		// previous segment.
+		last := w.segs[len(w.segs)-1]
+		if rerr := w.fs.Remove(filepath.Join(w.dir, last.name)); rerr != nil {
+			return nil, fmt.Errorf("wal: discarding torn segment %s: %w", last.name, rerr)
+		}
+		w.segs = w.segs[:len(w.segs)-1]
+	}
+	return w, nil
+}
+
+// errBadHeader marks a segment whose header never finished writing.
+var errBadHeader = errors.New("bad segment header")
+
+// openLast validates the active segment, truncates its torn tail, and
+// opens it for appending.
+func (w *WAL) openLast() error {
+	last := w.segs[len(w.segs)-1]
+	path := filepath.Join(w.dir, last.name)
+	data, err := w.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, end, err := scanSegment(data, last.start, nil)
+	if err != nil {
+		return fmt.Errorf("wal: segment %s: %w", last.name, err)
+	}
+	if valid < int64(len(data)) {
+		if err := w.fs.Truncate(path, valid); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", last.name, err)
+		}
+	}
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.cur = f
+	w.curSize = valid
+	// end is the segment's start when it holds no records, which still
+	// pins the position the next Append must continue from.
+	w.lastEnd = end
+	return nil
+}
+
+// End returns the stream position after the last durable record, or -1
+// when the log is empty and unpinned (a first Append chooses the start).
+func (w *WAL) End() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastEnd
+}
+
+// Append records that values were ingested starting at stream position
+// start (start = points seen before the batch). It fails if start does
+// not continue the log, and fsyncs before returning when configured.
+// A failed append leaves at most a torn tail that recovery truncates.
+func (w *WAL) Append(start int64, values []float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lastEnd >= 0 && start != w.lastEnd {
+		return fmt.Errorf("wal: append at %d does not continue log end %d", start, w.lastEnd)
+	}
+	if w.cur == nil {
+		if err := w.reopenOrCreate(start); err != nil {
+			return err
+		}
+	}
+	rec := encodeRecord(start, values)
+	if _, err := w.cur.Write(rec); err != nil {
+		// The tail is torn. Remember the clean size so a later append can
+		// truncate the tear away; until then the handle stays poisoned so
+		// nothing writes past it. (If the process dies first, recovery
+		// truncates the tear instead.)
+		w.poison(w.curSize)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if w.syncEvery {
+		if err := w.cur.Sync(); err != nil {
+			// The record reached the file but not durably; it was not
+			// acknowledged, so drop it entirely rather than let the log-end
+			// position diverge from the applied state.
+			w.poison(w.curSize)
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	// Only now is the record part of the log.
+	w.curSize += int64(len(rec))
+	w.lastEnd = start + int64(len(values))
+	if w.curSize >= w.segBytes {
+		return w.rotate(w.lastEnd)
+	}
+	return nil
+}
+
+// poison closes the active segment and schedules a truncation back to
+// size — the last clean tail — before the next append.
+func (w *WAL) poison(size int64) {
+	w.closeCur()
+	w.repair = size
+}
+
+// reopenOrCreate restores an appendable active segment: repair a torn
+// tail left by a failed append, or start a fresh segment at start.
+func (w *WAL) reopenOrCreate(start int64) error {
+	if w.repair >= 0 && len(w.segs) > 0 {
+		last := w.segs[len(w.segs)-1]
+		path := filepath.Join(w.dir, last.name)
+		if err := w.fs.Truncate(path, w.repair); err != nil {
+			return fmt.Errorf("wal: repairing torn tail of %s: %w", last.name, err)
+		}
+		f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		w.cur, w.curSize, w.repair = f, w.repair, -1
+		return nil
+	}
+	w.repair = -1
+	return w.newSegment(start)
+}
+
+// Sync flushes the active segment to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil {
+		return nil
+	}
+	if err := w.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the active segment so TruncateBefore can later delete it,
+// starting a fresh segment pinned at the log's end. Rotating an empty or
+// record-less log is a no-op.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lastEnd < 0 || (w.cur != nil && w.curSize <= int64(headerLen)) {
+		return nil
+	}
+	if w.repair >= 0 {
+		// A torn tail awaits repair; sealing now would freeze the tear
+		// into a non-last segment. Let the next append repair it first.
+		return nil
+	}
+	return w.rotate(w.lastEnd)
+}
+
+// Reset discards every segment and pins a fresh log at stream position
+// start. Used when the daemon's state is replaced wholesale (POST
+// /restore) after the new state has been checkpointed durably.
+func (w *WAL) Reset(start int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closeCur()
+	for _, seg := range w.segs {
+		_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
+	}
+	w.segs = w.segs[:0]
+	w.lastEnd = -1
+	w.repair = -1
+	return w.newSegment(start)
+}
+
+func (w *WAL) rotate(nextStart int64) error {
+	if w.cur != nil {
+		if err := w.cur.Sync(); err != nil {
+			w.closeCur()
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		w.closeCur()
+	}
+	return w.newSegment(nextStart)
+}
+
+func (w *WAL) closeCur() {
+	if w.cur != nil {
+		w.cur.Close()
+		w.cur = nil
+	}
+}
+
+// newSegment creates and opens segment (nextSeq, start).
+func (w *WAL) newSegment(start int64) error {
+	name := fmt.Sprintf("wal-%016x-%016x.log", w.nextSeq, uint64(start))
+	path := filepath.Join(w.dir, name)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[len(magic):], uint64(start))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if w.syncEvery {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	w.segs = append(w.segs, segment{name: name, seq: w.nextSeq, start: start})
+	w.nextSeq++
+	w.cur = f
+	w.curSize = int64(headerLen)
+	if w.lastEnd < 0 {
+		w.lastEnd = start
+	}
+	return nil
+}
+
+// Replay streams every durable record in order to fn. Call it after Open
+// and before the first Append. A torn tail is only legal in the last
+// segment (Open already removed it); corruption in a sealed segment is an
+// error.
+func (w *WAL) Replay(fn func(start int64, values []float64) error) error {
+	w.mu.Lock()
+	segs := append([]segment(nil), w.segs...)
+	w.mu.Unlock()
+	for i, seg := range segs {
+		data, err := w.fs.ReadFile(filepath.Join(w.dir, seg.name))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		valid, _, err := scanSegment(data, seg.start, fn)
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", seg.name, err)
+		}
+		if valid < int64(len(data)) && i != len(segs)-1 {
+			return fmt.Errorf("wal: sealed segment %s corrupt at offset %d", seg.name, valid)
+		}
+	}
+	return nil
+}
+
+// TruncateBefore deletes sealed segments every record of which lies below
+// stream position seen — those fully covered by a durable checkpoint. The
+// active segment is never deleted.
+func (w *WAL) TruncateBefore(seen int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Segment i spans [segs[i].start, segs[i+1].start); the active (last)
+	// segment always stays.
+	kept := w.segs[:0]
+	for i, seg := range w.segs {
+		if i+1 < len(w.segs) && w.segs[i+1].start <= seen {
+			if err := w.fs.Remove(filepath.Join(w.dir, seg.name)); err != nil {
+				// Keep it; a leftover segment only costs disk — replay skips
+				// records a checkpoint already covers.
+				kept = append(kept, seg)
+				continue
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = kept
+	return nil
+}
+
+// Close seals the log: flush, fsync and close the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil {
+		return nil
+	}
+	serr := w.cur.Sync()
+	cerr := w.cur.Close()
+	w.cur = nil
+	if serr != nil {
+		return fmt.Errorf("wal: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: %w", cerr)
+	}
+	return nil
+}
+
+// encodeRecord frames one batch as a single buffer so it is written with
+// one Write call: a crash mid-call tears this record only.
+func encodeRecord(start int64, values []float64) []byte {
+	payloadLen := 8 + 8*len(values)
+	rec := make([]byte, recHdrLen+payloadLen)
+	payload := rec[recHdrLen:]
+	binary.LittleEndian.PutUint64(payload, uint64(start))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(payload[8+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(rec, uint32(payloadLen))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
+	return rec
+}
+
+// scanSegment parses a segment image, invoking fn (when non-nil) per
+// record. It returns the length of the valid prefix and the stream
+// position after the last valid record (segStart when there are none).
+// A malformed header is an error; a short or checksum-failing tail merely
+// ends the valid prefix (the torn-tail case).
+func scanSegment(data []byte, segStart int64, fn func(start int64, values []float64) error) (valid int64, end int64, err error) {
+	if len(data) < headerLen || string(data[:len(magic)]) != magic {
+		return 0, 0, errBadHeader
+	}
+	if got := int64(binary.LittleEndian.Uint64(data[len(magic):])); got != segStart {
+		return 0, 0, fmt.Errorf("segment start %d does not match filename start %d", got, segStart)
+	}
+	off := headerLen
+	end = segStart
+	for {
+		if len(data)-off < recHdrLen {
+			break // torn record header (or clean EOF)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if payloadLen < 8 || payloadLen > maxPayload || (payloadLen-8)%8 != 0 {
+			break // corrupt length: treat as tear
+		}
+		if len(data)-off-recHdrLen < payloadLen {
+			break // torn payload
+		}
+		payload := data[off+recHdrLen : off+recHdrLen+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // torn or corrupt payload
+		}
+		start := int64(binary.LittleEndian.Uint64(payload))
+		if fn != nil {
+			values := make([]float64, (payloadLen-8)/8)
+			for i := range values {
+				values[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
+			}
+			if err := fn(start, values); err != nil {
+				return int64(off), end, err
+			}
+		}
+		end = start + int64((payloadLen-8)/8)
+		off += recHdrLen + payloadLen
+	}
+	return int64(off), end, nil
+}
+
+// listSegments returns dir's segments sorted by sequence number.
+func listSegments(fsys faults.FS, dir string) ([]segment, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var seq, start uint64
+		if _, err := fmt.Sscanf(name, "wal-%016x-%016x.log", &seq, &start); err != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, seq: seq, start: int64(start)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].start < segs[i-1].start {
+			return nil, fmt.Errorf("wal: segments %s and %s out of order", segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"streamhist/internal/faults"
+)
+
+type rec struct {
+	start  int64
+	values []float64
+}
+
+func replayAll(t *testing.T, w *WAL) []rec {
+	t.Helper()
+	var out []rec
+	if err := w.Replay(func(start int64, values []float64) error {
+		out = append(out, rec{start, append([]float64(nil), values...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []rec{
+		{0, []float64{1, 2, 3}},
+		{3, []float64{4.5}},
+		{4, []float64{-1, 0.25, 1e9, -2.5}},
+	}
+	for _, b := range batches {
+		if err := w.Append(b.start, b.values); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if got := w.End(); got != 8 {
+		t.Errorf("End = %d, want 8", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, w2); !reflect.DeepEqual(got, batches) {
+		t.Errorf("replay = %+v, want %+v", got, batches)
+	}
+	if got := w2.End(); got != 8 {
+		t.Errorf("reopened End = %d, want 8", got)
+	}
+	// Appends continue where the log left off.
+	if err := w2.Append(5, []float64{9}); err == nil {
+		t.Error("non-contiguous append accepted")
+	}
+	if err := w2.Append(8, []float64{9}); err != nil {
+		t.Errorf("contiguous append after reopen: %v", err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.End(); got != -1 {
+		t.Errorf("empty End = %d, want -1", got)
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Errorf("empty replay returned %d records", len(got))
+	}
+	// The first append pins the log at an arbitrary position (a daemon
+	// seeded from a checkpoint or /restore starts mid-stream).
+	if err := w.Append(1000, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.End(); got != 1001 {
+		t.Errorf("End = %d, want 1001", got)
+	}
+}
+
+// TestTornTailTruncated cuts bytes off the final record at every possible
+// length and verifies recovery keeps exactly the intact prefix.
+func TestTornTailTruncated(t *testing.T) {
+	build := func(dir string) (string, int64) {
+		w, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 3; i++ {
+			if err := w.Append(2*i, []float64{float64(i), float64(i) + 0.5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("want one segment, got %v (%v)", entries, err)
+		}
+		path := filepath.Join(dir, entries[0].Name())
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, fi.Size()
+	}
+
+	refDir := t.TempDir()
+	_, full := build(refDir)
+	recLen := int64(recHdrLen + 8 + 2*8)
+	for cut := int64(1); cut <= recLen; cut++ {
+		dir := t.TempDir()
+		path, _ := build(dir)
+		if err := os.Truncate(path, full-cut); err != nil {
+			t.Fatal(err)
+		}
+		w, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		got := replayAll(t, w)
+		if len(got) != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, len(got))
+		}
+		if w.End() != 4 {
+			t.Errorf("cut %d: End = %d, want 4", cut, w.End())
+		}
+		// The torn bytes are gone from disk: appends go to a clean tail.
+		if err := w.Append(4, []float64{42}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := replayAll(t, w2); len(got) != 3 || got[2].values[0] != 42 {
+			t.Errorf("cut %d: after repair replay = %+v", cut, got)
+		}
+	}
+}
+
+// TestCorruptPayloadTruncated flips a payload byte in the tail record.
+func TestCorruptPayloadTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, entries[0].Name())
+	data, _ := os.ReadFile(path)
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, w2); len(got) != 1 || got[0].start != 0 {
+		t.Errorf("replay after corruption = %+v, want first record only", got)
+	}
+}
+
+func TestRotateAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := w.Append(i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func() int {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+	if got := count(); got != 5 { // 4 sealed + 1 active empty
+		t.Fatalf("segments after rotations = %d, want 5", got)
+	}
+	// A checkpoint at seen=2 covers the first two segments only.
+	if err := w.TruncateBefore(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 3 {
+		t.Errorf("segments after TruncateBefore(2) = %d, want 3", got)
+	}
+	if got := replayAll(t, w); len(got) != 2 || got[0].start != 2 {
+		t.Errorf("replay after truncation = %+v", got)
+	}
+	// Everything covered: only the active segment stays.
+	if err := w.TruncateBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 1 {
+		t.Errorf("segments after TruncateBefore(4) = %d, want 1", got)
+	}
+	if err := w.Append(4, []float64{4}); err != nil {
+		t.Errorf("append after truncation: %v", err)
+	}
+}
+
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos int64
+	for i := 0; i < 10; i++ {
+		if err := w.Append(pos, []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		pos += 3
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 2 {
+		t.Fatalf("expected size rotation to produce multiple segments, got %d", len(entries))
+	}
+	if got := replayAll(t, w); len(got) != 10 {
+		t.Errorf("replay across segments = %d records, want 10", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(500); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Errorf("replay after reset = %+v, want empty", got)
+	}
+	if err := w.Append(3, []float64{9}); err == nil {
+		t.Error("append at pre-reset position accepted")
+	}
+	if err := w.Append(500, []float64{9}); err != nil {
+		t.Errorf("append at reset position: %v", err)
+	}
+}
+
+// TestFaultedAppendLeavesRecoverableLog injects a torn write and checks
+// the log recovers to the pre-fault state.
+func TestFaultedAppendLeavesRecoverableLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(faults.OS{}, -1)
+	w, err := Open(Options{Dir: dir, FS: inj, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ops := inj.Ops()
+	_ = w.Close()
+
+	// Re-run with the fault on the record write of the second append.
+	dir2 := t.TempDir()
+	inj2 := faults.NewInjector(faults.OS{}, ops+2) // +1 reopen-is-free, next write faults
+	w2, err := Open(Options{Dir: dir2, FS: inj2, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(2, []float64{3, 4}); err == nil {
+		// Fault may land on the sync instead depending on op accounting;
+		// force one more append to trip it.
+		if err := w2.Append(4, []float64{5}); err == nil {
+			t.Fatal("injector never fired")
+		}
+	}
+	// "Restart": reopen through a clean filesystem.
+	w3, err := Open(Options{Dir: dir2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, w3)
+	if len(got) == 0 || got[0].start != 0 || len(got[0].values) != 2 {
+		t.Fatalf("first record lost: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].start != got[i-1].start+int64(len(got[i-1].values)) {
+			t.Errorf("recovered log not contiguous: %+v", got)
+		}
+	}
+}
+
+// flakyFS fails exactly one operation (a write or a sync) and then
+// recovers — the transient-error counterpart of faults.Injector, for
+// testing that the log self-repairs its torn tail and continues.
+type flakyFS struct {
+	faults.FS
+	failWrite bool
+	failSync  bool
+}
+
+type flakyFile struct {
+	faults.File
+	fs *flakyFS
+}
+
+func (f *flakyFS) OpenFile(name string, flag int, perm os.FileMode) (faults.File, error) {
+	inner, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: inner, fs: f}, nil
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.fs.failWrite {
+		f.fs.failWrite = false
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, errors.New("flaky: torn write")
+	}
+	return f.File.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	if f.fs.failSync {
+		f.fs.failSync = false
+		return errors.New("flaky: sync failed")
+	}
+	return f.File.Sync()
+}
+
+// TestTransientWriteErrorSelfRepairs: a torn write is rolled back and the
+// next append lands cleanly after the tear is truncated away.
+func TestTransientWriteErrorSelfRepairs(t *testing.T) {
+	for _, mode := range []string{"write", "sync"} {
+		fsys := &flakyFS{FS: faults.OS{}}
+		w, err := Open(Options{Dir: t.TempDir(), FS: fsys, SyncEveryAppend: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(0, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if mode == "write" {
+			fsys.failWrite = true
+		} else {
+			fsys.failSync = true
+		}
+		if err := w.Append(2, []float64{3, 4}); err == nil {
+			t.Fatalf("%s: flaky append succeeded", mode)
+		}
+		// The failed batch was not acknowledged; the log end must not have
+		// advanced, and a retry at the same position must succeed.
+		if got := w.End(); got != 2 {
+			t.Fatalf("%s: End after failed append = %d, want 2", mode, got)
+		}
+		if err := w.Append(2, []float64{5, 6}); err != nil {
+			t.Fatalf("%s: append after repair: %v", mode, err)
+		}
+		got := replayAll(t, w)
+		want := []rec{{0, []float64{1, 2}}, {2, []float64{5, 6}}}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: replay = %+v, want %+v", mode, got, want)
+		}
+	}
+}
