@@ -31,9 +31,13 @@ func main() {
 		os.Exit(1)
 	}
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	for i := 0; i < *points; i++ {
+		//lint:ignore unchecked-err bufio write errors are sticky and surfaced by the checked Flush below
 		fmt.Fprintf(w, "%g\n", g.Next())
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen: writing output:", err)
+		os.Exit(1)
 	}
 }
 

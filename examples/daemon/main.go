@@ -31,7 +31,7 @@ func main() {
 			log.Print(err)
 		}
 	}()
-	defer httpSrv.Close()
+	defer func() { _ = httpSrv.Close() }()
 	base := "http://" + ln.Addr().String()
 	fmt.Println("streamhistd listening on", base)
 
@@ -47,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if batch == 9 {
 			fmt.Printf("last ingest response: %s", body)
 		}
@@ -65,7 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		out := string(body)
 		if len(out) > 300 {
 			out = out[:300] + "...\n"

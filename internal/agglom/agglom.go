@@ -153,6 +153,7 @@ func (s *Summary) Push(v float64) {
 			last.end = ep
 		}
 	}
+	s.checkInvariants()
 }
 
 // minOverQueue evaluates min_i HERROR[i, k] + SQERROR[i+1..endPos] over the

@@ -1,0 +1,48 @@
+//go:build streamhist_invariants
+
+package agglom
+
+import "fmt"
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = true
+
+// checkInvariants asserts the structural invariants of the interval
+// queues (Figure 3 of the paper): endpoint positions strictly increase
+// along each queue, every stored approximate DP error is non-negative and
+// respects the (1+delta) growth bound within its interval, and the stored
+// prefix sums of squares are non-decreasing in stream position.
+func (s *Summary) checkInvariants() {
+	if s.runningSq < 0 {
+		panic(fmt.Sprintf("agglom: invariant violation: running SQSUM %g negative", s.runningSq))
+	}
+	for qi, q := range s.queues {
+		prevPos := -1
+		prevSq := -1.0
+		for i, iv := range q {
+			if iv.start.pos <= prevPos {
+				panic(fmt.Sprintf("agglom: invariant violation: queue %d interval %d starts at %d, not after %d", qi+1, i, iv.start.pos, prevPos))
+			}
+			if iv.end.pos < iv.start.pos {
+				panic(fmt.Sprintf("agglom: invariant violation: queue %d interval %d ends at %d before start %d", qi+1, i, iv.end.pos, iv.start.pos))
+			}
+			if iv.start.herr < 0 || iv.end.herr < 0 {
+				panic(fmt.Sprintf("agglom: invariant violation: queue %d interval %d has negative HERROR (%g,%g)", qi+1, i, iv.start.herr, iv.end.herr))
+			}
+			// Push opens a new interval as soon as HERROR exceeds
+			// (1+delta)*start.herr, so the stored endpoint always satisfies
+			// the bound with the exact float values compared there.
+			if iv.end.herr > (1+s.delta)*iv.start.herr {
+				panic(fmt.Sprintf("agglom: invariant violation: queue %d interval %d grew %g -> %g beyond the (1+%g) bound", qi+1, i, iv.start.herr, iv.end.herr, s.delta))
+			}
+			for _, ep := range [2]endpoint{iv.start, iv.end} {
+				if ep.sq < prevSq {
+					panic(fmt.Sprintf("agglom: invariant violation: queue %d SQSUM decreases to %g at position %d", qi+1, ep.sq, ep.pos))
+				}
+				prevSq = ep.sq
+			}
+			prevPos = iv.end.pos
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package agglom
+
+import "testing"
+
+// requireInvariantPanic runs f against deliberately corrupted state: under
+// -tags streamhist_invariants the assertion layer must panic, and without
+// the tag the no-op stubs must let f return normally.
+func requireInvariantPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if invariantsEnabled && r == nil {
+			t.Errorf("%s: corruption not caught by checkInvariants", name)
+		}
+		if !invariantsEnabled && r != nil {
+			t.Errorf("%s: stub checkInvariants panicked without the build tag: %v", name, r)
+		}
+	}()
+	f()
+}
+
+// corruptibleSummary builds a summary whose queues hold at least one
+// interval, so endpoint corruption has something to bite on.
+func corruptibleSummary(t *testing.T) (*Summary, int) {
+	t.Helper()
+	s, err := New(4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Push(float64(i%13) + 0.25*float64(i))
+	}
+	for qi, q := range s.queues {
+		if len(q) > 0 {
+			return s, qi
+		}
+	}
+	t.Fatal("no interval queue populated after 200 pushes")
+	return nil, 0
+}
+
+func TestSummaryInvariantCorruption(t *testing.T) {
+	requireInvariantPanic(t, "negative running sqsum", func() {
+		s, _ := corruptibleSummary(t)
+		s.runningSq = -1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "interval ends before it starts", func() {
+		s, qi := corruptibleSummary(t)
+		iv := &s.queues[qi][0]
+		iv.end.pos = iv.start.pos - 1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "negative herror", func() {
+		s, qi := corruptibleSummary(t)
+		s.queues[qi][0].start.herr = -1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "herror grows beyond the (1+delta) bound", func() {
+		s, qi := corruptibleSummary(t)
+		iv := &s.queues[qi][0]
+		iv.end.herr = (1+s.delta)*iv.start.herr + iv.start.herr + 1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "stored sqsum decreases", func() {
+		s, qi := corruptibleSummary(t)
+		iv := &s.queues[qi][0]
+		iv.end.sq = iv.start.sq - 1
+		s.checkInvariants()
+	})
+}

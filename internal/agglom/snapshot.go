@@ -62,6 +62,9 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	n := r.Int()
 	runningSum := r.Float64()
 	runningSq := r.Float64()
+	if runningSq < 0 {
+		return fmt.Errorf("agglom: snapshot running SQSUM %g negative", runningSq)
+	}
 	herrTop := r.Float64()
 	numQueues := r.Int()
 	if r.Err() != nil {
@@ -88,6 +91,7 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 		}
 		q := make([]interval, qLen)
 		prevEnd := -1
+		prevSq := -1.0
 		for i := range q {
 			var eps2 [2]endpoint
 			for j := range eps2 {
@@ -106,6 +110,18 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 				return fmt.Errorf("agglom: queue %d interval %d malformed [%d,%d]",
 					qi, i, q[i].start.pos, q[i].end.pos)
 			}
+			// The same conditions checkInvariants asserts: non-negative
+			// approximate DP errors within the (1+delta) growth bound, and
+			// prefix sums of squares non-decreasing in stream position.
+			if q[i].start.herr < 0 || q[i].end.herr < 0 ||
+				q[i].end.herr > (1+restored.delta)*q[i].start.herr {
+				return fmt.Errorf("agglom: queue %d interval %d has malformed HERROR (%g,%g)",
+					qi, i, q[i].start.herr, q[i].end.herr)
+			}
+			if q[i].start.sq < prevSq || q[i].end.sq < q[i].start.sq {
+				return fmt.Errorf("agglom: queue %d interval %d has decreasing SQSUM", qi, i)
+			}
+			prevSq = q[i].end.sq
 			prevEnd = q[i].end.pos
 		}
 		restored.queues[qi] = q
@@ -118,5 +134,9 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	restored.runningSq = runningSq
 	restored.herrTop = herrTop
 	*s = *restored
+	// Under the streamhist_invariants tag, re-assert the full queue
+	// invariants on the restored state (the decode loop validates
+	// positions, but not the HERROR growth bounds).
+	s.checkInvariants()
 	return nil
 }

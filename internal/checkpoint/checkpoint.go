@@ -50,11 +50,11 @@ func Save(fsys faults.FS, dir string, seen int64, blob []byte) error {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if _, err := f.Write(frame); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {

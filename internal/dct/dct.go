@@ -84,8 +84,11 @@ func Build(data []float64, b int) (*Synopsis, error) {
 	}
 	sort.Slice(idx, func(a, c int) bool {
 		ma, mc := math.Abs(full[idx[a]]), math.Abs(full[idx[c]])
-		if ma != mc {
-			return ma > mc
+		if ma > mc {
+			return true
+		}
+		if mc > ma {
+			return false
 		}
 		return idx[a] < idx[c]
 	})

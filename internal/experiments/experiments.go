@@ -35,6 +35,8 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // Fprint renders the table as aligned text.
+//
+//lint:ignore unchecked-err best-effort rendering into the caller's writer (stdout or a buffer); output errors are the caller's domain
 func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns))
@@ -79,6 +81,8 @@ func pad(s string, w int) string {
 
 // FprintCSV renders the table as CSV with a leading comment line carrying
 // the id and title, for plotting the figures.
+//
+//lint:ignore unchecked-err best-effort rendering into the caller's writer (stdout or a buffer); output errors are the caller's domain
 func (t *Table) FprintCSV(w io.Writer) {
 	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
 	cw := csv.NewWriter(w)

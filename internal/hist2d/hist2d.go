@@ -113,10 +113,10 @@ func Grid(points []Point, g int) (*Histogram2D, error) {
 		ymin = math.Min(ymin, p.Y)
 		ymax = math.Max(ymax, p.Y)
 	}
-	if xmin == xmax {
+	if xmax <= xmin { // xmax >= xmin by construction, so this is equality
 		xmax = xmin + 1
 	}
-	if ymin == ymax {
+	if ymax <= ymin {
 		ymax = ymin + 1
 	}
 	wx := (xmax - xmin) / float64(g)
@@ -251,10 +251,12 @@ func split(b *mhistBucket, alongX bool) (left, right *mhistBucket, ok bool) {
 	cut := v(pts[mid])
 	// Move the cut to an actual value change so neither side is empty.
 	i := mid
+	//lint:ignore float-eq pts is sorted by v; this walks the run of values bit-identical to the median cut
 	for i < len(pts) && v(pts[i]) == cut {
 		i++
 	}
 	j := mid
+	//lint:ignore float-eq same exact-run walk as above, leftwards
 	for j > 0 && v(pts[j-1]) == cut {
 		j--
 	}

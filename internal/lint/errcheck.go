@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr reports call statements that silently drop an error result:
+// a call whose results include an error used as a bare statement, or via
+// go/defer. Explicitly discarding with `_ =` is allowed — the point is
+// that dropping an error must be a visible decision, not an accident.
+//
+// Console output and infallible writers are exempt: the fmt.Print family,
+// fmt.Fprint* to os.Stdout/os.Stderr, and methods of strings.Builder and
+// bytes.Buffer (whose errors are documented to always be nil).
+type UncheckedErr struct{}
+
+// Name implements Rule.
+func (UncheckedErr) Name() string { return "unchecked-err" }
+
+// Doc implements Rule.
+func (UncheckedErr) Doc() string {
+	return "no silently dropped error results; handle, return, or discard with _ ="
+}
+
+// Check implements Rule.
+func (UncheckedErr) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	report := func(call *ast.CallExpr, how string) {
+		if !returnsError(p, call) || exemptCall(p, call) {
+			return
+		}
+		out = append(out, diag(p, call, UncheckedErr{}.Name(),
+			"%s%s drops its error result; handle it or discard explicitly with _ =", how, calleeLabel(p, call)))
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "call to ")
+				}
+			case *ast.GoStmt:
+				report(n.Call, "go statement on ")
+			case *ast.DeferStmt:
+				report(n.Call, "deferred call to ")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's result type is, or includes, the
+// built-in error interface.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[ast.Expr(call)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(tv.Type, errType)
+}
+
+// exemptCall applies the console/infallible-writer whitelist.
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	switch full := fn.FullName(); full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return len(call.Args) > 0 && (isStdStream(p, call.Args[0]) || isInfallibleWriter(p, call.Args[0]))
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && isInfallibleType(deref(recv.Type())) {
+		return true
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether the expression is (a pointer to) a
+// writer documented to never return a write error.
+func isInfallibleWriter(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isInfallibleType(deref(tv.Type))
+}
+
+func isInfallibleType(t types.Type) bool {
+	switch t.String() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e is syntactically os.Stdout or os.Stderr.
+func isStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// calleeFunc resolves the called function or method, or nil for indirect
+// calls, conversions and built-ins.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeLabel names the callee for a diagnostic, falling back to "function"
+// for indirect calls.
+func calleeLabel(p *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.Name()
+	}
+	return "function"
+}
+
+// deref strips one pointer level.
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

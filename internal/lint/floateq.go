@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != comparisons whose operands are floating-point
+// (or complex) values. Accumulated SSE and HERROR values carry rounding
+// error, so exact comparison is almost always a bug in this codebase —
+// comparisons must use a tolerance (e.g. math.Abs(a-b) <= eps).
+//
+// Comparing against the exact constant zero is exempt: zero is exactly
+// representable and `x == 0` is the established idiom for division guards
+// and unset-value sentinels. Everything else needs a tolerance or a
+// //lint:ignore with the reason the values are exact (e.g. quantized
+// integer data, piecewise-constant reconstruction).
+type FloatEq struct{}
+
+// Name implements Rule.
+func (FloatEq) Name() string { return "float-eq" }
+
+// Doc implements Rule.
+func (FloatEq) Doc() string {
+	return "no ==/!= on floating-point operands; compare with a tolerance"
+}
+
+// Check implements Rule.
+func (FloatEq) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if isFloat(p.Info.Types[be.X].Type) || isFloat(p.Info.Types[be.Y].Type) {
+				out = append(out, diag(p, be, FloatEq{}.Name(),
+					"floating-point %s comparison; use a tolerance (e.g. math.Abs(a-b) <= eps) or //lint:ignore with a reason", be.Op))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isZeroConst reports whether e is a constant expression exactly equal to
+// zero.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

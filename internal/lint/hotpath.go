@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathPragma marks a package whose non-error paths must stay
+// allocation-lean. The comment may appear in any non-test file of the
+// package, conventionally at the top of the package's main file:
+//
+//	//streamhist:hotpath
+const hotpathPragma = "streamhist:hotpath"
+
+// HotpathAlloc forbids fmt.Sprintf, fmt.Errorf and any reflect call in
+// packages tagged //streamhist:hotpath, except on error paths. A call
+// counts as being on an error path when it is part of a return statement
+// of a function whose results include an error, or part of a panic
+// argument — i.e. formatting is fine while constructing an error or a
+// panic message, and nowhere else.
+type HotpathAlloc struct{}
+
+// Name implements Rule.
+func (HotpathAlloc) Name() string { return "hotpath-alloc" }
+
+// Doc implements Rule.
+func (HotpathAlloc) Doc() string {
+	return "//streamhist:hotpath packages avoid fmt.Sprintf/fmt.Errorf/reflect outside error paths"
+}
+
+// Check implements Rule.
+func (HotpathAlloc) Check(p *Package) []Diagnostic {
+	if !isHotpath(p) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			label, banned := bannedHotpathCall(p, call)
+			if banned && !onErrorPath(p, stack) {
+				out = append(out, diag(p, call, HotpathAlloc{}.Name(),
+					"%s in hot-path package %s outside an error path", label, p.Types.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isHotpath reports whether any file of the package carries the pragma.
+func isHotpath(p *Package) bool {
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.TrimPrefix(c.Text, "//") == hotpathPragma {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// bannedHotpathCall reports whether the call targets fmt.Sprintf,
+// fmt.Errorf or anything in package reflect, and returns a label for the
+// diagnostic.
+func bannedHotpathCall(p *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return "", false
+	}
+	switch full := fn.FullName(); full {
+	case "fmt.Sprintf", "fmt.Errorf":
+		return "call to " + full, true
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "reflect" {
+		return "reflection via " + fn.FullName(), true
+	}
+	return "", false
+}
+
+// onErrorPath walks the ancestor stack (innermost last) of a call looking
+// for a panic argument or a return statement of an error-returning
+// function.
+func onErrorPath(p *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					return true
+				}
+			}
+		case *ast.ReturnStmt:
+			if fn := enclosingFuncType(p, stack[:i]); fn != nil && signatureReturnsError(fn) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFuncType finds the signature of the innermost function
+// declaration or literal in the stack.
+func enclosingFuncType(p *Package, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			sig, _ := p.Info.Types[ast.Expr(n)].Type.(*types.Signature)
+			return sig
+		case *ast.FuncDecl:
+			if fn, ok := p.Info.Defs[n.Name].(*types.Func); ok {
+				sig, _ := fn.Type().(*types.Signature)
+				return sig
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// signatureReturnsError reports whether any result of sig is the error
+// interface.
+func signatureReturnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

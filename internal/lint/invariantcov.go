@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// invariantMethod is the conventional name of the build-tag-gated
+// assertion hook (see the streamhist_invariants build tag).
+const invariantMethod = "checkInvariants"
+
+// InvariantCoverage enforces that once a type declares a checkInvariants
+// method, every exported pointer-receiver method that directly writes a
+// receiver field also calls checkInvariants somewhere in its body (a
+// deferred call counts). This keeps the assertion layer from silently
+// rotting: adding a new mutating method without wiring the hook is a lint
+// error, forever.
+//
+// Mutation detection is syntactic and conservative: only direct writes
+// through the receiver (s.f = v, s.f[i] = v, s.n++, ...) count. A method
+// that mutates solely by calling other (checked) mutating methods is not
+// flagged.
+type InvariantCoverage struct{}
+
+// Name implements Rule.
+func (InvariantCoverage) Name() string { return "invariant-coverage" }
+
+// Doc implements Rule.
+func (InvariantCoverage) Doc() string {
+	return "types with checkInvariants call it from every exported mutating method"
+}
+
+// Check implements Rule.
+func (InvariantCoverage) Check(p *Package) []Diagnostic {
+	methodsByType := make(map[string][]*ast.FuncDecl)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if name := receiverTypeName(fd.Recv.List[0].Type); name != "" {
+				methodsByType[name] = append(methodsByType[name], fd)
+			}
+		}
+	}
+	var out []Diagnostic
+	for typeName, methods := range methodsByType {
+		if !hasMethod(methods, invariantMethod) {
+			continue
+		}
+		for _, fd := range methods {
+			if !ast.IsExported(fd.Name.Name) || fd.Body == nil {
+				continue
+			}
+			recv := receiverObject(p, fd)
+			if recv == nil {
+				continue // unnamed receiver cannot mutate receiver state
+			}
+			if _, isPtr := fd.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+				continue // value receiver: writes do not escape the call
+			}
+			if mutatesReceiver(p, fd, recv) && !callsMethod(p, fd, recv, invariantMethod) {
+				out = append(out, diag(p, fd.Name, InvariantCoverage{}.Name(),
+					"exported mutating method %s.%s does not call %s", typeName, fd.Name.Name, invariantMethod))
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName extracts the base type name from a receiver type
+// expression, handling pointers and generic instantiations.
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+func hasMethod(methods []*ast.FuncDecl, name string) bool {
+	for _, fd := range methods {
+		if fd.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverObject resolves the receiver variable's object, or nil when the
+// receiver is unnamed or blank.
+func receiverObject(p *Package, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return p.Info.Defs[names[0]]
+}
+
+// mutatesReceiver reports whether the body contains a direct write to a
+// location rooted at the receiver variable.
+func mutatesReceiver(p *Package, fd *ast.FuncDecl, recv types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedAt(p, lhs, recv) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedAt(p, n.X, recv) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootedAt reports whether the assignable expression's base is the given
+// receiver object (s.f, s.f[i], (*s).f, ...).
+func rootedAt(p *Package, e ast.Expr, recv types.Object) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return p.Info.Uses[x] == recv
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// callsMethod reports whether the body contains recv.<name>() anywhere,
+// including behind defer.
+func callsMethod(p *Package, fd *ast.FuncDecl, recv types.Object, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

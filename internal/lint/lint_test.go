@@ -1,0 +1,149 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"streamhist/internal/lint"
+)
+
+// The golden tests run each rule over a seeded package under testdata/ and
+// compare the surviving diagnostics (so //lint:ignore suppression is
+// exercised too) against `// want "substring"` comments: a diagnostic must
+// land on the line of a want comment whose substring it contains, every
+// want must be matched, and nothing else may be reported.
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type want struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+func parseWants(t *testing.T, dir string) map[string][]*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[string][]*want)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				wants[path] = append(wants[path], &want{line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+func runGolden(t *testing.T, name string, rules []lint.Rule) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(dir, "streamlint.test/"+name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, rules)
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename] {
+			if w.line == d.Pos.Line && !w.matched && strings.Contains(d.Msg, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: want diagnostic containing %q, got none", file, w.line, w.substr)
+			}
+		}
+	}
+}
+
+func TestFloatEqGolden(t *testing.T) {
+	runGolden(t, "floateq", []lint.Rule{lint.FloatEq{}})
+}
+
+func TestMutexDisciplineGolden(t *testing.T) {
+	runGolden(t, "mutexd", []lint.Rule{lint.MutexDiscipline{}})
+}
+
+func TestUncheckedErrGolden(t *testing.T) {
+	runGolden(t, "errcheck", []lint.Rule{lint.UncheckedErr{}})
+}
+
+func TestHotpathAllocGolden(t *testing.T) {
+	runGolden(t, "hotpathd", []lint.Rule{lint.HotpathAlloc{}})
+}
+
+func TestInvariantCoverageGolden(t *testing.T) {
+	runGolden(t, "invcov", []lint.Rule{lint.InvariantCoverage{}})
+}
+
+// TestIgnoreSyntax checks that a malformed //lint:ignore directive is
+// itself reported, so a typo cannot silently disable a rule.
+func TestIgnoreSyntax(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "ignoresyntax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(dir, "streamlint.test/ignoresyntax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-directive reports: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "ignore-syntax" {
+			t.Errorf("got rule %q, want ignore-syntax: %s", d.Rule, d)
+		}
+	}
+}
+
+// TestRulesSelfClean asserts the analyzer itself is a clean package under
+// every rule — streamlint must pass its own gate.
+func TestRulesSelfClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("streamhist/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Run([]*lint.Package{pkg}, lint.AllRules()); len(diags) != 0 {
+		t.Errorf("streamlint is not self-clean:")
+		for _, d := range diags {
+			t.Errorf("  %s", d)
+		}
+	}
+}

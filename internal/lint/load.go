@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (_test.go) are never loaded: every streamlint rule
+// applies to production code only.
+type Package struct {
+	Path  string // import path, e.g. streamhist/internal/prefix
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library (go/parser, go/types, go/importer): module-internal imports
+// resolve to packages the loader has already checked, and everything else
+// — the standard library — is type-checked from source via the "source"
+// importer. No go/packages, no shelling out to the go tool.
+type Loader struct {
+	fset     *token.FileSet
+	ctxt     build.Context
+	std      types.Importer
+	modPath  string
+	modRoot  string
+	dirs     map[string]string // import path -> absolute dir
+	pkgs     map[string]*Package
+	checking map[string]bool // cycle detection
+}
+
+// NewLoader creates a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// The source importer type-checks dependencies from GOROOT/src; with
+	// cgo enabled it would need a C toolchain for packages like net, so
+	// force the pure-Go variants.
+	ctxt.CgoEnabled = false
+	build.Default.CgoEnabled = false
+	// Analyze the assertion-layer variant: the streamhist_invariants files
+	// hold the real checkInvariants bodies, so linting them (instead of
+	// the no-op stubs) covers the assertions themselves.
+	ctxt.BuildTags = append(ctxt.BuildTags, "streamhist_invariants")
+	fset := token.NewFileSet()
+	l := &Loader{
+		fset:     fset,
+		ctxt:     ctxt,
+		std:      importer.ForCompiler(fset, "source", nil),
+		modPath:  modPath,
+		modRoot:  root,
+		dirs:     make(map[string]string),
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// discover walks the module tree recording every directory that holds
+// buildable non-test Go files. testdata, hidden and vendor directories are
+// skipped, matching the go tool's conventions.
+func (l *Loader) discover() error {
+	return filepath.WalkDir(l.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := l.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.modRoot, path)
+		if err != nil {
+			return err
+		}
+		imp := l.modPath
+		if rel != "." {
+			imp = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// sourceFiles lists the non-test Go files in dir that match the default
+// build constraints (so exactly one variant of a build-tag-gated pair is
+// loaded).
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s/%s: %w", dir, name, err)
+		}
+		if match {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Load returns the type-checked package for an import path discovered in
+// the module, loading it (and its module-internal dependencies) on first
+// use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not found in module %s", path, l.modPath)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := checkPackage(l.fset, path, dir, names, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadAll loads every package in the module, sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Import implements types.Importer: module-internal paths resolve through
+// the loader, everything else through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks a single standalone directory (used by
+// the golden tests over testdata packages, which import only the standard
+// library).
+func LoadDir(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	return checkPackage(fset, importPath, dir, names, importer.ForCompiler(fset, "source", nil))
+}
+
+// checkPackage parses the named files and type-checks them as one package.
+func checkPackage(fset *token.FileSet, path, dir string, names []string, imp types.Importer) (*Package, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

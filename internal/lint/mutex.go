@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// MutexDiscipline enforces the "guarded by" annotation: a struct field
+// whose declaration carries a comment
+//
+//	fieldName T // guarded by mu
+//
+// may only be read or written inside functions that lock that mutex. The
+// check is a deliberately conservative approximation: a function counts as
+// "locking mu" if its body contains a call to <x>.mu.Lock() or
+// <x>.mu.RLock() anywhere — no flow sensitivity, no tracking of lock
+// hand-offs between functions. Helpers that run with the lock already held
+// (or before the value escapes to another goroutine, e.g. constructors)
+// must carry a //lint:ignore mutex-discipline directive with the reason.
+type MutexDiscipline struct{}
+
+// Name implements Rule.
+func (MutexDiscipline) Name() string { return "mutex-discipline" }
+
+// Doc implements Rule.
+func (MutexDiscipline) Doc() string {
+	return `fields annotated "// guarded by <mu>" are only accessed under <mu>.Lock/RLock`
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// Check implements Rule.
+func (MutexDiscipline) Check(p *Package) []Diagnostic {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedMutexes(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := p.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, guarded := guards[field]
+				if !guarded || locked[mu] {
+					return true
+				}
+				out = append(out, diag(p, sel, MutexDiscipline{}.Name(),
+					"%s is guarded by %s, but %s does not lock it", field.Name(), mu.Name(), fd.Name.Name))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectGuards maps each annotated field object to the mutex field object
+// named by its "guarded by" comment.
+func collectGuards(p *Package) map[*types.Var]*types.Var {
+	guards := make(map[*types.Var]*types.Var)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				muName, ok := guardAnnotation(f)
+				if !ok {
+					continue
+				}
+				mu := structFieldByName(p, st, muName)
+				if mu == nil {
+					continue // dangling annotation; nothing to enforce against
+				}
+				for _, name := range f.Names {
+					if fieldObj, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[fieldObj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// structFieldByName resolves a sibling field's object within the same
+// struct literal.
+func structFieldByName(p *Package, st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				v, _ := p.Info.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// lockedMutexes collects the field objects on which the body calls Lock or
+// RLock.
+func lockedMutexes(p *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	locked := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
+			return true
+		}
+		recv, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if selection := p.Info.Selections[recv]; selection != nil {
+			if field, ok := selection.Obj().(*types.Var); ok {
+				locked[field] = true
+			}
+		}
+		return true
+	})
+	return locked
+}

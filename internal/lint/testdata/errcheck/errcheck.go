@@ -1,0 +1,35 @@
+// Package errcheck seeds unchecked-err violations for the golden tests.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func dropped(name string) {
+	f, err := os.Open(name)
+	if err != nil {
+		return
+	}
+	f.Close()     // want "call to Close drops its error result"
+	_ = f.Close() // explicit discard is fine
+}
+
+func spawned(f func() error) {
+	go f()    // want "go statement on function drops its error result"
+	defer f() // want "deferred call to function drops its error result"
+}
+
+func console(w *strings.Builder) {
+	fmt.Println("hello")                // fmt console output is exempt
+	fmt.Fprintln(os.Stderr, "hello")    // stderr is exempt
+	fmt.Fprintf(w, "hello %d", 1)       // strings.Builder never fails
+	w.WriteString("hi")                 // infallible writer methods are exempt
+	fmt.Fprintf(os.NewFile(3, "x"), "") // want "call to Fprintf drops its error result"
+}
+
+func justified(f *os.File) {
+	//lint:ignore unchecked-err testing the escape hatch: best-effort cleanup
+	f.Close()
+}

@@ -1,0 +1,31 @@
+// Package floateq seeds float-eq violations for the golden tests.
+package floateq
+
+func equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func ordered(a, b float64) bool {
+	return a < b // comparisons other than ==/!= are fine
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is fine
+}
+
+func zeroGuard(a float64) bool {
+	return a == 0 // comparing against the exact constant zero is exempt
+}
+
+func halfSentinel(phi float64) bool {
+	//lint:ignore float-eq testing the escape hatch: 0.5 is exactly representable
+	return phi == 0.5
+}
+
+func halfUnjustified(phi float64) bool {
+	return phi == 0.25 // want "floating-point == comparison"
+}

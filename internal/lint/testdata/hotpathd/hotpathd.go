@@ -1,0 +1,35 @@
+// Package hotpathd seeds hotpath-alloc violations for the golden tests.
+//
+//streamhist:hotpath
+package hotpathd
+
+import (
+	"fmt"
+	"reflect"
+)
+
+func format(v float64) string {
+	return fmt.Sprintf("%g", v) // want "call to fmt.Sprintf in hot-path package"
+}
+
+func inspect(v any) bool {
+	return reflect.DeepEqual(v, nil) // want "reflection via reflect.DeepEqual"
+}
+
+func failing(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // error path: allowed
+	}
+	return nil
+}
+
+func crash(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n)) // panic argument: allowed
+	}
+}
+
+func justified(v float64) string {
+	//lint:ignore hotpath-alloc testing the escape hatch: cold diagnostics helper
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,9 @@
+// Package ignoresyntax seeds malformed suppression directives: both must
+// be reported as ignore-syntax diagnostics rather than silently accepted.
+package ignoresyntax
+
+//lint:ignore
+var missingEverything int
+
+//lint:ignore float-eq
+var missingReason float64

@@ -1,0 +1,48 @@
+// Package invcov seeds invariant-coverage violations for the golden tests.
+package invcov
+
+type stack struct {
+	items []int
+	top   int
+}
+
+func (s *stack) checkInvariants() {
+	if s.top != len(s.items) {
+		panic("invcov: top out of sync")
+	}
+}
+
+func (s *stack) Push(v int) { // want "exported mutating method stack.Push does not call checkInvariants"
+	s.items = append(s.items, v)
+	s.top++
+}
+
+func (s *stack) Pop() int {
+	defer s.checkInvariants() // deferred hook counts
+	s.top--
+	v := s.items[s.top]
+	s.items = s.items[:s.top]
+	return v
+}
+
+func (s *stack) Len() int {
+	return s.top // read-only methods need no hook
+}
+
+func (s stack) Reset() {
+	s.top = 0 // value receiver: the write never escapes
+}
+
+type plain struct {
+	n int
+}
+
+func (p *plain) Bump() {
+	p.n++ // type has no checkInvariants, so nothing is required
+}
+
+//lint:ignore invariant-coverage testing the escape hatch: delegates to Push internally
+func (s *stack) PushTwice(v int) { // suppressed by the directive above
+	s.items = append(s.items, v, v)
+	s.top += 2
+}

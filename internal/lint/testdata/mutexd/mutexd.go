@@ -1,0 +1,54 @@
+// Package mutexd seeds mutex-discipline violations for the golden tests.
+package mutexd
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is also protected.
+	// guarded by mu
+	hits int
+
+	free int // unannotated fields are not checked
+}
+
+func (c *counter) Locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	return c.n
+}
+
+func (c *counter) Unlocked() int {
+	return c.n // want "n is guarded by mu, but Unlocked does not lock it"
+}
+
+func (c *counter) PartiallyWrong() {
+	c.free++
+	c.hits++ // want "hits is guarded by mu, but PartiallyWrong does not lock it"
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+func (b *rwbox) Read() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v // RLock counts as holding the mutex
+}
+
+func outside(c *counter) int {
+	return c.n // want "n is guarded by mu, but outside does not lock it"
+}
+
+// newCounter builds the value before it escapes to any other goroutine.
+//
+//lint:ignore mutex-discipline testing the escape hatch: construction precedes sharing
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}

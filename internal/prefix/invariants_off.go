@@ -1,0 +1,13 @@
+//go:build !streamhist_invariants
+
+package prefix
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = false
+
+// checkInvariants is a no-op without the streamhist_invariants build tag;
+// the calls in every mutating method compile away.
+func (s *Sums) checkInvariants() {}
+
+func (s *SlidingSums) checkInvariants() {}

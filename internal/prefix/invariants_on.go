@@ -1,0 +1,70 @@
+//go:build streamhist_invariants
+
+package prefix
+
+import "fmt"
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = true
+
+// invariantScanWindow bounds how far back each check walks, keeping the
+// per-mutation cost O(1)-ish on long streams while still catching
+// corruption near the write frontier (where every mutation happens).
+const invariantScanWindow = 1024
+
+// checkInvariants asserts the structural invariants of a static prefix
+// store: parallel arrays, a base entry, and SQSUM monotone non-decreasing
+// (prefix sums of squares can never shrink — each step adds v^2 >= 0, and
+// IEEE addition of a non-negative term is monotone).
+func (s *Sums) checkInvariants() {
+	if len(s.sum) != len(s.sq) {
+		panic(fmt.Sprintf("prefix: invariant violation: len(SUM)=%d != len(SQSUM)=%d", len(s.sum), len(s.sq)))
+	}
+	if len(s.sum) == 0 {
+		panic("prefix: invariant violation: missing base prefix entry")
+	}
+	for i := scanStart(len(s.sq)); i < len(s.sq); i++ {
+		if s.sq[i] < s.sq[i-1] {
+			panic(fmt.Sprintf("prefix: invariant violation: SQSUM decreases at %d: %g -> %g", i-1, s.sq[i-1], s.sq[i]))
+		}
+	}
+}
+
+// checkInvariants asserts the sliding store's cyclic-buffer bounds and
+// rebasing invariants: the anchor stays inside [0, n), the window fill
+// never exceeds capacity, the arrays stay in lockstep, the rebased base
+// entries are exactly zero, and SQSUM' is monotone non-decreasing.
+func (s *SlidingSums) checkInvariants() {
+	if s.start < 0 || s.start >= s.n {
+		panic(fmt.Sprintf("prefix: invariant violation: anchor %d outside [0,%d)", s.start, s.n))
+	}
+	if s.size < 0 || s.size > s.n {
+		panic(fmt.Sprintf("prefix: invariant violation: fill %d outside [0,%d]", s.size, s.n))
+	}
+	if len(s.vals) != s.start+s.size {
+		panic(fmt.Sprintf("prefix: invariant violation: %d stored values, want anchor+fill=%d", len(s.vals), s.start+s.size))
+	}
+	if len(s.psum) != len(s.vals)+1 || len(s.psq) != len(s.vals)+1 {
+		panic(fmt.Sprintf("prefix: invariant violation: prefix arrays (%d,%d) out of lockstep with %d values", len(s.psum), len(s.psq), len(s.vals)))
+	}
+	if s.psum[0] != 0 || s.psq[0] != 0 {
+		panic(fmt.Sprintf("prefix: invariant violation: rebased base entries (%g,%g) not zero", s.psum[0], s.psq[0]))
+	}
+	if s.seen < int64(s.size) {
+		panic(fmt.Sprintf("prefix: invariant violation: seen=%d below window fill %d", s.seen, s.size))
+	}
+	for i := scanStart(len(s.psq)); i < len(s.psq); i++ {
+		if s.psq[i] < s.psq[i-1] {
+			panic(fmt.Sprintf("prefix: invariant violation: SQSUM' decreases at %d: %g -> %g", i-1, s.psq[i-1], s.psq[i]))
+		}
+	}
+}
+
+// scanStart returns the first index of the bounded suffix scan.
+func scanStart(n int) int {
+	if n > invariantScanWindow {
+		return n - invariantScanWindow
+	}
+	return 1
+}

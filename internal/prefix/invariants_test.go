@@ -1,0 +1,76 @@
+package prefix
+
+import "testing"
+
+// requireInvariantPanic runs f against deliberately corrupted state: under
+// -tags streamhist_invariants the assertion layer must panic, and without
+// the tag the no-op stubs must let f return normally.
+func requireInvariantPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if invariantsEnabled && r == nil {
+			t.Errorf("%s: corruption not caught by checkInvariants", name)
+		}
+		if !invariantsEnabled && r != nil {
+			t.Errorf("%s: stub checkInvariants panicked without the build tag: %v", name, r)
+		}
+	}()
+	f()
+}
+
+func TestSumsInvariantCorruption(t *testing.T) {
+	requireInvariantPanic(t, "sqsum decreases", func() {
+		s := NewSums([]float64{1, 2, 3})
+		s.sq[2] = s.sq[1] - 1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "arrays out of lockstep", func() {
+		s := NewSums([]float64{1, 2, 3})
+		s.sq = s.sq[:len(s.sq)-1]
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "missing base entry", func() {
+		s := &Sums{}
+		s.checkInvariants()
+	})
+}
+
+func TestSlidingSumsInvariantCorruption(t *testing.T) {
+	mk := func(t *testing.T) *SlidingSums {
+		t.Helper()
+		s, err := NewSlidingSums(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			s.Push(float64(i + 1))
+		}
+		return s
+	}
+	requireInvariantPanic(t, "anchor outside buffer", func() {
+		s := mk(t)
+		s.start = s.n + 3
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "fill exceeds capacity", func() {
+		s := mk(t)
+		s.size = s.n + 1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "rebased base entry not zero", func() {
+		s := mk(t)
+		s.psq[0] = 0.5
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "seen below window fill", func() {
+		s := mk(t)
+		s.seen = int64(s.size) - 1
+		s.checkInvariants()
+	})
+	requireInvariantPanic(t, "sqsum' decreases", func() {
+		s := mk(t)
+		s.psq[len(s.psq)-1] = s.psq[len(s.psq)-2] - 1
+		s.checkInvariants()
+	})
+}

@@ -1,3 +1,5 @@
+//streamhist:hotpath
+
 // Package prefix implements the prefix-sum stores used by every histogram
 // construction algorithm in this library. Maintaining SUM[1..i] and
 // SQSUM[1..i] (equation 3 of Guha & Koudas, ICDE 2002) lets SQERROR[i,j] —
@@ -41,6 +43,7 @@ func (s *Sums) Append(v float64) int {
 	n := len(s.sum)
 	s.sum = append(s.sum, s.sum[n-1]+v)
 	s.sq = append(s.sq, s.sq[n-1]+v*v)
+	s.checkInvariants()
 	return n
 }
 

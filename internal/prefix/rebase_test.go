@@ -1,0 +1,42 @@
+package prefix
+
+import "testing"
+
+// TestRebasePreservesQueriesExactly pins down the section 4.5 rebasing
+// step: compacting the arrays and subtracting the anchor prefix must not
+// change any query result at all. The stream is integer-valued, so every
+// prefix sum (and sum of squares) is an integer far below 2^53 — float64
+// arithmetic is exact and the comparison against a freshly built static
+// store can demand bit-for-bit equality, across many forced rebases.
+func TestRebasePreservesQueriesExactly(t *testing.T) {
+	const n = 32
+	s, err := NewSlidingSums(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebases := 0
+	for i := 0; i < 10*n+3; i++ {
+		prevStart := s.start
+		s.Push(float64((i * 7919) % 1000))
+		if s.start < prevStart {
+			rebases++
+		}
+		fresh := NewSums(s.Values())
+		last := s.Len() - 1
+		for _, r := range [][2]int{{0, last}, {0, 0}, {last, last}, {last / 3, 2 * last / 3}} {
+			lo, hi := r[0], r[1]
+			if got, want := s.RangeSum(lo, hi), fresh.RangeSum(lo, hi); got != want {
+				t.Fatalf("step %d: RangeSum(%d,%d) = %v, fresh store says %v", i, lo, hi, got, want)
+			}
+			if got, want := s.RangeSq(lo, hi), fresh.RangeSq(lo, hi); got != want {
+				t.Fatalf("step %d: RangeSq(%d,%d) = %v, fresh store says %v", i, lo, hi, got, want)
+			}
+			if got, want := s.SQError(lo, hi), fresh.SQError(lo, hi); got != want {
+				t.Fatalf("step %d: SQError(%d,%d) = %v, fresh store says %v", i, lo, hi, got, want)
+			}
+		}
+	}
+	if rebases == 0 {
+		t.Fatal("stream never forced a rebase; the test exercised nothing")
+	}
+}

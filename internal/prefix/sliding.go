@@ -86,6 +86,7 @@ func (s *SlidingSums) Push(v float64) {
 	if s.start >= s.n {
 		s.rebase()
 	}
+	s.checkInvariants()
 }
 
 // EvictOldest drops the oldest point without admitting a new one,
@@ -101,6 +102,7 @@ func (s *SlidingSums) EvictOldest() bool {
 	if s.start >= s.n {
 		s.rebase()
 	}
+	s.checkInvariants()
 	return true
 }
 

@@ -107,6 +107,8 @@ func Open(opts Options) (*Server, error) {
 // restored exactly (checkpoint + WAL replay); the whole-stream summaries
 // (quantiles, selectivity, running stats) are rebuilt from the replayed
 // WAL tail only, since their full history is bounded away by design.
+//
+//lint:ignore mutex-discipline recover runs single-threaded inside Open, before the listener or checkpoint loop exists
 func (s *Server) recover() error {
 	if err := s.fs.MkdirAll(s.opts.DataDir, 0o755); err != nil {
 		return fmt.Errorf("server: %w", err)

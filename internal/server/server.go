@@ -54,11 +54,11 @@ const (
 // with New or Open.
 type Server struct {
 	mu    sync.Mutex
-	fw    *core.FixedWindow
-	gk    *quantile.GK
-	sed   *vhist.StreamingEqualDepth
-	det   *drift.Detector
-	stats stream.Counter
+	fw    *core.FixedWindow          // guarded by mu
+	gk    *quantile.GK               // guarded by mu
+	sed   *vhist.StreamingEqualDepth // guarded by mu
+	det   *drift.Detector            // guarded by mu
+	stats stream.Counter             // guarded by mu
 
 	mux     *http.ServeMux
 	handler http.Handler

@@ -95,7 +95,7 @@ func EqualWidth(data []float64, b int) (*VHistogram, error) {
 			mx = v
 		}
 	}
-	if mn == mx {
+	if mx <= mn { // mx >= mn by construction, so this is equality
 		return &VHistogram{
 			buckets: []VBucket{{Lo: mn, Hi: mx, Count: float64(len(data))}},
 			total:   float64(len(data)),
@@ -175,6 +175,7 @@ func (s *StreamingEqualDepth) Histogram() (*VHistogram, error) {
 	for i <= s.b {
 		e := edges[i]
 		j := i
+		//lint:ignore float-eq GK returns duplicated edges verbatim for heavy values; merging needs exact identity
 		for j < s.b && edges[j+1] == e {
 			j++
 		}

@@ -1,0 +1,49 @@
+package vopt_test
+
+import (
+	"testing"
+
+	"streamhist/internal/core"
+	"streamhist/internal/vopt"
+)
+
+// FuzzCreateList drives the fixed-window CreateList maintainer (section 4.5
+// of the paper) with arbitrary byte streams and cross-checks the
+// approximation guarantee against the exact DP after every push:
+// ApproxError <= (1+eps) * HERROR_opt. The first byte picks the window
+// capacity, bucket budget and precision; the rest are the stream.
+func FuzzCreateList(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 255, 255, 255, 0, 255})
+	f.Add([]byte{213, 17, 92, 92, 92, 4, 200, 13, 54})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		if len(data) > 300 {
+			data = data[:300] // bound per-input cost: vopt.Error is O(n^2 b) per push
+		}
+		n := 1 + int(data[0])%32
+		b := 1 + int(data[0]>>5)
+		eps := 0.05 + 0.05*float64(data[0]%7)
+		fw, err := core.New(n, b, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range data[1:] {
+			fw.Push(float64(c))
+			if fw.Len() < 2 {
+				continue
+			}
+			opt, err := vopt.Error(fw.Window(), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := (1+eps)*opt + 1e-6
+			if got := fw.ApproxError(); got > bound {
+				t.Fatalf("n=%d b=%d eps=%g seen=%d: ApproxError %v > (1+eps)*opt %v",
+					n, b, eps, fw.Seen(), got, bound)
+			}
+		}
+	})
+}

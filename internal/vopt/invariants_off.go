@@ -1,0 +1,14 @@
+//go:build !streamhist_invariants
+
+package vopt
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = false
+
+// The assertion hooks are no-ops without the streamhist_invariants build
+// tag; the calls in Build and Error compile away.
+
+func assertHERRORMonotone(prev, cur []float64, k int) {}
+
+func assertBoundariesSorted(boundaries []int, n int) {}

@@ -1,0 +1,39 @@
+//go:build streamhist_invariants
+
+package vopt
+
+import "fmt"
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = true
+
+// herrorSlack absorbs the rounding difference between the two DP levels,
+// which evaluate SQERROR along different split points.
+const herrorSlack = 1e-9
+
+// assertHERRORMonotone asserts that the optimal error can only shrink when
+// a bucket is added: after computing level k (0-based; k+1 buckets), every
+// HERROR[j, k+1] in cur must be at most HERROR[j, k] in prev, up to float
+// slack. A violation means the DP recurrence or its early-exit scan is
+// broken.
+func assertHERRORMonotone(prev, cur []float64, k int) {
+	for j := range cur {
+		if cur[j] > prev[j]+herrorSlack*(1+prev[j]) {
+			panic(fmt.Sprintf("vopt: invariant violation: HERROR[%d,%d]=%g exceeds HERROR[%d,%d]=%g — error grew when adding a bucket", j, k+1, cur[j], j, k, prev[j]))
+		}
+	}
+}
+
+// assertBoundariesSorted asserts the reconstructed bucket right-boundaries
+// strictly increase and end at the last position.
+func assertBoundariesSorted(boundaries []int, n int) {
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic(fmt.Sprintf("vopt: invariant violation: bucket boundaries %v not strictly increasing at %d", boundaries, i))
+		}
+	}
+	if len(boundaries) > 0 && boundaries[len(boundaries)-1] != n-1 {
+		panic(fmt.Sprintf("vopt: invariant violation: last boundary %d does not cover position %d", boundaries[len(boundaries)-1], n-1))
+	}
+}

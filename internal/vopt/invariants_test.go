@@ -1,0 +1,39 @@
+package vopt
+
+import "testing"
+
+// requireInvariantPanic runs f against inputs that violate a DP invariant:
+// under -tags streamhist_invariants the assertion must panic, and without
+// the tag the no-op stubs must let f return normally.
+func requireInvariantPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if invariantsEnabled && r == nil {
+			t.Errorf("%s: violation not caught by the assertion", name)
+		}
+		if !invariantsEnabled && r != nil {
+			t.Errorf("%s: stub assertion panicked without the build tag: %v", name, r)
+		}
+	}()
+	f()
+}
+
+func TestHERRORMonotoneAssertion(t *testing.T) {
+	requireInvariantPanic(t, "error grows when adding a bucket", func() {
+		assertHERRORMonotone([]float64{5, 3}, []float64{5, 4}, 0)
+	})
+	// Shrinking (or equal) errors must never trip the assertion in either
+	// build variant.
+	assertHERRORMonotone([]float64{5, 3}, []float64{4, 3}, 0)
+}
+
+func TestBoundariesSortedAssertion(t *testing.T) {
+	requireInvariantPanic(t, "boundaries out of order", func() {
+		assertBoundariesSorted([]int{3, 2, 4}, 5)
+	})
+	requireInvariantPanic(t, "last boundary does not cover the sequence", func() {
+		assertBoundariesSorted([]int{1, 3}, 5)
+	})
+	assertBoundariesSorted([]int{0, 2, 4}, 5)
+}

@@ -1,3 +1,5 @@
+//streamhist:hotpath
+
 // Package vopt implements the optimal V-optimal histogram construction
 // algorithm of Jagadish et al. (VLDB 1998), reproduced as Figure 2
 // ("Algorithm OptimalHistogram") of Guha & Koudas (ICDE 2002). Given n data
@@ -77,6 +79,7 @@ func Build(data []float64, b int) (*Result, error) {
 			cur[j] = best
 			back[k][j] = int32(bestI)
 		}
+		assertHERRORMonotone(prev, cur, k)
 		prev, cur = cur, prev
 	}
 
@@ -91,6 +94,7 @@ func Build(data []float64, b int) (*Result, error) {
 	for l, r := 0, len(boundaries)-1; l < r; l, r = l+1, r-1 {
 		boundaries[l], boundaries[r] = boundaries[r], boundaries[l]
 	}
+	assertBoundariesSorted(boundaries, n)
 	h, err := histogram.New(data, boundaries)
 	if err != nil {
 		return nil, fmt.Errorf("vopt: internal reconstruction error: %w", err)
@@ -167,6 +171,7 @@ func Error(data []float64, b int) (float64, error) {
 			}
 			cur[j] = best
 		}
+		assertHERRORMonotone(prev, cur, k)
 		prev, cur = cur, prev
 	}
 	return prev[n-1], nil

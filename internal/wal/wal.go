@@ -312,7 +312,9 @@ func (w *WAL) rotate(nextStart int64) error {
 
 func (w *WAL) closeCur() {
 	if w.cur != nil {
-		w.cur.Close()
+		// Best-effort: the segment was either just synced or is being
+		// poisoned after a failed write; the primary error wins.
+		_ = w.cur.Close()
 		w.cur = nil
 	}
 }
@@ -329,16 +331,16 @@ func (w *WAL) newSegment(start int64) error {
 	copy(hdr, magic)
 	binary.LittleEndian.PutUint64(hdr[len(magic):], uint64(start))
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
 	if w.syncEvery {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := w.fs.SyncDir(w.dir); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("wal: %w", err)
 		}
 	}

@@ -151,8 +151,11 @@ func (s *Synopsis) selectTop(b int) {
 	}
 	sort.Slice(s.rank, func(a, b int) bool {
 		wa, wb := weight(s.rank[a]), weight(s.rank[b])
-		if wa != wb {
-			return wa > wb
+		if wa > wb {
+			return true
+		}
+		if wb > wa {
+			return false
 		}
 		return s.rank[a] < s.rank[b]
 	})

@@ -1,0 +1,11 @@
+//go:build !streamhist_invariants
+
+package window
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = false
+
+// checkInvariants is a no-op without the streamhist_invariants build tag;
+// the call in Push compiles away.
+func (r *Ring) checkInvariants() {}

@@ -1,0 +1,29 @@
+//go:build streamhist_invariants
+
+package window
+
+import "fmt"
+
+// invariantsEnabled reports whether this build carries the always-on
+// assertion layer (see the streamhist_invariants build tag).
+const invariantsEnabled = true
+
+// checkInvariants asserts the cyclic-index bounds of the ring: the head
+// stays inside the buffer, the fill inside the capacity, the head is
+// pinned to zero until the window first fills, and the push counter can
+// never undercount the buffered points.
+func (r *Ring) checkInvariants() {
+	n := len(r.buf)
+	if r.head < 0 || r.head >= n {
+		panic(fmt.Sprintf("window: invariant violation: head %d outside [0,%d)", r.head, n))
+	}
+	if r.size < 0 || r.size > n {
+		panic(fmt.Sprintf("window: invariant violation: size %d outside [0,%d]", r.size, n))
+	}
+	if r.size < n && r.head != 0 {
+		panic(fmt.Sprintf("window: invariant violation: head %d moved before the window filled (%d/%d)", r.head, r.size, n))
+	}
+	if r.seen < int64(r.size) {
+		panic(fmt.Sprintf("window: invariant violation: seen=%d below fill %d", r.seen, r.size))
+	}
+}

@@ -1,0 +1,54 @@
+package window
+
+import "testing"
+
+// requireInvariantPanic runs f against deliberately corrupted state: under
+// -tags streamhist_invariants the assertion layer must panic, and without
+// the tag the no-op stubs must let f return normally.
+func requireInvariantPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if invariantsEnabled && r == nil {
+			t.Errorf("%s: corruption not caught by checkInvariants", name)
+		}
+		if !invariantsEnabled && r != nil {
+			t.Errorf("%s: stub checkInvariants panicked without the build tag: %v", name, r)
+		}
+	}()
+	f()
+}
+
+func TestRingInvariantCorruption(t *testing.T) {
+	mk := func(t *testing.T, pushes int) *Ring {
+		t.Helper()
+		r, err := NewRing(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pushes; i++ {
+			r.Push(float64(i))
+		}
+		return r
+	}
+	requireInvariantPanic(t, "head outside buffer", func() {
+		r := mk(t, 5)
+		r.head = len(r.buf) + 3
+		r.checkInvariants()
+	})
+	requireInvariantPanic(t, "fill exceeds capacity", func() {
+		r := mk(t, 5)
+		r.size = len(r.buf) + 1
+		r.checkInvariants()
+	})
+	requireInvariantPanic(t, "head moved before the window filled", func() {
+		r := mk(t, 1)
+		r.head = 1
+		r.checkInvariants()
+	})
+	requireInvariantPanic(t, "seen below fill", func() {
+		r := mk(t, 3)
+		r.seen = 1
+		r.checkInvariants()
+	})
+}

@@ -1,3 +1,5 @@
+//streamhist:hotpath
+
 // Package window implements the cyclic buffer M[0..n-1] of section 3 of
 // Guha & Koudas (ICDE 2002): a sliding window over a data stream in which,
 // when point i >= n arrives, the temporally oldest point is evicted and the
@@ -38,6 +40,7 @@ func (r *Ring) Seen() int64 { return r.seen }
 // Push inserts v, evicting the oldest point if full. It returns the evicted
 // value and whether an eviction happened.
 func (r *Ring) Push(v float64) (evicted float64, wasFull bool) {
+	defer r.checkInvariants()
 	if r.size < len(r.buf) {
 		r.buf[(r.head+r.size)%len(r.buf)] = v
 		r.size++
