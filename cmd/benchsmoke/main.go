@@ -1,0 +1,106 @@
+// Command benchsmoke measures the fixed-window push hot path with
+// instrumentation detached and attached, and writes the pair (plus the
+// relative overhead) as JSON. CI runs it on every change and commits the
+// result as BENCH_<tag>.json, so the repository carries a trajectory of
+// hot-path cost alongside the code:
+//
+//	go run ./cmd/benchsmoke -o BENCH_pr3.json
+//
+// The disabled-metrics number is the one guarded by the project's
+// performance budget: instrumentation that is off must cost nothing but
+// nil checks and add zero allocations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"streamhist"
+)
+
+// pushConfig is the benchmarked maintainer configuration, recorded in the
+// output so runs stay comparable across revisions.
+type pushConfig struct {
+	Window  int     `json:"window"`
+	Buckets int     `json:"buckets"`
+	Eps     float64 `json:"eps"`
+	Delta   float64 `json:"delta"`
+}
+
+var cfg = pushConfig{Window: 1024, Buckets: 12, Eps: 0.1, Delta: 0.1}
+
+// measurement is one benchmark run in digestible units.
+type measurement struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func toMeasurement(r testing.BenchmarkResult) measurement {
+	return measurement{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func benchPush(reg *streamhist.Metrics) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		m, err := streamhist.NewFixedWindow(cfg.Window, cfg.Buckets, cfg.Eps,
+			streamhist.WithDelta(cfg.Delta), streamhist.WithMetrics(reg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 17, Quantize: true})
+		for i := 0; i < cfg.Window; i++ { // reach steady state first
+			m.Push(g.Next())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Push(g.Next())
+		}
+	})
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	off := benchPush(nil)
+	on := benchPush(streamhist.NewMetrics())
+	offM, onM := toMeasurement(off), toMeasurement(on)
+
+	report := map[string]any{
+		"bench":  "FixedWindow.Push",
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"config": cfg,
+		"results": map[string]any{
+			"metrics_off": offM,
+			"metrics_on":  onM,
+		},
+		"metrics_overhead_pct": 100 * (onM.NsPerOp - offM.NsPerOp) / offM.NsPerOp,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsmoke: wrote %s (off %.0f ns/op, on %.0f ns/op)\n", *out, offM.NsPerOp, onM.NsPerOp)
+}

@@ -100,9 +100,9 @@ func main() {
 	}
 }
 
-func newWindow(n, b int, eps, delta float64) (*streamhist.FixedWindow, error) {
+func newWindow(n, b int, eps, delta float64) (*streamhist.Maintainer, error) {
 	if delta > 0 {
-		return streamhist.NewFixedWindowDelta(n, b, eps, delta)
+		return streamhist.NewFixedWindow(n, b, eps, streamhist.WithDelta(delta))
 	}
 	return streamhist.NewFixedWindow(n, b, eps)
 }
@@ -122,7 +122,7 @@ func newGenerator(name string, seed int64) (streamhist.Generator, error) {
 	}
 }
 
-func printSummary(fw *streamhist.FixedWindow) {
+func printSummary(fw *streamhist.Maintainer) {
 	res, err := fw.Histogram()
 	if err != nil {
 		fatal(err)
@@ -134,7 +134,7 @@ func printSummary(fw *streamhist.FixedWindow) {
 	}
 }
 
-func answerQueries(fw *streamhist.FixedWindow, spec string) error {
+func answerQueries(fw *streamhist.Maintainer, spec string) error {
 	res, err := fw.Histogram()
 	if err != nil {
 		return err

@@ -43,7 +43,7 @@ func TestNewWindowDeltaSelection(t *testing.T) {
 }
 
 func TestAnswerQueries(t *testing.T) {
-	fw, err := streamhist.NewFixedWindowDelta(16, 2, 0.5, 0.5)
+	fw, err := streamhist.NewFixedWindow(16, 2, 0.5, streamhist.WithDelta(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,16 @@
 //	curl -X POST --data-binary @window.snap localhost:8080/restore
 //	curl localhost:8080/healthz
 //	curl localhost:8080/readyz
+//	curl localhost:8080/metrics          # with -metrics (default on)
+//	go tool pprof localhost:8080/debug/pprof/profile  # with -pprof
+//
+// Observability: with -metrics (the default) every layer is instrumented
+// into one registry — fixed-window maintenance, the agglomerative
+// summary, WAL fsyncs, checkpoints, and per-endpoint HTTP counters and
+// latency quantiles — served at GET /metrics in Prometheus text format.
+// The latency quantiles are computed by the library's own Greenwald-
+// Khanna summaries. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (off by default: profiles expose more than metrics do).
 //
 // Durability: with -data-dir set, every acknowledged ingest batch is
 // appended to a write-ahead log before it is applied, and the window
@@ -48,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"streamhist/internal/obs"
 	"streamhist/internal/server"
 )
 
@@ -65,10 +76,16 @@ func main() {
 		maxBody  = flag.Int64("maxbody", 32<<20, "maximum request body bytes for /ingest and /restore (413 beyond)")
 		reqTmo   = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0: none)")
 		shutTmo  = flag.Duration("shutdown-timeout", 10*time.Second, "deadline for draining in-flight requests at shutdown")
+		metrics  = flag.Bool("metrics", true, "instrument all layers and serve GET /metrics in Prometheus text format")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *delta == 0 {
 		*delta = *eps
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 	s, err := server.Open(server.Options{
 		Window:             *window,
@@ -81,6 +98,8 @@ func main() {
 		DataDir:            *dataDir,
 		CheckpointInterval: *ckptIvl,
 		SyncEveryAppend:    *fsync,
+		Metrics:            reg,
+		EnablePprof:        *pprof,
 	})
 	if err != nil {
 		log.Fatal(err)

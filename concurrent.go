@@ -1,105 +1,67 @@
 package streamhist
 
-import (
-	"sync"
-
-	"streamhist/internal/core"
-)
-
-// ConcurrentFixedWindow wraps a FixedWindow for use from multiple
-// goroutines: a producer pushing stream points while consumers query the
-// current histogram. All operations are serialized by a mutex; the
-// underlying per-point maintenance cost dominates, so finer-grained
+// ConcurrentFixedWindow wraps a fixed-window maintainer for use from
+// multiple goroutines: a producer pushing stream points while consumers
+// query the current histogram. All operations are serialized by a mutex;
+// the underlying per-point maintenance cost dominates, so finer-grained
 // locking buys nothing.
+//
+// Deprecated: use NewFixedWindow with WithConcurrency, which this type
+// now delegates to.
 type ConcurrentFixedWindow struct {
-	mu sync.Mutex
-	fw *core.FixedWindow
+	m *Maintainer
 }
 
 // NewConcurrentFixedWindow creates a goroutine-safe fixed-window
 // maintainer with the same parameters as NewFixedWindow.
+//
+// Deprecated: use NewFixedWindow with WithConcurrency.
 func NewConcurrentFixedWindow(n, b int, eps float64) (*ConcurrentFixedWindow, error) {
-	fw, err := core.New(n, b, eps)
+	m, err := NewFixedWindow(n, b, eps, WithConcurrency())
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentFixedWindow{fw: fw}, nil
+	return &ConcurrentFixedWindow{m: m}, nil
 }
 
 // NewConcurrentFixedWindowDelta is the goroutine-safe counterpart of
 // NewFixedWindowDelta.
+//
+// Deprecated: use NewFixedWindow with WithConcurrency and WithDelta.
 func NewConcurrentFixedWindowDelta(n, b int, eps, delta float64) (*ConcurrentFixedWindow, error) {
-	fw, err := core.NewWithDelta(n, b, eps, delta)
+	m, err := NewFixedWindow(n, b, eps, WithConcurrency(), WithDelta(delta))
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentFixedWindow{fw: fw}, nil
+	return &ConcurrentFixedWindow{m: m}, nil
 }
 
 // Push consumes the next stream point with full per-point maintenance.
-func (c *ConcurrentFixedWindow) Push(v float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.fw.Push(v)
-}
+func (c *ConcurrentFixedWindow) Push(v float64) { c.m.Push(v) }
 
 // PushLazy consumes a point, deferring maintenance to the next query.
-func (c *ConcurrentFixedWindow) PushLazy(v float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.fw.PushLazy(v)
-}
+func (c *ConcurrentFixedWindow) PushLazy(v float64) { c.m.PushLazy(v) }
 
 // PushBatch consumes a batch with one maintenance pass.
-func (c *ConcurrentFixedWindow) PushBatch(vs []float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.fw.PushBatch(vs)
-}
+func (c *ConcurrentFixedWindow) PushBatch(vs []float64) { c.m.PushBatch(vs) }
 
 // Histogram extracts the current histogram; the result is a private copy
 // safe to use after the call returns.
 func (c *ConcurrentFixedWindow) Histogram() (*FixedWindowResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	res, err := c.fw.Histogram()
-	if err != nil {
-		return nil, err
-	}
-	return &FixedWindowResult{Histogram: res.Histogram.Clone(), SSE: res.SSE}, nil
+	return c.m.Histogram()
 }
 
 // ApproxError returns the current approximate B-bucket error.
-func (c *ConcurrentFixedWindow) ApproxError() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fw.ApproxError()
-}
+func (c *ConcurrentFixedWindow) ApproxError() float64 { return c.m.ApproxError() }
 
 // Window returns a copy of the current window contents.
-func (c *ConcurrentFixedWindow) Window() []float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fw.Window()
-}
+func (c *ConcurrentFixedWindow) Window() []float64 { return c.m.Window() }
 
 // Len returns the current window fill.
-func (c *ConcurrentFixedWindow) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fw.Len()
-}
+func (c *ConcurrentFixedWindow) Len() int { return c.m.Len() }
 
 // Seen returns the total number of points pushed.
-func (c *ConcurrentFixedWindow) Seen() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fw.Seen()
-}
+func (c *ConcurrentFixedWindow) Seen() int64 { return c.m.Seen() }
 
 // WindowStart returns the stream position of the oldest buffered point.
-func (c *ConcurrentFixedWindow) WindowStart() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fw.WindowStart()
-}
+func (c *ConcurrentFixedWindow) WindowStart() int64 { return c.m.WindowStart() }

@@ -36,6 +36,21 @@
 //	res, err := fw.Histogram()
 //	sum := res.Histogram.EstimateRangeSum(100, 900) // positions in window
 //
+// NewFixedWindow takes functional options selecting the maintainer
+// variants: WithDelta for an explicit accuracy/speed growth factor,
+// WithSpan for a time-based window ("the latest T seconds"), and
+// WithConcurrency for goroutine-safety. WithMetrics attaches hot-path
+// instrumentation to a Metrics registry, served in Prometheus text format
+// by its Handler:
+//
+//	reg := streamhist.NewMetrics()
+//	fw, err := streamhist.NewFixedWindow(4096, 16, 0.1,
+//		streamhist.WithSpan(time.Hour),
+//		streamhist.WithConcurrency(),
+//		streamhist.WithMetrics(reg))
+//	...
+//	http.Handle("/metrics", reg.Handler())
+//
 // See the examples directory for complete programs and EXPERIMENTS.md for
 // the reproduction of the paper's evaluation.
 package streamhist

@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math"
 
+	"streamhist/internal/errs"
 	"streamhist/internal/histogram"
+	"streamhist/internal/obs"
 )
 
 // endpoint is a stream position at which the algorithm snapshotted the
@@ -55,16 +57,40 @@ type Summary struct {
 
 	herr    []float64 // scratch: herr[k] = HERROR[current, k+1]
 	herrTop float64   // approximate HERROR[n-1, B]
+
+	// Observability (all handles nil until SetRegistry; nil handles no-op).
+	m aggMetrics
+}
+
+// aggMetrics holds the summary's instrumentation handles; the zero value
+// (all nil) is the disabled state.
+type aggMetrics struct {
+	points    *obs.Counter // points consumed
+	opened    *obs.Counter // intervals opened (error grew past (1+delta))
+	extended  *obs.Counter // interval endpoint extensions (the "merge" case)
+	endpoints *obs.Gauge   // stored endpoints across all queues
+}
+
+// SetRegistry attaches the summary to a metrics registry, registering its
+// series there. A nil registry detaches instrumentation.
+func (s *Summary) SetRegistry(reg *obs.Registry) {
+	s.m = aggMetrics{
+		points:    reg.Counter("streamhist_agglom_points_total", "Points consumed by the agglomerative whole-stream summary."),
+		opened:    reg.Counter("streamhist_agglom_intervals_opened_total", "Interval-queue intervals opened (per-level error grew past the (1+delta) budget)."),
+		extended:  reg.Counter("streamhist_agglom_interval_extensions_total", "Interval endpoint extensions (arrivals absorbed into the last interval)."),
+		endpoints: reg.Gauge("streamhist_agglom_endpoints", "Stored interval endpoints across all queues (the summary's working set)."),
+	}
+	s.checkInvariants()
 }
 
 // New creates an agglomerative summary targeting b buckets with precision
 // eps (the histogram error is within a (1+eps) factor of optimal).
 func New(b int, eps float64) (*Summary, error) {
 	if b <= 0 {
-		return nil, fmt.Errorf("agglom: need at least one bucket, got %d", b)
+		return nil, fmt.Errorf("agglom: %w, got %d", errs.ErrBadBuckets, b)
 	}
 	if eps <= 0 {
-		return nil, fmt.Errorf("agglom: precision must be positive, got %g", eps)
+		return nil, fmt.Errorf("agglom: %w, got %g", errs.ErrBadEpsilon, eps)
 	}
 	s := &Summary{
 		b:     b,
@@ -144,14 +170,21 @@ func (s *Summary) Push(v float64) {
 		q := s.queues[k]
 		if len(q) == 0 {
 			s.queues[k] = append(q, interval{start: ep, end: ep})
+			s.m.opened.Inc()
 			continue
 		}
 		last := &q[len(q)-1]
 		if s.herr[k] > (1+s.delta)*last.start.herr {
 			s.queues[k] = append(q, interval{start: ep, end: ep})
+			s.m.opened.Inc()
 		} else {
 			last.end = ep
+			s.m.extended.Inc()
 		}
+	}
+	s.m.points.Inc()
+	if s.m.endpoints != nil {
+		s.m.endpoints.Set(float64(s.StoredEndpoints()))
 	}
 	s.checkInvariants()
 }

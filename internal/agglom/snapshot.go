@@ -133,6 +133,7 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	restored.runningSum = runningSum
 	restored.runningSq = runningSq
 	restored.herrTop = herrTop
+	restored.m = s.m // the metrics attachment survives a restore
 	*s = *restored
 	// Under the streamhist_invariants tag, re-assert the full queue
 	// invariants on the restored state (the decode loop validates

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 
+	"streamhist/internal/errs"
 	"streamhist/internal/histogram"
+	"streamhist/internal/obs"
 	"streamhist/internal/prefix"
 )
 
@@ -51,13 +53,48 @@ type FixedWindow struct {
 	// Instrumentation for the ablation experiments.
 	evals      int64 // HERROR evaluations since creation
 	candidates int64 // candidate endpoints inspected across evaluations
+
+	// Observability (all handles nil until SetRegistry; nil handles no-op).
+	m        fwMetrics
+	pending  int64 // points pushed since the last rebuild
+	expEvals int64 // evals already exported to m.evals
+	expCands int64 // candidates already exported to m.candidates
+}
+
+// fwMetrics holds the maintainer's instrumentation handles. The zero
+// value (all nil) is the disabled state: every operation on a nil obs
+// handle is an allocation-free no-op, keeping Push at its uninstrumented
+// cost when no registry is attached.
+type fwMetrics struct {
+	push        *obs.Track   // full-maintenance Push latency
+	rebuilds    *obs.Counter // interval-queue rebuilds
+	createLists *obs.Counter // CreateList invocations (one per level per rebuild)
+	evals       *obs.Counter // HERROR evaluations (binary-search probes)
+	candidates  *obs.Counter // boundary candidates inspected across evaluations
+	flushes     *obs.Counter // lazy/batched maintenance passes
+	flushPoints *obs.Counter // points applied by those passes
+}
+
+// SetRegistry attaches the maintainer to a metrics registry, registering
+// its series there; the same registry may back any number of maintainers
+// (their counts aggregate). A nil registry detaches instrumentation.
+func (f *FixedWindow) SetRegistry(reg *obs.Registry) {
+	f.m = fwMetrics{
+		push:        reg.Track("streamhist_core_push_seconds", "Full per-point maintenance (Push) latency in seconds."),
+		rebuilds:    reg.Counter("streamhist_core_rebuilds_total", "Interval-queue rebuilds (one per Push, one per lazy flush)."),
+		createLists: reg.Counter("streamhist_core_createlist_total", "CreateList invocations (one per queue level per rebuild)."),
+		evals:       reg.Counter("streamhist_core_herr_evals_total", "Approximate HERROR evaluations (binary-search probes)."),
+		candidates:  reg.Counter("streamhist_core_herr_candidates_total", "Boundary candidates inspected across HERROR evaluations."),
+		flushes:     reg.Counter("streamhist_core_lazy_flushes_total", "Deferred maintenance passes (PushLazy bursts and PushBatch calls)."),
+		flushPoints: reg.Counter("streamhist_core_lazy_flush_points_total", "Points applied by deferred maintenance passes."),
+	}
 }
 
 // New creates a fixed-window maintainer for windows of capacity n, b
 // buckets and precision eps; delta is set to eps/(2B) as in the paper.
 func New(n, b int, eps float64) (*FixedWindow, error) {
 	if eps <= 0 {
-		return nil, fmt.Errorf("core: precision must be positive, got %g", eps)
+		return nil, fmt.Errorf("core: %w, got %g", errs.ErrBadEpsilon, eps)
 	}
 	return NewWithDelta(n, b, eps, eps/(2*float64(b)))
 }
@@ -68,10 +105,10 @@ func New(n, b int, eps float64) (*FixedWindow, error) {
 // reproducible and enables the delta-sensitivity ablation.
 func NewWithDelta(n, b int, eps, delta float64) (*FixedWindow, error) {
 	if b <= 0 {
-		return nil, fmt.Errorf("core: need at least one bucket, got %d", b)
+		return nil, fmt.Errorf("core: %w, got %d", errs.ErrBadBuckets, b)
 	}
 	if delta <= 0 {
-		return nil, fmt.Errorf("core: delta must be positive, got %g", delta)
+		return nil, fmt.Errorf("core: %w, got delta %g", errs.ErrBadDelta, delta)
 	}
 	sums, err := prefix.NewSlidingSums(n)
 	if err != nil {
@@ -118,8 +155,11 @@ func (f *FixedWindow) Evals() (evaluations, candidatesInspected int64) {
 // maintenance of Figure 5: slide the window, then rebuild the interval
 // queues with CreateList and recompute the approximate B-bucket error.
 func (f *FixedWindow) Push(v float64) {
+	start := f.m.push.Start()
 	f.sums.Push(v)
+	f.pending++
 	f.rebuild()
+	f.m.push.ObserveSince(start)
 }
 
 // PushLazy consumes the next stream point but defers queue maintenance to
@@ -127,6 +167,7 @@ func (f *FixedWindow) Push(v float64) {
 // queries; Push is the faithful per-point algorithm.
 func (f *FixedWindow) PushLazy(v float64) {
 	f.sums.Push(v)
+	f.pending++
 	f.dirty = true
 }
 
@@ -138,6 +179,7 @@ func (f *FixedWindow) PushBatch(vs []float64) {
 	for _, v := range vs {
 		f.sums.Push(v)
 	}
+	f.pending += int64(len(vs))
 	f.rebuild()
 }
 
@@ -170,10 +212,12 @@ func (f *FixedWindow) ensureFresh() {
 // recomputes the approximate top-level error. This is the body of
 // Algorithm FixedWindowHistogram.
 func (f *FixedWindow) rebuild() {
+	lazy := f.dirty
 	f.dirty = false
 	w := f.sums.Len()
 	if w == 0 {
 		f.herrTop = 0
+		f.pending = 0
 		return
 	}
 	for k := 1; k <= f.b-1; k++ {
@@ -181,6 +225,17 @@ func (f *FixedWindow) rebuild() {
 		f.createList(0, w-1, k)
 	}
 	f.herrTop = f.evalHErr(w-1, f.b)
+	f.m.rebuilds.Inc()
+	f.m.createLists.Add(int64(f.b - 1))
+	if lazy || f.pending > 1 {
+		// This rebuild flushed deferred maintenance: record the burst size.
+		f.m.flushes.Inc()
+		f.m.flushPoints.Add(f.pending)
+	}
+	f.pending = 0
+	f.m.evals.Add(f.evals - f.expEvals)
+	f.m.candidates.Add(f.candidates - f.expCands)
+	f.expEvals, f.expCands = f.evals, f.candidates
 }
 
 // createList builds the interval cover of [a..b] for level k (Figure 5's

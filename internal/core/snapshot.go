@@ -66,6 +66,7 @@ func (f *FixedWindow) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: %w", err)
 	}
 	restored.sums = sums
+	restored.m = f.m // the metrics attachment survives a restore
 	restored.rebuild()
 	*f = *restored
 	return nil

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"streamhist/internal/errs"
+	"streamhist/internal/obs"
 )
 
 // TimeWindow maintains an approximate histogram over the points of the
@@ -25,7 +28,7 @@ type TimeWindow struct {
 // delta.
 func NewTimeWindow(maxPoints, b int, eps, delta float64, span time.Duration) (*TimeWindow, error) {
 	if span <= 0 {
-		return nil, fmt.Errorf("core: window span must be positive, got %v", span)
+		return nil, fmt.Errorf("core: %w, got %v", errs.ErrBadSpan, span)
 	}
 	fw, err := NewWithDelta(maxPoints, b, eps, delta)
 	if err != nil {
@@ -40,6 +43,28 @@ func NewTimeWindow(maxPoints, b int, eps, delta float64, span time.Duration) (*T
 
 // Span returns the configured temporal extent.
 func (tw *TimeWindow) Span() time.Duration { return tw.span }
+
+// Seen returns the total number of points pushed since construction.
+func (tw *TimeWindow) Seen() int64 { return tw.fw.Seen() }
+
+// Capacity returns the maximum number of buffered points.
+func (tw *TimeWindow) Capacity() int { return tw.fw.Capacity() }
+
+// Buckets returns the bucket budget B.
+func (tw *TimeWindow) Buckets() int { return tw.fw.Buckets() }
+
+// Epsilon returns the configured precision.
+func (tw *TimeWindow) Epsilon() float64 { return tw.fw.Epsilon() }
+
+// Delta returns the per-level growth factor.
+func (tw *TimeWindow) Delta() float64 { return tw.fw.Delta() }
+
+// WindowStart returns the stream position of the oldest in-window point.
+func (tw *TimeWindow) WindowStart() int64 { return tw.fw.WindowStart() }
+
+// SetRegistry attaches instrumentation for the underlying fixed-window
+// maintenance (see FixedWindow.SetRegistry). A nil registry detaches.
+func (tw *TimeWindow) SetRegistry(reg *obs.Registry) { tw.fw.SetRegistry(reg) }
 
 // Len returns the number of points currently inside the window.
 func (tw *TimeWindow) Len() int { return tw.size }

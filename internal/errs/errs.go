@@ -1,0 +1,23 @@
+// Package errs defines the sentinel validation errors shared by the
+// constructor surface of the histogram packages (core, agglom, vopt,
+// prefix). Constructors wrap these with fmt.Errorf("...: %w ...", ...) so
+// callers branch with errors.Is instead of matching message text; the
+// root streamhist package re-exports them.
+package errs
+
+import "errors"
+
+var (
+	// ErrBadBuckets reports a bucket budget below 1.
+	ErrBadBuckets = errors.New("bucket budget must be at least 1")
+	// ErrBadEpsilon reports a non-positive approximation precision.
+	ErrBadEpsilon = errors.New("precision must be positive")
+	// ErrBadDelta reports a non-positive per-level growth factor.
+	ErrBadDelta = errors.New("growth factor must be positive")
+	// ErrBadWindow reports a non-positive window capacity.
+	ErrBadWindow = errors.New("window capacity must be positive")
+	// ErrBadSpan reports a non-positive time-window span.
+	ErrBadSpan = errors.New("window span must be positive")
+	// ErrEmptyData reports an operation over an empty sequence.
+	ErrEmptyData = errors.New("empty data")
+)

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered series in the Prometheus text
+// format, sorted by family name then label fragment, with one HELP/TYPE
+// header per family. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]metric, len(r.all))
+	copy(ms, r.all)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		a, b := ms[i].id(), ms[j].id()
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.labels < b.labels
+	})
+	var buf bytes.Buffer
+	lastFamily := ""
+	for _, m := range ms {
+		id := m.id()
+		if id.name != lastFamily {
+			lastFamily = id.name
+			buf.WriteString("# HELP ")
+			buf.WriteString(id.name)
+			buf.WriteByte(' ')
+			buf.WriteString(id.help)
+			buf.WriteString("\n# TYPE ")
+			buf.WriteString(id.name)
+			buf.WriteByte(' ')
+			buf.WriteString(m.typ())
+			buf.WriteByte('\n')
+		}
+		switch v := m.(type) {
+		case *Counter:
+			writeSeries(&buf, id.name, id.labels, float64(v.Value()))
+		case *Gauge:
+			writeSeries(&buf, id.name, id.labels, v.Value())
+		case *gaugeFunc:
+			writeSeries(&buf, id.name, id.labels, v.fn())
+		case *Track:
+			qs, n, sum := v.snapshot()
+			for i, phi := range TrackQuantiles {
+				q := `quantile="` + strconv.FormatFloat(phi, 'g', -1, 64) + `"`
+				labels := id.labels
+				if labels != "" {
+					labels += ","
+				}
+				writeSeries(&buf, id.name, labels+q, qs[i])
+			}
+			writeSeries(&buf, id.name+"_sum", id.labels, sum)
+			writeSeries(&buf, id.name+"_count", id.labels, float64(n))
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeSeries emits one `name{labels} value` line.
+func writeSeries(buf *bytes.Buffer, name, labels string, v float64) {
+	buf.WriteString(name)
+	if labels != "" {
+		buf.WriteByte('{')
+		buf.WriteString(labels)
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(formatValue(v))
+	buf.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a scrape endpoint. On a nil registry it
+// answers 404, so wiring the handler unconditionally is safe.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		// Errors here mean the client went away mid-scrape.
+		_ = r.WriteText(w)
+	})
+}

@@ -1,6 +1,10 @@
 package prefix
 
-import "fmt"
+import (
+	"fmt"
+
+	"streamhist/internal/errs"
+)
 
 // SlidingSums maintains prefix sums and prefix sums of squares over the most
 // recent n points of a stream, the SUM' / SQSUM' structure of section 4.5 of
@@ -27,7 +31,7 @@ type SlidingSums struct {
 // NewSlidingSums creates a sliding store for a window of capacity n.
 func NewSlidingSums(n int) (*SlidingSums, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("prefix: window capacity must be positive, got %d", n)
+		return nil, fmt.Errorf("prefix: %w, got %d", errs.ErrBadWindow, n)
 	}
 	s := &SlidingSums{n: n}
 	s.vals = make([]float64, 0, 2*n)

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Machine-readable error codes carried by the JSON error envelope. Every
+// non-2xx response of the API (except /readyz, whose body is a status
+// report, not an error) uses one of these, so clients branch on code
+// instead of parsing prose.
+const (
+	errMethodNotAllowed = "method_not_allowed"
+	errNotReady         = "not_ready"
+	errOverloaded       = "overloaded"
+	errBodyTooLarge     = "body_too_large"
+	errBadRequest       = "bad_request"
+	errConflict         = "conflict"
+	errBadSnapshot      = "bad_snapshot"
+	errInternal         = "internal"
+	errTimeout          = "timeout"
+)
+
+// timeoutBody is the envelope http.TimeoutHandler writes when a request
+// exceeds Options.RequestTimeout, kept in the same shape as writeError's
+// output so every error response parses identically.
+const timeoutBody = `{"error":{"code":"` + errTimeout + `","message":"request timed out"}}` + "\n"
+
+// writeError emits the API's single error envelope:
+//
+//	{"error":{"code":"<machine code>","message":"<human text>"}}
+//
+// All handlers answer errors through this helper (or timeoutBody) so
+// /ingest 413s, /restore failures and overload 429s all parse the same
+// way.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{
+			"code":    code,
+			"message": fmt.Sprintf(format, args...),
+		},
+	})
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"streamhist/internal/obs"
+)
+
+// knownPaths are the endpoints labeled individually in HTTP metrics.
+// Anything else (typo'd paths, scanners, pprof) collapses into "other" so
+// request metrics stay bounded-cardinality no matter what clients send.
+var knownPaths = map[string]bool{
+	"/ingest":      true,
+	"/histogram":   true,
+	"/agglom":      true,
+	"/query":       true,
+	"/stats":       true,
+	"/quantile":    true,
+	"/selectivity": true,
+	"/snapshot":    true,
+	"/restore":     true,
+	"/drift":       true,
+	"/healthz":     true,
+	"/readyz":      true,
+	"/metrics":     true,
+}
+
+// httpMetrics instruments every request: per-path request counters split
+// by status class, per-path latency quantiles (GK-backed), and an
+// in-flight gauge. A nil *httpMetrics (metrics disabled) makes middleware
+// the identity.
+type httpMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &httpMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("streamhist_http_inflight_requests", "HTTP requests currently being served."),
+	}
+}
+
+// statusRecorder captures the response status for labeling. WriteHeader
+// may never be called (implicit 200), so it starts at 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass collapses a status code to its class ("2xx", "4xx", ...)
+// to keep label cardinality at one series per class, not per code.
+func statusClass(status int) string {
+	return strconv.Itoa(status/100) + "xx"
+}
+
+// middleware wraps the whole handler chain (including pprof, so profile
+// downloads are counted too). Label handles are fetched per request via
+// the registry's dedup index — a lock plus a map hit, negligible next to
+// request handling.
+func (hm *httpMetrics) middleware(next http.Handler) http.Handler {
+	if hm == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if !knownPaths[path] {
+			path = "other"
+		}
+		hm.inflight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		hm.inflight.Add(-1)
+		hm.reg.LabeledCounter("streamhist_http_requests_total",
+			`path="`+path+`",code="`+statusClass(rec.status)+`"`,
+			"HTTP requests by path and status class.").Inc()
+		hm.reg.LabeledTrack("streamhist_http_request_seconds",
+			`path="`+path+`"`,
+			"HTTP request latency in seconds by path.").Observe(elapsed)
+	})
+}
+
+// ckptMetrics instruments the checkpoint path. The zero value (metrics
+// disabled) is fully usable: every handle is nil and every call a no-op.
+type ckptMetrics struct {
+	duration *obs.Track
+	total    *obs.Counter
+	failures *obs.Counter
+	bytes    *obs.Gauge
+}
+
+func newCkptMetrics(reg *obs.Registry) ckptMetrics {
+	if reg == nil {
+		return ckptMetrics{}
+	}
+	return ckptMetrics{
+		duration: reg.Track("streamhist_checkpoint_seconds", "Checkpoint duration in seconds (marshal through WAL truncation)."),
+		total:    reg.Counter("streamhist_checkpoints_total", "Checkpoints completed."),
+		failures: reg.Counter("streamhist_checkpoint_failures_total", "Checkpoints that failed."),
+		bytes:    reg.Gauge("streamhist_checkpoint_bytes", "Size of the most recent checkpoint snapshot in bytes."),
+	}
+}
+
+// registerGaugeFuncs publishes point-in-time state readings. Each reading
+// takes s.mu, so collection contends with requests exactly like any other
+// reader; /metrics scrapes are infrequent by design.
+func (s *Server) registerGaugeFuncs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("streamhist_window_points", "Points currently in the fixed window.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.fw.Len())
+	})
+	reg.GaugeFunc("streamhist_stream_seen", "Stream points ingested since the stream began.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.fw.Seen())
+	})
+	reg.GaugeFunc("streamhist_gk_tuples", "Tuples held by the whole-stream GK quantile summary.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.gk.Size())
+	})
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"streamhist/internal/obs"
+)
+
+// errorEnvelope mirrors the unified error body every non-2xx response
+// carries.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, body string) errorEnvelope {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body %q is not the envelope: %v", body, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope %q missing code or message", body)
+	}
+	return env
+}
+
+// TestErrorEnvelope checks that errors across handlers — wrong method,
+// conflict on an empty window, malformed parameters, a bad snapshot —
+// share the single JSON envelope with stable machine codes.
+func TestErrorEnvelope(t *testing.T) {
+	s := newTestServer(t)
+	for _, tc := range []struct {
+		method, target, body string
+		status               int
+		code                 string
+	}{
+		{http.MethodGet, "/ingest", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodPost, "/histogram", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodGet, "/query?lo=0&hi=1", "", http.StatusConflict, "conflict"},
+		{http.MethodGet, "/agglom", "", http.StatusConflict, "conflict"},
+		{http.MethodGet, "/quantile?phi=2", "", http.StatusBadRequest, "bad_request"},
+		{http.MethodGet, "/selectivity?lo=x&hi=y", "", http.StatusBadRequest, "bad_request"},
+		{http.MethodPost, "/restore", "garbage", http.StatusBadRequest, "bad_snapshot"},
+	} {
+		rec := do(t, s, tc.method, tc.target, tc.body)
+		if rec.Code != tc.status {
+			t.Errorf("%s %s: status %d, want %d (body %q)", tc.method, tc.target, rec.Code, tc.status, rec.Body.String())
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: content type %q", tc.method, tc.target, ct)
+		}
+		env := decodeEnvelope(t, rec.Body.String())
+		if env.Error.Code != tc.code {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.target, env.Error.Code, tc.code)
+		}
+	}
+}
+
+// TestTimeoutBodyIsEnvelope pins the http.TimeoutHandler body to the same
+// envelope shape as writeError output.
+func TestTimeoutBodyIsEnvelope(t *testing.T) {
+	env := decodeEnvelope(t, timeoutBody)
+	if env.Error.Code != errTimeout {
+		t.Errorf("timeout code %q", env.Error.Code)
+	}
+}
+
+// TestAgglomEndpoint exercises the whole-stream histogram endpoint.
+func TestAgglomEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	do(t, s, http.MethodPost, "/ingest", "1\n1\n1\n9\n9\n9\n")
+	rec := do(t, s, http.MethodGet, "/agglom", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		N         int     `json:"n"`
+		SSE       float64 `json:"sse"`
+		Endpoints int     `json:"endpoints"`
+		Buckets   []struct {
+			Start int     `json:"start"`
+			End   int     `json:"end"`
+			Value float64 `json:"value"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 6 || len(resp.Buckets) == 0 || resp.Endpoints == 0 {
+		t.Errorf("agglom response %+v", resp)
+	}
+}
+
+// TestMetricsEndpoint drives a durable, instrumented server through
+// ingest, queries and a checkpoint, then scrapes /metrics and checks the
+// exposition covers every layer: core maintenance, the agglomerative
+// summary, the WAL and checkpoints, and HTTP itself — with GK-backed
+// latency quantiles — and carries at least 15 series families.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Open(Options{
+		Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2,
+		DataDir: t.TempDir(),
+		Metrics: reg,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n4\n5\n6\n7\n8\n")
+	do(t, s, http.MethodGet, "/histogram", "")
+	do(t, s, http.MethodGet, "/agglom", "")
+	do(t, s, http.MethodGet, "/nonexistent", "")
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+
+	families := 0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE streamhist_") {
+			families++
+		}
+	}
+	if families < 15 {
+		t.Errorf("exposition has %d streamhist_ families, want >= 15:\n%s", families, body)
+	}
+
+	for _, want := range []string{
+		// core layer
+		"streamhist_core_rebuilds_total",
+		"streamhist_core_createlist_total",
+		"streamhist_core_lazy_flush_points_total",
+		"streamhist_core_push_seconds",
+		// agglomerative layer
+		"streamhist_agglom_points_total 8",
+		"streamhist_agglom_endpoints",
+		// durability layer
+		"streamhist_wal_appends_total 1",
+		"streamhist_wal_fsync_seconds",
+		"streamhist_checkpoints_total 1",
+		// http layer
+		`streamhist_http_requests_total{path="/ingest",code="2xx"} 1`,
+		`streamhist_http_requests_total{path="other",code="4xx"} 1`,
+		`streamhist_http_request_seconds{path="/ingest",quantile="0.5"}`,
+		`streamhist_http_request_seconds{path="/ingest",quantile="0.99"}`,
+		"streamhist_http_inflight_requests",
+		// state gauges
+		"streamhist_window_points 8",
+		"streamhist_stream_seen 8",
+		"streamhist_gk_tuples",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestPprofMounting checks the profiling handlers are opt-in.
+func TestPprofMounting(t *testing.T) {
+	off := newTestServer(t)
+	if rec := do(t, off, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof reachable without EnablePprof: %d", rec.Code)
+	}
+	on, err := Open(Options{Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2, EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, on, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof index status %d with EnablePprof", rec.Code)
+	}
+	if rec := do(t, on, http.MethodGet, "/debug/pprof/cmdline", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", rec.Code)
+	}
+	// The API keeps working behind the pprof mux.
+	if rec := do(t, on, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Errorf("healthz status %d behind pprof mux", rec.Code)
+	}
+}

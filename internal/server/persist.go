@@ -8,6 +8,7 @@ import (
 
 	"streamhist/internal/checkpoint"
 	"streamhist/internal/faults"
+	"streamhist/internal/obs"
 	"streamhist/internal/wal"
 )
 
@@ -49,6 +50,16 @@ type Options struct {
 	// the real one. Tests inject faults here.
 	FS faults.FS
 
+	// Metrics, when non-nil, receives instrumentation from every layer the
+	// server drives (HTTP, fixed-window maintenance, agglomerative summary,
+	// WAL, checkpoints) and enables GET /metrics serving the registry in
+	// Prometheus text format. Nil disables all instrumentation at zero
+	// cost.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (outside the
+	// request timeout, so long profile captures survive).
+	EnablePprof bool
+
 	// Logf receives operational messages (recovery progress, checkpoint
 	// failures); nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -75,19 +86,22 @@ func (o *Options) setDefaults() {
 // returned server must be Closed to take the final checkpoint.
 func Open(opts Options) (*Server, error) {
 	opts.setDefaults()
-	fw, gk, sed, det, err := newState(opts)
+	fw, agg, gk, sed, det, err := newState(opts)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		fw: fw, gk: gk, sed: sed, det: det,
+		fw: fw, agg: agg, gk: gk, sed: sed, det: det,
 		mux:      http.NewServeMux(),
 		maxBody:  opts.MaxBody,
 		inflight: make(chan struct{}, opts.MaxInflight),
 		opts:     opts,
 		fs:       opts.FS,
+		om:       newHTTPMetrics(opts.Metrics),
+		cm:       newCkptMetrics(opts.Metrics),
 	}
 	s.state.Store(stateStarting)
+	s.registerGaugeFuncs(opts.Metrics)
 	s.routes()
 	if opts.DataDir != "" {
 		if err := s.recover(); err != nil {
@@ -128,6 +142,7 @@ func (s *Server) recover() error {
 		FS:              s.fs,
 		SegmentBytes:    s.opts.SegmentBytes,
 		SyncEveryAppend: s.opts.SyncEveryAppend,
+		Metrics:         s.opts.Metrics,
 	})
 	if err != nil {
 		return err
@@ -140,6 +155,7 @@ func (s *Server) recover() error {
 				// Covered by the checkpoint.
 			case p == s.fw.Seen():
 				s.fw.PushLazy(v)
+				s.agg.Push(v)
 				s.gk.Insert(v)
 				s.sed.Push(v)
 				s.stats.Push(v)
@@ -182,14 +198,17 @@ func (s *Server) Checkpoint() error {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	start := s.cm.duration.Start()
 	s.mu.Lock()
 	blob, err := s.fw.MarshalBinary()
 	seen := s.fw.Seen()
 	s.mu.Unlock()
 	if err != nil {
+		s.cm.failures.Inc()
 		return fmt.Errorf("server: %w", err)
 	}
 	if err := checkpoint.Save(s.fs, s.opts.DataDir, seen, blob); err != nil {
+		s.cm.failures.Inc()
 		return err
 	}
 	checkpoint.Prune(s.fs, s.opts.DataDir, 2)
@@ -198,12 +217,17 @@ func (s *Server) Checkpoint() error {
 		// Rotate first so the just-covered active segment becomes deletable
 		// on the next checkpoint.
 		if err := s.wal.Rotate(); err != nil {
+			s.cm.failures.Inc()
 			return err
 		}
 		if err := s.wal.TruncateBefore(seen); err != nil {
+			s.cm.failures.Inc()
 			return err
 		}
 	}
+	s.cm.total.Inc()
+	s.cm.bytes.Set(float64(len(blob)))
+	s.cm.duration.ObserveSince(start)
 	return nil
 }
 

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// withPprof mounts the runtime profiling handlers under /debug/pprof/ in
+// front of next. It sits outside the request-timeout wrapper on purpose:
+// profile captures stream for longer than any API deadline
+// (/debug/pprof/profile?seconds=30 holds the connection open the whole
+// time) and would otherwise be cut off mid-capture.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", next)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -7,6 +7,7 @@
 //
 //	POST /ingest              body: one value per line (text), appended to the stream
 //	GET  /histogram           current window buckets as JSON
+//	GET  /agglom              whole-stream agglomerative histogram as JSON
 //	GET  /query?lo=&hi=       range-sum estimate over window positions
 //	GET  /quantile?phi=       whole-stream quantile (GK summary)
 //	GET  /selectivity?lo=&hi= fraction of stream values in [lo,hi]
@@ -16,24 +17,40 @@
 //	GET  /drift               distribution-change check against a reference
 //	GET  /healthz             liveness (always 200 while the process runs)
 //	GET  /readyz              readiness (503 while recovering or draining)
+//	GET  /metrics             Prometheus text exposition (with Options.Metrics)
+//	GET  /debug/pprof/        runtime profiles (with Options.EnablePprof)
+//
+// Error responses (all of them — bad parameters, 413s, overload 429s,
+// restore failures, timeouts) share one JSON envelope,
+//
+//	{"error":{"code":"<machine code>","message":"<human text>"}}
+//
+// emitted by a single helper; see errors.go for the code vocabulary.
 //
 // With Options.DataDir set the server is crash-safe: acknowledged ingests
 // are appended to a write-ahead log (internal/wal) before being applied,
 // periodic checkpoints (internal/checkpoint) bound replay time, and Open
 // recovers the window after a crash by loading the latest checkpoint and
 // replaying the WAL tail. See persist.go.
+//
+// With Options.Metrics set every layer the request touches is
+// instrumented into the shared registry: HTTP (per-endpoint counters,
+// status classes, latency quantiles, in-flight gauge), fixed-window
+// maintenance, the agglomerative summary, the WAL and checkpoints. The
+// latency quantiles are served by the library's own Greenwald–Khanna
+// summaries. See metrics.go.
 package server
 
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"streamhist/internal/agglom"
 	"streamhist/internal/core"
 	"streamhist/internal/drift"
 	"streamhist/internal/faults"
@@ -55,6 +72,7 @@ const (
 type Server struct {
 	mu    sync.Mutex
 	fw    *core.FixedWindow          // guarded by mu
+	agg   *agglom.Summary            // guarded by mu
 	gk    *quantile.GK               // guarded by mu
 	sed   *vhist.StreamingEqualDepth // guarded by mu
 	det   *drift.Detector            // guarded by mu
@@ -67,6 +85,10 @@ type Server struct {
 	// Overload protection: a slot must be free to admit an /ingest.
 	inflight chan struct{}
 	state    atomic.Int32
+
+	// Observability (zero/nil without Options.Metrics).
+	om *httpMetrics
+	cm ckptMetrics
 
 	// Durability (nil / zero when DataDir is unset).
 	opts      Options
@@ -81,37 +103,45 @@ type Server struct {
 
 // New creates an in-memory server (no durability) maintaining, over the
 // ingested stream, a fixed-window histogram (last n points, b buckets,
-// growth factor delta), a whole-stream GK quantile summary, and a
-// streaming equi-depth value histogram for selectivity queries.
-// Crash-safe servers are constructed with Open.
+// growth factor delta), a whole-stream agglomerative histogram, a
+// whole-stream GK quantile summary, and a streaming equi-depth value
+// histogram for selectivity queries. Crash-safe servers are constructed
+// with Open.
 func New(n, b int, eps, delta float64) (*Server, error) {
 	return Open(Options{Window: n, Buckets: b, Eps: eps, Delta: delta})
 }
 
 // newState builds the summary set for the configured window.
-func newState(o Options) (*core.FixedWindow, *quantile.GK, *vhist.StreamingEqualDepth, *drift.Detector, error) {
+func newState(o Options) (*core.FixedWindow, *agglom.Summary, *quantile.GK, *vhist.StreamingEqualDepth, *drift.Detector, error) {
 	fw, err := core.NewWithDelta(o.Window, o.Buckets, o.Eps, o.Delta)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
+	}
+	agg, err := agglom.New(o.Buckets, o.Eps)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
 	}
 	gk, err := quantile.NewGK(0.01)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	sed, err := vhist.NewStreamingEqualDepth(o.Buckets, 0.25/float64(o.Buckets))
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	det, err := drift.NewDetector(50)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	return fw, gk, sed, det, nil
+	fw.SetRegistry(o.Metrics)
+	agg.SetRegistry(o.Metrics)
+	return fw, agg, gk, sed, det, nil
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/histogram", s.handleHistogram)
+	s.mux.HandleFunc("/agglom", s.handleAgglom)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/quantile", s.handleQuantile)
@@ -121,10 +151,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/drift", s.handleDrift)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.handler = s.mux
-	if s.opts.RequestTimeout > 0 {
-		s.handler = http.TimeoutHandler(s.mux, s.opts.RequestTimeout, "request timed out\n")
+	if s.opts.Metrics != nil {
+		s.mux.Handle("/metrics", s.opts.Metrics.Handler())
 	}
+	var h http.Handler = s.mux
+	if s.opts.RequestTimeout > 0 {
+		h = http.TimeoutHandler(s.mux, s.opts.RequestTimeout, timeoutBody)
+	}
+	if s.opts.EnablePprof {
+		// Profiles stream for longer than RequestTimeout by design
+		// (/debug/pprof/profile?seconds=30), so they bypass the timeout
+		// handler.
+		h = withPprof(h)
+	}
+	s.handler = s.om.middleware(h)
 }
 
 // ServeHTTP implements http.Handler.
@@ -132,14 +172,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// requireMethod answers 405 in the error envelope unless the request uses
+// the given method.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "%s required", method)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	if s.state.Load() != stateReady {
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
 	// Admission control: refuse rather than queue when every in-flight
@@ -150,7 +199,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.inflight }()
 	default:
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "too many in-flight ingests", http.StatusTooManyRequests)
+		writeError(w, http.StatusTooManyRequests, errOverloaded, "too many in-flight ingests")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -158,10 +207,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge, "body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
@@ -171,12 +220,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// batch is never silently lost by a crash.
 		if err := s.wal.Append(s.fw.Seen(), values); err != nil {
 			s.mu.Unlock()
-			http.Error(w, fmt.Sprintf("wal append: %v", err), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, errInternal, "wal append: %v", err)
 			return
 		}
 	}
 	for _, v := range values {
 		s.fw.PushLazy(v)
+		s.agg.Push(v)
 		s.gk.Insert(v)
 		s.sed.Push(v)
 		s.stats.Push(v)
@@ -187,8 +237,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.mu.Lock()
@@ -196,54 +245,73 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	windowStart := s.fw.WindowStart()
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
-	}
-	type bucketJSON struct {
-		Start int     `json:"start"`
-		End   int     `json:"end"`
-		Value float64 `json:"value"`
-	}
-	buckets := make([]bucketJSON, len(res.Histogram.Buckets))
-	for i, b := range res.Histogram.Buckets {
-		buckets[i] = bucketJSON{Start: b.Start, End: b.End, Value: b.Value}
 	}
 	writeJSON(w, map[string]any{
 		"windowStart": windowStart,
 		"sse":         res.SSE,
-		"buckets":     buckets,
+		"buckets":     bucketsJSON(res.Histogram.Buckets),
+	})
+}
+
+// handleAgglom serves the whole-stream agglomerative histogram: bucket
+// boundaries are stream positions since the start of the stream, not
+// window positions.
+func (s *Server) handleAgglom(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.Lock()
+	n := s.agg.N()
+	if n == 0 {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, errConflict, "stream is empty")
+		return
+	}
+	res, err := s.agg.Histogram()
+	endpoints := s.agg.StoredEndpoints()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, errConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"n":         n,
+		"sse":       res.SSE,
+		"endpoints": endpoints,
+		"buckets":   bucketsJSON(res.Histogram.Buckets),
 	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.mu.Lock()
 	length := s.fw.Len()
 	s.mu.Unlock()
 	if length == 0 {
-		http.Error(w, "window is empty", http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "window is empty")
 		return
 	}
 	lo, err1 := strconv.Atoi(r.URL.Query().Get("lo"))
 	hi, err2 := strconv.Atoi(r.URL.Query().Get("hi"))
 	if err1 != nil || err2 != nil {
-		http.Error(w, "lo and hi must be integers", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be integers")
 		return
 	}
 	s.mu.Lock()
 	length = s.fw.Len()
 	if lo < 0 || hi >= length || hi < lo {
 		s.mu.Unlock()
-		http.Error(w, fmt.Sprintf("range [%d,%d] outside window [0,%d]", lo, hi, length-1), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "range [%d,%d] outside window [0,%d]", lo, hi, length-1)
 		return
 	}
 	res, err := s.fw.Histogram()
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -254,8 +322,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.mu.Lock()
@@ -273,13 +340,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
 	if err != nil || phi < 0 || phi > 1 {
-		http.Error(w, "phi must be a number in [0,1]", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "phi must be a number in [0,1]")
 		return
 	}
 	s.mu.Lock()
@@ -287,28 +353,27 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	n := s.gk.N()
 	s.mu.Unlock()
 	if qerr != nil {
-		http.Error(w, qerr.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "%v", qerr)
 		return
 	}
 	writeJSON(w, map[string]any{"phi": phi, "value": v, "n": n})
 }
 
 func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	lo, err1 := strconv.ParseFloat(r.URL.Query().Get("lo"), 64)
 	hi, err2 := strconv.ParseFloat(r.URL.Query().Get("hi"), 64)
 	if err1 != nil || err2 != nil || hi < lo {
-		http.Error(w, "lo and hi must be numbers with lo <= hi", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be numbers with lo <= hi")
 		return
 	}
 	s.mu.Lock()
 	h, herr := s.sed.Histogram()
 	s.mu.Unlock()
 	if herr != nil {
-		http.Error(w, herr.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "%v", herr)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -321,15 +386,14 @@ func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot serves the fixed-window snapshot as a binary download so
 // an operator can archive the window or seed another daemon via /restore.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.mu.Lock()
 	blob, err := s.fw.MarshalBinary()
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -340,45 +404,45 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // handleRestore is the inverse of /snapshot: it replaces the window with
 // an uploaded snapshot so an operator can seed a fresh daemon. The
-// whole-stream summaries (quantiles, selectivity, stats, drift reference)
-// are not part of a window snapshot and restart empty. On a durable
-// server the restored state is checkpointed and the WAL reset before the
-// request is acknowledged.
+// whole-stream summaries (agglomerative histogram, quantiles,
+// selectivity, stats, drift reference) are not part of a window snapshot
+// and restart empty. On a durable server the restored state is
+// checkpointed and the WAL reset before the request is acknowledged.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	if s.state.Load() != stateReady {
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge, "body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
 	restored := &core.FixedWindow{}
 	if err := restored.UnmarshalBinary(blob); err != nil {
-		http.Error(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, errBadSnapshot, "invalid snapshot: %v", err)
 		return
 	}
+	restored.SetRegistry(s.opts.Metrics)
 	o := s.opts
 	o.Window, o.Buckets = restored.Capacity(), restored.Buckets()
 	o.Eps, o.Delta = restored.Epsilon(), restored.Delta()
-	_, gk, sed, det, err := newState(o)
+	_, agg, gk, sed, det, err := newState(o)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
 	s.mu.Lock()
-	s.fw, s.gk, s.sed, s.det = restored, gk, sed, det
+	s.fw, s.agg, s.gk, s.sed, s.det = restored, agg, gk, sed, det
 	s.stats = stream.Counter{}
 	seen, length := restored.Seen(), restored.Len()
 	s.mu.Unlock()
@@ -386,11 +450,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		// Make the replacement durable before acknowledging: checkpoint the
 		// new state, then restart the log at its stream position.
 		if err := s.Checkpoint(); err != nil {
-			http.Error(w, fmt.Sprintf("checkpointing restored state: %v", err), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, errInternal, "checkpointing restored state: %v", err)
 			return
 		}
 		if err := s.wal.Reset(seen); err != nil {
-			http.Error(w, fmt.Sprintf("resetting wal: %v", err), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, errInternal, "resetting wal: %v", err)
 			return
 		}
 	}
@@ -402,15 +466,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 // distance and whether the distribution drifted; on drift the reference
 // re-anchors to the current window.
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.mu.Lock()
 	res, err := s.fw.Histogram()
 	if err != nil {
 		s.mu.Unlock()
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
 	}
 	// While the window is still filling its span grows between calls;
@@ -426,7 +489,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	alarms, checks := s.det.Alarms(), s.det.Checks()
 	s.mu.Unlock()
 	if derr != nil {
-		http.Error(w, derr.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", derr)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -463,6 +526,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"status": status})
+}
+
+// bucketJSON is the wire form of one histogram bucket.
+type bucketJSON struct {
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Value float64 `json:"value"`
+}
+
+func bucketsJSON[B interface {
+	~struct {
+		Start int
+		End   int
+		Value float64
+	}
+}](bs []B) []bucketJSON {
+	out := make([]bucketJSON, len(bs))
+	for i, b := range bs {
+		out[i] = bucketJSON(b)
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -16,6 +16,7 @@ package vopt
 import (
 	"fmt"
 
+	"streamhist/internal/errs"
 	"streamhist/internal/histogram"
 	"streamhist/internal/prefix"
 )
@@ -29,10 +30,10 @@ type Result struct {
 // Build computes the optimal B-bucket histogram of data.
 func Build(data []float64, b int) (*Result, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("vopt: empty data")
+		return nil, fmt.Errorf("vopt: %w", errs.ErrEmptyData)
 	}
 	if b <= 0 {
-		return nil, fmt.Errorf("vopt: need at least one bucket, got %d", b)
+		return nil, fmt.Errorf("vopt: %w, got %d", errs.ErrBadBuckets, b)
 	}
 	if b > len(data) {
 		b = len(data)
@@ -107,7 +108,7 @@ func Build(data []float64, b int) (*Result, error) {
 // (optimal SSE is non-increasing in B).
 func MinBuckets(data []float64, maxSSE float64) (int, error) {
 	if len(data) == 0 {
-		return 0, fmt.Errorf("vopt: empty data")
+		return 0, fmt.Errorf("vopt: %w", errs.ErrEmptyData)
 	}
 	if maxSSE < 0 {
 		return 0, fmt.Errorf("vopt: negative error budget %g", maxSSE)
@@ -138,10 +139,10 @@ func MinBuckets(data []float64, maxSSE float64) (int, error) {
 // be wasteful.
 func Error(data []float64, b int) (float64, error) {
 	if len(data) == 0 {
-		return 0, fmt.Errorf("vopt: empty data")
+		return 0, fmt.Errorf("vopt: %w", errs.ErrEmptyData)
 	}
 	if b <= 0 {
-		return 0, fmt.Errorf("vopt: need at least one bucket, got %d", b)
+		return 0, fmt.Errorf("vopt: %w, got %d", errs.ErrBadBuckets, b)
 	}
 	if b > len(data) {
 		b = len(data)

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"streamhist/internal/faults"
+	"streamhist/internal/obs"
 )
 
 const (
@@ -68,6 +69,9 @@ type Options struct {
 	// when buffered records reach disk, and a crash may lose the un-fsynced
 	// suffix of acknowledged batches.
 	SyncEveryAppend bool
+	// Metrics receives the log's instrumentation (appends, bytes, fsync
+	// latency, segment rolls); nil disables it.
+	Metrics *obs.Registry
 }
 
 // WAL is an open write-ahead log. Methods are safe for concurrent use;
@@ -90,6 +94,29 @@ type WAL struct {
 	// the next append, after a failed write left a torn (or un-fsyncable)
 	// record at its tail; -1 means the tail is clean.
 	repair int64
+
+	// Observability (all handles nil without Options.Metrics).
+	m walMetrics
+}
+
+// walMetrics holds the log's instrumentation handles; the zero value (all
+// nil) is the disabled state.
+type walMetrics struct {
+	appends  *obs.Counter // records appended
+	bytes    *obs.Counter // record bytes appended (frame included)
+	fsync    *obs.Track   // fsync latency on the append path
+	rolls    *obs.Counter // segments created
+	segments *obs.Gauge   // segments currently on disk
+}
+
+func newWALMetrics(reg *obs.Registry) walMetrics {
+	return walMetrics{
+		appends:  reg.Counter("streamhist_wal_appends_total", "Batches appended to the write-ahead log."),
+		bytes:    reg.Counter("streamhist_wal_append_bytes_total", "Framed bytes appended to the write-ahead log."),
+		fsync:    reg.Track("streamhist_wal_fsync_seconds", "WAL fsync latency on the acknowledged-append path, in seconds."),
+		rolls:    reg.Counter("streamhist_wal_segment_rolls_total", "WAL segments created (rotations plus fresh logs)."),
+		segments: reg.Gauge("streamhist_wal_segments", "WAL segments currently on disk."),
+	}
 }
 
 type segment struct {
@@ -116,7 +143,8 @@ func Open(opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1}
+	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics)}
+	w.m.segments.Set(float64(len(segs)))
 	if n := len(segs); n > 0 {
 		w.nextSeq = segs[n-1].seq + 1
 	}
@@ -209,6 +237,7 @@ func (w *WAL) Append(start int64, values []float64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if w.syncEvery {
+		fsyncStart := w.m.fsync.Start()
 		if err := w.cur.Sync(); err != nil {
 			// The record reached the file but not durably; it was not
 			// acknowledged, so drop it entirely rather than let the log-end
@@ -216,10 +245,13 @@ func (w *WAL) Append(start int64, values []float64) error {
 			w.poison(w.curSize)
 			return fmt.Errorf("wal: %w", err)
 		}
+		w.m.fsync.ObserveSince(fsyncStart)
 	}
 	// Only now is the record part of the log.
 	w.curSize += int64(len(rec))
 	w.lastEnd = start + int64(len(values))
+	w.m.appends.Inc()
+	w.m.bytes.Add(int64(len(rec)))
 	if w.curSize >= w.segBytes {
 		return w.rotate(w.lastEnd)
 	}
@@ -346,6 +378,8 @@ func (w *WAL) newSegment(start int64) error {
 	}
 	w.segs = append(w.segs, segment{name: name, seq: w.nextSeq, start: start})
 	w.nextSeq++
+	w.m.rolls.Inc()
+	w.m.segments.Set(float64(len(w.segs)))
 	w.cur = f
 	w.curSize = int64(headerLen)
 	if w.lastEnd < 0 {
@@ -400,6 +434,7 @@ func (w *WAL) TruncateBefore(seen int64) error {
 		kept = append(kept, seg)
 	}
 	w.segs = kept
+	w.m.segments.Set(float64(len(w.segs)))
 	return nil
 }
 

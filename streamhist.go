@@ -41,20 +41,19 @@ type AgglomerativeResult = agglom.Result
 // OptimalResult is an exactly optimal histogram with its SSE.
 type OptimalResult = vopt.Result
 
-// NewFixedWindow creates a fixed-window maintainer over windows of
-// capacity n with b buckets and precision eps: the SSE of the maintained
-// histogram is within a (1+eps) factor of the optimal b-bucket SSE of the
-// window. Per-point maintenance costs O((b^3/eps^2) log^3 n).
-func NewFixedWindow(n, b int, eps float64) (*FixedWindow, error) {
-	return core.New(n, b, eps)
-}
-
 // NewFixedWindowDelta creates a fixed-window maintainer with an explicit
 // per-level growth factor delta instead of the default eps/(2b). Larger
 // delta trades accuracy for speed — the graceful tradeoff the paper
 // advertises.
+//
+// Deprecated: use NewFixedWindow with WithDelta, which maintains the
+// identical structure (see TestDeprecatedWrapperEquivalence).
 func NewFixedWindowDelta(n, b int, eps, delta float64) (*FixedWindow, error) {
-	return core.NewWithDelta(n, b, eps, delta)
+	m, err := NewFixedWindow(n, b, eps, WithDelta(delta))
+	if err != nil {
+		return nil, err
+	}
+	return m.FixedWindow(), nil
 }
 
 // TimeWindow maintains an approximate histogram over the points of the
@@ -64,8 +63,15 @@ type TimeWindow = core.TimeWindow
 
 // NewTimeWindow creates a time-based maintainer holding up to maxPoints
 // buffered points covering the trailing span.
+//
+// Deprecated: use NewFixedWindow with WithSpan (and WithDelta for an
+// explicit growth factor); the underlying maintainer is the same.
 func NewTimeWindow(maxPoints, b int, eps, delta float64, span time.Duration) (*TimeWindow, error) {
-	return core.NewTimeWindow(maxPoints, b, eps, delta, span)
+	m, err := NewFixedWindow(maxPoints, b, eps, WithDelta(delta), WithSpan(span))
+	if err != nil {
+		return nil, err
+	}
+	return m.TimeWindow(), nil
 }
 
 // NewAgglomerative creates a whole-stream summary with b buckets and
