@@ -1,14 +1,32 @@
-// Command benchsmoke measures the fixed-window push hot path with
-// instrumentation detached and attached, and writes the pair (plus the
-// relative overhead) as JSON. CI runs it on every change and commits the
-// result as BENCH_<tag>.json, so the repository carries a trajectory of
-// hot-path cost alongside the code:
+// Command benchsmoke measures the fixed-window push hot path and writes
+// the result as JSON. CI runs it on every change and commits the result
+// as BENCH_<tag>.json, so the repository carries a trajectory of hot-path
+// cost alongside the code:
 //
-//	go run ./cmd/benchsmoke -o BENCH_pr3.json
+//	go run ./cmd/benchsmoke -o BENCH_pr4.json
 //
-// The disabled-metrics number is the one guarded by the project's
-// performance budget: instrumentation that is off must cost nothing but
-// nil checks and add zero allocations.
+// The report covers the rebuild-engine configurations (cold search, probe
+// memo, warm-started CreateList, and both) at the headline configuration
+// n=4096, B=12, eps=0.1 with the default growth factor eps/(2B), plus a
+// scaling grid over window size and bucket budget and the
+// metrics-attached overhead of the instrumentation layer.
+//
+// Methodology: all variants of a comparison are constructed up front,
+// pushed to steady state over identical value sequences, then measured in
+// interleaved trial rounds — variant A's trial k runs adjacent to variant
+// B's trial k, so slow drift in machine load biases every variant
+// equally rather than whichever ran last. The reported ns/op is the
+// minimum over trials (the run least disturbed by noise); allocations
+// are the maximum (the run most disturbed must still be zero).
+//
+// CI regression gate:
+//
+//	go run ./cmd/benchsmoke -check BENCH_pr4.json
+//
+// re-measures the headline configurations and fails (exit 1) if the
+// warm+memo product configuration regressed more than -tolerance
+// (default 15%) against the committed baseline, or if any variant
+// allocates more per push than its committed baseline.
 package main
 
 import (
@@ -17,90 +35,406 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"testing"
+	"sort"
+	"time"
 
 	"streamhist"
 )
 
-// pushConfig is the benchmarked maintainer configuration, recorded in the
-// output so runs stay comparable across revisions.
-type pushConfig struct {
+// benchConfig is one benchmarked maintainer configuration, recorded in
+// the output so runs stay comparable across revisions. Delta is the
+// growth factor actually in effect (the default eps/(2B) is resolved and
+// recorded, never left implicit).
+type benchConfig struct {
 	Window  int     `json:"window"`
 	Buckets int     `json:"buckets"`
 	Eps     float64 `json:"eps"`
 	Delta   float64 `json:"delta"`
 }
 
-var cfg = pushConfig{Window: 1024, Buckets: 12, Eps: 0.1, Delta: 0.1}
-
-// measurement is one benchmark run in digestible units.
+// measurement is one variant's aggregated trials in digestible units.
 type measurement struct {
-	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Trials      int     `json:"trials"`
+	OpsPerTrial int     `json:"ops_per_trial"`
 }
 
-func toMeasurement(r testing.BenchmarkResult) measurement {
-	return measurement{
-		N:           r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
+// variant is one rebuild-engine configuration under test.
+type variant struct {
+	name       string
+	warm, memo bool
+}
+
+var rebuildVariants = []variant{
+	{"cold", false, false},
+	{"memo", false, true},
+	{"warm", true, false},
+	{"warm_memo", true, true},
+}
+
+// runner is one maintainer mid-measurement: the maintainer, its private
+// cursor into the shared value sequence, and its per-trial samples.
+type runner struct {
+	m      *streamhist.Maintainer
+	pos    int
+	nsMin  float64
+	allocs uint64
+	bytes  uint64
+}
+
+func (r *runner) push(vals []float64, n int) {
+	for i := 0; i < n; i++ {
+		r.m.Push(vals[r.pos%len(vals)])
+		r.pos++
 	}
 }
 
-func benchPush(reg *streamhist.Metrics) testing.BenchmarkResult {
-	return testing.Benchmark(func(b *testing.B) {
-		m, err := streamhist.NewFixedWindow(cfg.Window, cfg.Buckets, cfg.Eps,
-			streamhist.WithDelta(cfg.Delta), streamhist.WithMetrics(reg))
+// measureInterleaved drives all runners through warmup plus trials
+// rounds of ops pushes each, interleaving the rounds across runners, and
+// folds each runner's samples into a measurement. Every runner consumes
+// the identical value sequence (they advance their cursors in lockstep).
+func measureInterleaved(rs []*runner, vals []float64, trials, warmup, ops int) []measurement {
+	for _, r := range rs {
+		r.push(vals, warmup)
+		r.nsMin = 0
+	}
+	var ms runtime.MemStats
+	for t := 0; t < trials; t++ {
+		for _, r := range rs {
+			runtime.ReadMemStats(&ms)
+			m0, b0 := ms.Mallocs, ms.TotalAlloc
+			start := time.Now()
+			r.push(vals, ops)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			ns := float64(elapsed.Nanoseconds()) / float64(ops)
+			if r.nsMin == 0 || ns < r.nsMin {
+				r.nsMin = ns
+			}
+			if a := (ms.Mallocs - m0) / uint64(ops); a > r.allocs {
+				r.allocs = a
+			}
+			if by := (ms.TotalAlloc - b0) / uint64(ops); by > r.bytes {
+				r.bytes = by
+			}
+		}
+	}
+	out := make([]measurement, len(rs))
+	for i, r := range rs {
+		out[i] = measurement{
+			NsPerOp:     r.nsMin,
+			AllocsPerOp: r.allocs,
+			BytesPerOp:  r.bytes,
+			Trials:      trials,
+			OpsPerTrial: ops,
+		}
+	}
+	return out
+}
+
+// utilValues pre-generates the quantized Utilization trace all runners
+// share.
+func utilValues(n int) []float64 {
+	g := streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 17, Quantize: true})
+	return streamhist.Series(g, n)
+}
+
+// newRunner builds a steady-state maintainer: constructed with the given
+// rebuild-engine switches, window filled in one batch from the front of
+// vals. delta <= 0 selects the default eps/(2B).
+func newRunner(cfg benchConfig, delta float64, warm, memo bool, reg *streamhist.Metrics, vals []float64) (*runner, error) {
+	opts := []streamhist.Option{
+		streamhist.WithWarmStart(warm),
+		streamhist.WithProbeMemo(memo),
+		streamhist.WithMetrics(reg),
+	}
+	if delta > 0 {
+		opts = append(opts, streamhist.WithDelta(delta))
+	}
+	m, err := streamhist.NewFixedWindow(cfg.Window, cfg.Buckets, cfg.Eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	m.PushBatch(vals[:cfg.Window])
+	return &runner{m: m, pos: cfg.Window}, nil
+}
+
+// measureRebuildVariants measures the four rebuild-engine configurations
+// at one benchConfig and returns name -> measurement plus the resolved
+// growth factor.
+func measureRebuildVariants(cfg benchConfig, delta float64, trials, warmup, ops int) (map[string]measurement, float64, error) {
+	vals := utilValues(cfg.Window + warmup + trials*ops)
+	rs := make([]*runner, len(rebuildVariants))
+	for i, v := range rebuildVariants {
+		r, err := newRunner(cfg, delta, v.warm, v.memo, nil, vals)
 		if err != nil {
-			b.Fatal(err)
+			return nil, 0, err
 		}
-		g := streamhist.NewUtilization(streamhist.UtilizationConfig{Seed: 17, Quantize: true})
-		for i := 0; i < cfg.Window; i++ { // reach steady state first
-			m.Push(g.Next())
+		rs[i] = r
+	}
+	resolved := rs[0].m.Delta()
+	ms := measureInterleaved(rs, vals, trials, warmup, ops)
+	out := make(map[string]measurement, len(ms))
+	for i, v := range rebuildVariants {
+		out[v.name] = ms[i]
+	}
+	return out, resolved, nil
+}
+
+// scalingRow is one cell of the window-size x bucket-budget grid: the
+// cold path against the warm+memo product configuration.
+type scalingRow struct {
+	benchConfig
+	ColdNs     float64 `json:"cold_ns_per_op"`
+	WarmMemoNs float64 `json:"warm_memo_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func scalingGrid(trials, warmup, ops int) ([]scalingRow, error) {
+	// The grid runs at delta=0.1 rather than the default eps/(2B): the
+	// cells characterize how the engine scales with n and B, and the
+	// tiny default delta would make the large cells dominate the whole
+	// benchmark's runtime without adding information the headline
+	// doesn't already carry.
+	const (
+		eps   = 0.1
+		delta = 0.1
+	)
+	var rows []scalingRow
+	for _, n := range []int{1024, 4096, 16384} {
+		vals := utilValues(n + warmup + trials*ops)
+		for _, b := range []int{8, 12, 16} {
+			cfg := benchConfig{Window: n, Buckets: b, Eps: eps, Delta: delta}
+			cold, err := newRunner(cfg, delta, false, false, nil, vals)
+			if err != nil {
+				return nil, err
+			}
+			wm, err := newRunner(cfg, delta, true, true, nil, vals)
+			if err != nil {
+				return nil, err
+			}
+			ms := measureInterleaved([]*runner{cold, wm}, vals, trials, warmup, ops)
+			rows = append(rows, scalingRow{
+				benchConfig: cfg,
+				ColdNs:      ms[0].NsPerOp,
+				WarmMemoNs:  ms[1].NsPerOp,
+				Speedup:     ms[0].NsPerOp / ms[1].NsPerOp,
+			})
 		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.Push(g.Next())
+	}
+	return rows, nil
+}
+
+// metricsOverhead measures the product configuration with instrumentation
+// detached and attached. The detached number is guarded by the project's
+// performance budget: metrics that are off must cost nothing but nil
+// checks and add zero allocations.
+//
+// The overhead is a ratio of two nearly equal costs, so it gets stricter
+// methodology than the variant tables: the two maintainers are timed in
+// paired rounds (sharing each round's noise environment), the order
+// within a round alternates (so neither side systematically enjoys a
+// warmer cache or a calmer scheduler), and the reported percentage is
+// the median of the per-round ratios — min-of-trials would compare each
+// side's luckiest moment, which on a busy machine measures luck.
+func metricsOverhead(rounds, warmup, ops int) (off, on measurement, pct float64, err error) {
+	cfg := benchConfig{Window: 1024, Buckets: 12, Eps: 0.1, Delta: 0.1}
+	vals := utilValues(cfg.Window + warmup + rounds*ops)
+	roff, err := newRunner(cfg, cfg.Delta, true, true, nil, vals)
+	if err != nil {
+		return off, on, 0, err
+	}
+	ron, err := newRunner(cfg, cfg.Delta, true, true, streamhist.NewMetrics(), vals)
+	if err != nil {
+		return off, on, 0, err
+	}
+	roff.push(vals, warmup)
+	ron.push(vals, warmup)
+
+	timed := func(r *runner) (float64, uint64, uint64) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m0, b0 := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		r.push(vals, ops)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		return float64(elapsed.Nanoseconds()) / float64(ops),
+			(ms.Mallocs - m0) / uint64(ops), (ms.TotalAlloc - b0) / uint64(ops)
+	}
+	record := func(m *measurement, ns float64, allocs, bytes uint64) {
+		if m.NsPerOp == 0 || ns < m.NsPerOp {
+			m.NsPerOp = ns
 		}
-	})
+		if allocs > m.AllocsPerOp {
+			m.AllocsPerOp = allocs
+		}
+		if bytes > m.BytesPerOp {
+			m.BytesPerOp = bytes
+		}
+	}
+	off = measurement{Trials: rounds, OpsPerTrial: ops}
+	on = measurement{Trials: rounds, OpsPerTrial: ops}
+	pcts := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		var offNs, onNs float64
+		if r%2 == 0 {
+			ns, a, by := timed(roff)
+			offNs = ns
+			record(&off, ns, a, by)
+			ns, a, by = timed(ron)
+			onNs = ns
+			record(&on, ns, a, by)
+		} else {
+			ns, a, by := timed(ron)
+			onNs = ns
+			record(&on, ns, a, by)
+			ns, a, by = timed(roff)
+			offNs = ns
+			record(&off, ns, a, by)
+		}
+		pcts = append(pcts, 100*(onNs-offNs)/offNs)
+	}
+	sort.Float64s(pcts)
+	pct = pcts[len(pcts)/2]
+	if len(pcts)%2 == 0 {
+		pct = (pcts[len(pcts)/2-1] + pcts[len(pcts)/2]) / 2
+	}
+	return off, on, pct, nil
+}
+
+// report is the full JSON document benchsmoke emits and -check consumes.
+type report struct {
+	Bench              string                 `json:"bench"`
+	Goos               string                 `json:"goos"`
+	Goarch             string                 `json:"goarch"`
+	Stream             string                 `json:"stream"`
+	Aggregation        string                 `json:"aggregation"`
+	Config             benchConfig            `json:"config"`
+	Results            map[string]measurement `json:"results"`
+	SpeedupWarmMemo    float64                `json:"speedup_warm_memo_vs_cold"`
+	MetricsOff         measurement            `json:"metrics_off"`
+	MetricsOn          measurement            `json:"metrics_on"`
+	MetricsOverheadPct float64                `json:"metrics_overhead_pct"`
+	Scaling            []scalingRow           `json:"scaling"`
+}
+
+// headline measures the four rebuild variants at the configuration the
+// README quotes: n=4096, B=12, eps=0.1 at the default growth factor.
+func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, error) {
+	cfg := benchConfig{Window: 4096, Buckets: 12, Eps: 0.1}
+	results, delta, err := measureRebuildVariants(cfg, 0, trials, warmup, ops)
+	cfg.Delta = delta
+	return results, cfg, err
+}
+
+func check(baselinePath string, tolerancePct float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	results, _, err := headline(3, 2, 6)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for name, now := range results {
+		was, ok := base.Results[name]
+		if !ok {
+			continue
+		}
+		if now.AllocsPerOp > was.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op, baseline %d", name, now.AllocsPerOp, was.AllocsPerOp))
+		}
+		fmt.Printf("benchsmoke: %-10s %12.0f ns/op (baseline %12.0f, %+.1f%%), %d allocs/op\n",
+			name, now.NsPerOp, was.NsPerOp, 100*(now.NsPerOp-was.NsPerOp)/was.NsPerOp, now.AllocsPerOp)
+	}
+	// The latency gate covers only the product configuration: the other
+	// variants exist as ablation baselines and their committed numbers
+	// are documentation, not a budget.
+	now, was := results["warm_memo"], base.Results["warm_memo"]
+	if was.NsPerOp > 0 {
+		if pct := 100 * (now.NsPerOp - was.NsPerOp) / was.NsPerOp; pct > tolerancePct {
+			failures = append(failures, fmt.Sprintf(
+				"warm_memo: %.0f ns/op is %.1f%% over baseline %.0f (tolerance %.0f%%)",
+				now.NsPerOp, pct, was.NsPerOp, tolerancePct))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchsmoke: REGRESSION:", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(failures), baselinePath)
+	}
+	fmt.Printf("benchsmoke: no regressions against %s\n", baselinePath)
+	return nil
+}
+
+func run(outPath string) error {
+	results, cfg, err := headline(5, 2, 8)
+	if err != nil {
+		return err
+	}
+	offM, onM, overheadPct, err := metricsOverhead(10, 10, 100)
+	if err != nil {
+		return err
+	}
+	grid, err := scalingGrid(4, 1, 6)
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Bench:           "FixedWindow.Push",
+		Goos:            runtime.GOOS,
+		Goarch:          runtime.GOARCH,
+		Stream:          "utilization(seed=17,quantize)",
+		Aggregation:     "interleaved trials, min ns/op, max allocs",
+		Config:          cfg,
+		Results:         results,
+		SpeedupWarmMemo: results["cold"].NsPerOp / results["warm_memo"].NsPerOp,
+		MetricsOff:         offM,
+		MetricsOn:          onM,
+		MetricsOverheadPct: overheadPct,
+		Scaling:            grid,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchsmoke: wrote %s (cold %.0f ns/op, warm+memo %.0f ns/op, speedup %.2fx)\n",
+		outPath, rep.Results["cold"].NsPerOp, rep.Results["warm_memo"].NsPerOp, rep.SpeedupWarmMemo)
+	return nil
 }
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	checkPath := flag.String("check", "", "baseline report to gate against instead of emitting a new one")
+	tolerance := flag.Float64("tolerance", 15, "allowed warm_memo ns/op regression in percent (-check mode)")
 	flag.Parse()
 
-	off := benchPush(nil)
-	on := benchPush(streamhist.NewMetrics())
-	offM, onM := toMeasurement(off), toMeasurement(on)
-
-	report := map[string]any{
-		"bench":  "FixedWindow.Push",
-		"goos":   runtime.GOOS,
-		"goarch": runtime.GOARCH,
-		"config": cfg,
-		"results": map[string]any{
-			"metrics_off": offM,
-			"metrics_on":  onM,
-		},
-		"metrics_overhead_pct": 100 * (onM.NsPerOp - offM.NsPerOp) / offM.NsPerOp,
+	var err error
+	if *checkPath != "" {
+		err = check(*checkPath, *tolerance)
+	} else {
+		err = run(*out)
 	}
-	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
 		os.Exit(1)
 	}
-	blob = append(blob, '\n')
-	if *out == "" {
-		_, _ = os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchsmoke: wrote %s (off %.0f ns/op, on %.0f ns/op)\n", *out, offM.NsPerOp, onM.NsPerOp)
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPushVariant measures steady-state Push cost (window already full,
+// so every push slides and rebuilds) under one rebuild-engine
+// configuration. Modest sizes keep `go test -bench` quick; the scaling
+// curves over larger windows live in cmd/benchsmoke.
+func benchPushVariant(b *testing.B, warm, memo bool) {
+	const (
+		n     = 1024
+		bkts  = 8
+		eps   = 0.1
+		delta = 0.1
+	)
+	fw, err := NewWithDelta(n, bkts, eps, delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw.SetWarmStart(warm)
+	fw.SetProbeMemo(memo)
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]float64, 4*n)
+	for i := range vals {
+		// Quantized utilization-style values: plateaus with jumps, the
+		// regime the paper's Utilization workload models.
+		vals[i] = float64(rng.Intn(100))
+	}
+	for i := 0; i < n; i++ {
+		fw.Push(vals[i%len(vals)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Push(vals[i%len(vals)])
+	}
+}
+
+func BenchmarkPushCold(b *testing.B)     { benchPushVariant(b, false, false) }
+func BenchmarkPushMemo(b *testing.B)     { benchPushVariant(b, false, true) }
+func BenchmarkPushWarm(b *testing.B)     { benchPushVariant(b, true, false) }
+func BenchmarkPushWarmMemo(b *testing.B) { benchPushVariant(b, true, true) }

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"streamhist/internal/errs"
 	"streamhist/internal/histogram"
@@ -49,16 +50,52 @@ type FixedWindow struct {
 	dirty   bool    // lazy mode: queues stale, rebuild before next query
 
 	linearScan bool // ablation: build interval lists by linear scan
+	warm       bool // warm-started CreateList (default on; off is the cold ablation)
+	memoOn     bool // per-rebuild HERROR probe memo (default on)
+
+	// Warm start: the previous rebuild's interval queues, swapped with
+	// queues at the start of each rebuild so both sets of backing arrays
+	// reach steady-state capacity and stay allocation-free.
+	prev   [][]iv
+	lastWS int64 // WindowStart at the rebuild that built the current queues
+
+	// Probe memo: an epoch-stamped flat table over window positions.
+	// Keys (the probe positions c of one CreateList level) are dense
+	// integers in [0, n), so the open-addressed table degenerates to the
+	// identity hash — a direct-indexed array that never probes. The epoch
+	// advances per level per rebuild, invalidating the whole table in O(1)
+	// without clearing it; entries whose stamp is not the current epoch are
+	// vacant. Stamp and value share one 16-byte entry so a probe touches a
+	// single cache line. Zero allocations steady-state: the table is sized
+	// to the window capacity once.
+	memo  []memoEnt
+	epoch uint64
+	shift int // window slide between the prev queues and this rebuild
 
 	// Instrumentation for the ablation experiments.
 	evals      int64 // HERROR evaluations since creation
 	candidates int64 // candidate endpoints inspected across evaluations
+	memoHits   int64 // probes answered from the memo
+	memoMisses int64 // probes computed and stored (memo enabled only)
+	warmHits   int64 // intervals whose endpoint was seeded from prev
+	warmMisses int64 // intervals that fell back to searchEndpoint
 
 	// Observability (all handles nil until SetRegistry; nil handles no-op).
-	m        fwMetrics
-	pending  int64 // points pushed since the last rebuild
-	expEvals int64 // evals already exported to m.evals
-	expCands int64 // candidates already exported to m.candidates
+	m           fwMetrics
+	pending     int64 // points pushed since the last rebuild
+	expEvals    int64 // evals already exported to m.evals
+	expCands    int64 // candidates already exported to m.candidates
+	expMemoHit  int64 // memoHits already exported to m.memoHits
+	expMemoMiss int64 // memoMisses already exported to m.memoMisses
+	expWarmHit  int64 // warmHits already exported to m.warmHits
+	expWarmMiss int64 // warmMisses already exported to m.warmFallbacks
+}
+
+// memoEnt is one probe-memo slot: the HERROR value computed at this
+// window position, valid only while its stamp matches the current epoch.
+type memoEnt struct {
+	stamp uint64
+	val   float64
 }
 
 // fwMetrics holds the maintainer's instrumentation handles. The zero
@@ -71,8 +108,12 @@ type fwMetrics struct {
 	createLists *obs.Counter // CreateList invocations (one per level per rebuild)
 	evals       *obs.Counter // HERROR evaluations (binary-search probes)
 	candidates  *obs.Counter // boundary candidates inspected across evaluations
-	flushes     *obs.Counter // lazy/batched maintenance passes
-	flushPoints *obs.Counter // points applied by those passes
+	flushes       *obs.Counter // lazy/batched maintenance passes
+	flushPoints   *obs.Counter // points applied by those passes
+	memoHits      *obs.Counter // probe-memo hits
+	memoMisses    *obs.Counter // probe-memo misses
+	warmHits      *obs.Counter // warm-started interval endpoints accepted
+	warmFallbacks *obs.Counter // warm-start guesses that fell back to search
 }
 
 // SetRegistry attaches the maintainer to a metrics registry, registering
@@ -85,8 +126,12 @@ func (f *FixedWindow) SetRegistry(reg *obs.Registry) {
 		createLists: reg.Counter("streamhist_core_createlist_total", "CreateList invocations (one per queue level per rebuild)."),
 		evals:       reg.Counter("streamhist_core_herr_evals_total", "Approximate HERROR evaluations (binary-search probes)."),
 		candidates:  reg.Counter("streamhist_core_herr_candidates_total", "Boundary candidates inspected across HERROR evaluations."),
-		flushes:     reg.Counter("streamhist_core_lazy_flushes_total", "Deferred maintenance passes (PushLazy bursts and PushBatch calls)."),
-		flushPoints: reg.Counter("streamhist_core_lazy_flush_points_total", "Points applied by deferred maintenance passes."),
+		flushes:       reg.Counter("streamhist_core_lazy_flushes_total", "Deferred maintenance passes (PushLazy bursts and PushBatch calls)."),
+		flushPoints:   reg.Counter("streamhist_core_lazy_flush_points_total", "Points applied by deferred maintenance passes."),
+		memoHits:      reg.Counter("streamhist_core_memo_hits_total", "HERROR probes answered from the per-rebuild memo."),
+		memoMisses:    reg.Counter("streamhist_core_memo_misses_total", "HERROR probes computed and stored in the per-rebuild memo."),
+		warmHits:      reg.Counter("streamhist_core_warm_hits_total", "CreateList intervals whose endpoint was seeded from the previous rebuild's cover."),
+		warmFallbacks: reg.Counter("streamhist_core_warm_fallbacks_total", "CreateList intervals whose warm-start guess failed verification and fell back to search."),
 	}
 }
 
@@ -114,7 +159,7 @@ func NewWithDelta(n, b int, eps, delta float64) (*FixedWindow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	f := &FixedWindow{b: b, eps: eps, delta: delta, sums: sums}
+	f := &FixedWindow{b: b, eps: eps, delta: delta, sums: sums, warm: true, memoOn: true}
 	if b > 1 {
 		f.queues = make([][]iv, b-1)
 	}
@@ -142,13 +187,44 @@ func (f *FixedWindow) Delta() float64 { return f.delta }
 // SetLinearScan switches CreateList between the paper's binary search
 // (false, default) and a position-by-position linear scan (true). Both
 // produce the same interval cover; the ablation benchmarks compare their
-// cost.
+// cost. Linear scan also disables warm-started endpoint seeding so the
+// ablation stays a pure position-by-position walk.
 func (f *FixedWindow) SetLinearScan(on bool) { f.linearScan = on }
 
+// SetWarmStart toggles warm-started CreateList (default on): each
+// interval's endpoint search is seeded from the corresponding endpoint of
+// the previous rebuild's cover, shifted by the window slide. The seed is
+// verified against the same predicate the binary search uses, so the
+// produced cover is identical to the cold path's; off is the cold
+// ablation.
+func (f *FixedWindow) SetWarmStart(on bool) { f.warm = on }
+
+// SetProbeMemo toggles the per-rebuild HERROR probe memo (default on).
+// Within one CreateList level every probe position yields the same value,
+// so memoization changes no results — off is the ablation that re-derives
+// every overlapping probe, as the pre-memo engine did.
+func (f *FixedWindow) SetProbeMemo(on bool) { f.memoOn = on }
+
 // Evals returns the number of HERROR evaluations performed so far, and
-// the number of candidate boundaries inspected across them.
+// the number of candidate boundaries inspected across them. Probes
+// answered by the memo are not evaluations; add MemoStats hits for the
+// number of logical probe requests.
 func (f *FixedWindow) Evals() (evaluations, candidatesInspected int64) {
 	return f.evals, f.candidates
+}
+
+// MemoStats returns the probe-memo hit and miss counts since creation.
+// Misses count only probes that went through an enabled memo; with the
+// memo disabled both numbers stop advancing.
+func (f *FixedWindow) MemoStats() (hits, misses int64) {
+	return f.memoHits, f.memoMisses
+}
+
+// WarmStats returns, since creation, the number of CreateList intervals
+// whose endpoint was accepted from a warm-start seed and the number that
+// fell back to the gallop + binary search.
+func (f *FixedWindow) WarmStats() (seeded, fallbacks int64) {
+	return f.warmHits, f.warmMisses
 }
 
 // Push consumes the next stream point and performs the per-point
@@ -220,11 +296,29 @@ func (f *FixedWindow) rebuild() {
 		f.pending = 0
 		return
 	}
+	ws := f.sums.WindowStart()
+	if f.warm && f.b > 1 {
+		// Retire the current queues as the warm-start source. lastWS dates
+		// them, so the slide between the two windows maps old positions to
+		// new ones even across batched arrivals or evictions.
+		if f.prev == nil {
+			f.prev = make([][]iv, f.b-1)
+		}
+		f.queues, f.prev = f.prev, f.queues
+		f.shift = int(ws - f.lastWS)
+	}
+	if f.memoOn && len(f.memo) < f.sums.Capacity() {
+		f.memo = make([]memoEnt, f.sums.Capacity())
+		f.epoch = 0 // stamps restart below the zeroed table
+	}
 	for k := 1; k <= f.b-1; k++ {
+		f.epoch++ // new level: all memo entries become vacant in O(1)
 		f.queues[k-1] = f.queues[k-1][:0]
 		f.createList(0, w-1, k)
 	}
+	f.epoch++
 	f.herrTop = f.evalHErr(w-1, f.b)
+	f.lastWS = ws
 	f.m.rebuilds.Inc()
 	f.m.createLists.Add(int64(f.b - 1))
 	if lazy || f.pending > 1 {
@@ -236,28 +330,122 @@ func (f *FixedWindow) rebuild() {
 	f.m.evals.Add(f.evals - f.expEvals)
 	f.m.candidates.Add(f.candidates - f.expCands)
 	f.expEvals, f.expCands = f.evals, f.candidates
+	f.m.memoHits.Add(f.memoHits - f.expMemoHit)
+	f.m.memoMisses.Add(f.memoMisses - f.expMemoMiss)
+	f.m.warmHits.Add(f.warmHits - f.expWarmHit)
+	f.m.warmFallbacks.Add(f.warmMisses - f.expWarmMiss)
+	f.expMemoHit, f.expMemoMiss = f.memoHits, f.memoMisses
+	f.expWarmHit, f.expWarmMiss = f.warmHits, f.warmMisses
 }
 
 // createList builds the interval cover of [a..b] for level k (Figure 5's
 // CreateList[a,b,k]), appending to queues[k-1]. Written iteratively: the
 // paper's tail recursion "insert c; CreateList(c+1,b,k)" is a loop.
+//
+// With warm start enabled, each interval's endpoint is first guessed from
+// the previous rebuild's cover at this level, shifted by the window slide:
+// consecutive windows differ by a one-point shift (a batch flush slides by
+// the burst size), so a stable cover verifies in O(1) probes per interval
+// instead of the O(log interval-length) of the gallop + binary search. The
+// guess is accepted only if the search's own post-condition holds —
+// predicate true at the guess, false just past it — so the produced cover
+// is the one the cold path would build.
 func (f *FixedWindow) createList(a, b, k int) {
 	q := &f.queues[k-1]
+	warm := f.warm && !f.linearScan
+	var prev []iv
+	if warm {
+		prev = f.prev[k-1]
+	}
+	j := 0 // cursor into prev; interval starts only move right
 	lo := a
 	for lo <= b {
 		t := f.evalHErr(lo, k)
 		var c int
 		var herrC float64
-		if lo == b {
+		switch {
+		case lo == b:
 			c, herrC = lo, t
-		} else if f.linearScan {
+		case f.linearScan:
 			c, herrC = f.linearEndpoint(lo, b, k, t)
-		} else {
-			c, herrC = f.searchEndpoint(lo, b, k, t)
+		default:
+			c = -1
+			if warm {
+				oldPos := lo + f.shift
+				for j < len(prev) && prev[j].B < oldPos {
+					j++
+				}
+				if j < len(prev) {
+					g := prev[j].B - f.shift
+					if g < lo {
+						g = lo
+					}
+					if g > b {
+						g = b
+					}
+					c, herrC = f.warmEndpoint(lo, b, k, t, g)
+				} else {
+					f.warmMisses++ // cover outgrew the previous window
+				}
+			}
+			if c < 0 {
+				c, herrC = f.searchEndpoint(lo, b, k, t)
+			}
 		}
 		*q = append(*q, iv{A: lo, B: c, HErrA: t, HErrB: herrC})
 		lo = c + 1
 	}
+}
+
+// warmEndpoint locates the interval endpoint starting from a warm-start
+// guess g in [lo..hi]. When the cover is stable across the window slide
+// the guess verifies with at most two probes — predicate true at g, false
+// at g+1, the same post-condition searchEndpoint establishes — so the
+// interval costs O(1) evaluations. When the cover drifted, it gallops
+// from the guess toward the true endpoint and binary-searches the
+// bracket, costing O(log drift) instead of O(log interval-length). Under
+// the monotone predicate both strategies locate the identical endpoint
+// the cold search would return.
+func (f *FixedWindow) warmEndpoint(lo, hi, k int, t float64, g int) (int, float64) {
+	thr := (1 + f.delta) * t
+	val := t
+	if g > lo {
+		v := f.evalHErr(g, k)
+		if v > thr {
+			// Endpoint lies left of the guess: gallop backward from g,
+			// probing aligned positions (see gallopEndpoint) so the memo
+			// can reuse them across searches.
+			f.warmMisses++
+			l, lval := lo, t
+			h, p := g-1, g
+			for t := 0; ; t++ {
+				np := ((p - 1) >> t) << t // largest multiple of 2^t below p
+				if np <= lo {
+					break
+				}
+				p = np
+				if v := f.evalHErr(p, k); v <= thr {
+					l, lval = p, v
+					break
+				}
+				h = p - 1
+			}
+			return f.bisectEndpoint(l, h, k, thr, lval)
+		}
+		val = v
+	}
+	if g >= hi {
+		f.warmHits++
+		return g, val
+	}
+	v := f.evalHErr(g+1, k)
+	if v > thr {
+		f.warmHits++
+		return g, val
+	}
+	// Endpoint lies right of the guess: gallop forward from g+1.
+	f.warmMisses++
+	return f.gallopEndpoint(g+1, hi, k, thr, v)
 }
 
 // searchEndpoint finds the maximal c in [lo..hi] with
@@ -269,10 +457,39 @@ func (f *FixedWindow) createList(a, b, k int) {
 // O(log n) — the two are equal for long intervals, and galloping is far
 // cheaper in the small-delta regime where intervals span a few positions.
 func (f *FixedWindow) searchEndpoint(lo, hi, k int, t float64) (int, float64) {
-	thr := (1 + f.delta) * t
-	// Gallop: find the smallest probed offset that fails the predicate.
-	l, val := lo, t
+	return f.gallopEndpoint(lo, hi, k, (1+f.delta)*t, t)
+}
+
+// gallopEndpoint gallops from l (where the predicate holds with value
+// val) at roughly doubling distances until a probe fails, then
+// binary-searches the bracketed range.
+//
+// With the probe memo enabled the gallop probes power-of-two-aligned
+// positions instead of l+2^t: iteration t probes the first multiple of
+// 2^t past l, which advances geometrically just like the classic gallop
+// (same O(log distance) probe count) but lands on positions that are
+// independent of the search's starting point. Adjacent interval
+// searches within a level then probe the same aligned positions, and
+// the memo collapses the repeats to array loads. Either probe schedule
+// brackets the same endpoint under the monotone predicate.
+func (f *FixedWindow) gallopEndpoint(l, hi, k int, thr, val float64) (int, float64) {
 	h := hi
+	if f.memoOn {
+		for t := 0; ; t++ {
+			p := ((l >> t) + 1) << t
+			if p > hi {
+				break
+			}
+			v := f.evalHErr(p, k)
+			if v > thr {
+				h = p - 1
+				break
+			}
+			l = p
+			val = v
+		}
+		return f.bisectEndpoint(l, h, k, thr, val)
+	}
 	for step := 1; l+step <= hi; step *= 2 {
 		v := f.evalHErr(l+step, k)
 		if v > thr {
@@ -282,7 +499,34 @@ func (f *FixedWindow) searchEndpoint(lo, hi, k int, t float64) (int, float64) {
 		l += step
 		val = v
 	}
-	// Binary search within (l, h].
+	return f.bisectEndpoint(l, h, k, thr, val)
+}
+
+// bisectEndpoint returns the maximal c in [l..h] satisfying the
+// predicate, given that it holds at l with value val and fails just past
+// h.
+//
+// With the probe memo enabled it probes the coarsest power-of-two-
+// aligned position inside (l..h] instead of the midpoint — the probe a
+// binary trie descent would make. The bracket still shrinks
+// geometrically, and trie-aligned probes recur across the searches of a
+// level far more often than bracket-dependent midpoints do, feeding the
+// memo. Both probe rules are exact binary searches over the same
+// monotone predicate, so they return the identical endpoint.
+func (f *FixedWindow) bisectEndpoint(l, h, k int, thr, val float64) (int, float64) {
+	if f.memoOn {
+		for l < h {
+			t := bits.Len(uint(l^h)) - 1
+			p := ((l >> t) + 1) << t // coarsest aligned position in (l..h]
+			if v := f.evalHErr(p, k); v <= thr {
+				l = p
+				val = v
+			} else {
+				h = p - 1
+			}
+		}
+		return l, val
+	}
 	for l < h {
 		mid := int(uint(l+h+1) >> 1)
 		if v := f.evalHErr(mid, k); v <= thr {
@@ -310,13 +554,39 @@ func (f *FixedWindow) linearEndpoint(lo, hi, k int, t float64) (int, float64) {
 	return c, val
 }
 
-// evalHErr computes the approximate HERROR[c,k]: the SSE of the best
+// evalHErr returns the approximate HERROR[c,k], consulting the per-level
+// probe memo first. Within one CreateList level the value at a position
+// never changes (it depends only on the completed queue one level below),
+// so a memo hit is exact; the gallop, binary-search and warm-verification
+// phases of adjacent intervals probe overlapping positions, and the memo
+// collapses those repeats to array loads.
+//
+// Contract: the memo is keyed by position only — every call between two
+// epoch bumps must use the same k (rebuild bumps the epoch per level).
+// Callers probing across levels outside a rebuild must use herrAt.
+func (f *FixedWindow) evalHErr(c, k int) float64 {
+	if f.memoOn {
+		if e := &f.memo[c]; e.stamp == f.epoch {
+			f.memoHits++
+			return e.val
+		}
+	}
+	v := f.herrAt(c, k)
+	if f.memoOn {
+		f.memoMisses++
+		f.memo[c] = memoEnt{stamp: f.epoch, val: v}
+	}
+	return v
+}
+
+// herrAt computes the approximate HERROR[c,k]: the SSE of the best
 // k-bucket histogram over window positions [0..c], minimizing the last
 // bucket boundary over the stored endpoints of queue k-1 (plus the
 // boundary candidate c-1 valued via the start of the interval containing
 // it, see DESIGN.md). SQERROR terms come from the sliding prefix sums in
-// O(1).
-func (f *FixedWindow) evalHErr(c, k int) float64 {
+// O(1), through a fixed-right-endpoint evaluator that hoists the terms at
+// c out of the scan.
+func (f *FixedWindow) herrAt(c, k int) float64 {
 	f.evals++
 	if k <= 1 || c == 0 {
 		return f.sums.SQError(0, c)
@@ -334,9 +604,27 @@ func (f *FixedWindow) evalHErr(c, k int) float64 {
 	// Backward scan over interval endpoints. SQERROR of the last bucket
 	// grows as the boundary moves left, so once it alone reaches best no
 	// earlier candidate can win: safe early exit.
+	//
+	// The SQERROR terms are open-coded against the window-anchored prefix
+	// arrays instead of going through prefix.Suffix: the hoisted scalars
+	// stay in registers across the scan, where the 80-byte evaluator
+	// struct cost a block copy per probe. The arithmetic is the same
+	// expression Suffix.SQError evaluates, so results are bit-identical
+	// (pinned by the cold-vs-optimized equivalence suite).
+	psum, psq := f.sums.Anchored()
+	sumHi, sqHi := psum[c+1], psq[c+1]
 	for i := idx; i >= 0; i-- {
 		f.candidates++
-		se := f.sums.SQError(q[i].B+1, c)
+		b1 := q[i].B + 1
+		var se float64
+		if c > b1 {
+			sum := sumHi - psum[b1]
+			sq := sqHi - psq[b1]
+			se = sq - sum*sum/float64(c-b1+1)
+			if se < 0 {
+				se = 0
+			}
+		}
 		if se >= best {
 			break
 		}
@@ -435,8 +723,9 @@ func (f *FixedWindow) argminBoundary(end, k int) (int, bool) {
 		best = q[idx+1].HErrA
 		bestI = end - 1
 	}
+	sf := f.sums.Suffix(end)
 	for i := idx; i >= 0; i-- {
-		se := f.sums.SQError(q[i].B+1, end)
+		se := sf.SQError(q[i].B + 1)
 		if se >= best {
 			break
 		}
@@ -449,6 +738,31 @@ func (f *FixedWindow) argminBoundary(end, k int) (int, bool) {
 		return 0, false
 	}
 	return bestI, true
+}
+
+// Interval is one interval of a queue's cover, exposed for equivalence
+// testing and debugging: HERROR[x,k] stays within a (1+delta) factor of
+// HErrA for every x in [A, B].
+type Interval struct {
+	A, B         int
+	HErrA, HErrB float64
+}
+
+// Cover returns a copy of the interval cover at level k (1 <= k <= B-1).
+// The cross-check suites compare covers between the warm/memo engine and
+// the cold ablation; outside tests it is a debugging aid, not a hot-path
+// API.
+func (f *FixedWindow) Cover(k int) []Interval {
+	f.ensureFresh()
+	if k < 1 || k > len(f.queues) {
+		return nil
+	}
+	q := f.queues[k-1]
+	out := make([]Interval, len(q))
+	for i, in := range q {
+		out[i] = Interval{A: in.A, B: in.B, HErrA: in.HErrA, HErrB: in.HErrB}
+	}
+	return out
 }
 
 // QueueSizes returns the current number of intervals in each queue,

@@ -8,38 +8,42 @@ import (
 	"streamhist/internal/vopt"
 )
 
+// adversarialShapes are pathological window contents shared by the
+// shape-matrix sweep below and the cold-vs-optimized equivalence suite in
+// rebuild_test.go.
+var adversarialShapes = map[string]func(i int, rng *rand.Rand) float64{
+	"ascending":   func(i int, _ *rand.Rand) float64 { return float64(i) },
+	"descending":  func(i int, _ *rand.Rand) float64 { return float64(100000 - i) },
+	"alternating": func(i int, _ *rand.Rand) float64 { return float64((i % 2) * 1000) },
+	"sawtooth":    func(i int, _ *rand.Rand) float64 { return float64(i % 17) },
+	"spike-train": func(i int, _ *rand.Rand) float64 {
+		if i%23 == 0 {
+			return 1e5
+		}
+		return 1
+	},
+	"geometric": func(i int, _ *rand.Rand) float64 {
+		return math.Pow(1.5, float64(i%30))
+	},
+	"zero-runs": func(i int, rng *rand.Rand) float64 {
+		if (i/37)%2 == 0 {
+			return 0
+		}
+		return float64(rng.Intn(100))
+	},
+	"negative": func(i int, rng *rand.Rand) float64 {
+		return float64(rng.Intn(2000) - 1000)
+	},
+}
+
 // TestAdversarialWindowShapes sweeps the fixed-window algorithm across
 // pathological window contents and a grid of (B, delta) settings, checking
 // on every slide that the extracted histogram is structurally valid,
 // covers the window, and respects the loose (1+delta)^(2B) bound against
 // the exact optimum.
 func TestAdversarialWindowShapes(t *testing.T) {
-	shapes := map[string]func(i int, rng *rand.Rand) float64{
-		"ascending":   func(i int, _ *rand.Rand) float64 { return float64(i) },
-		"descending":  func(i int, _ *rand.Rand) float64 { return float64(100000 - i) },
-		"alternating": func(i int, _ *rand.Rand) float64 { return float64((i % 2) * 1000) },
-		"sawtooth":    func(i int, _ *rand.Rand) float64 { return float64(i % 17) },
-		"spike-train": func(i int, _ *rand.Rand) float64 {
-			if i%23 == 0 {
-				return 1e5
-			}
-			return 1
-		},
-		"geometric": func(i int, _ *rand.Rand) float64 {
-			return math.Pow(1.5, float64(i%30))
-		},
-		"zero-runs": func(i int, rng *rand.Rand) float64 {
-			if (i/37)%2 == 0 {
-				return 0
-			}
-			return float64(rng.Intn(100))
-		},
-		"negative": func(i int, rng *rand.Rand) float64 {
-			return float64(rng.Intn(2000) - 1000)
-		},
-	}
 	const n = 48
-	for name, gen := range shapes {
+	for name, gen := range adversarialShapes {
 		for _, b := range []int{2, 5} {
 			for _, delta := range []float64{0.1, 0.5} {
 				rng := rand.New(rand.NewSource(220))

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rebuildVariants enumerates the rebuild-engine configurations whose
+// results must be indistinguishable: the probe memo and the warm start
+// are pure evaluation-order optimizations, so every combination has to
+// produce bit-identical interval queues, ApproxError and histograms.
+var rebuildVariants = []struct {
+	name       string
+	warm, memo bool
+}{
+	{"cold", false, false},
+	{"memo", false, true},
+	{"warm", true, false},
+	{"warm+memo", true, true},
+}
+
+func newVariant(t *testing.T, n, b int, eps, delta float64, warm, memo bool) *FixedWindow {
+	t.Helper()
+	fw, err := New(n, b, eps) // delta == 0: the default eps/(2B)
+	if delta != 0 {
+		fw, err = NewWithDelta(n, b, eps, delta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.SetWarmStart(warm)
+	fw.SetProbeMemo(memo)
+	return fw
+}
+
+// requireSameState asserts that two maintainers hold bit-identical
+// interval queues and report identical approximation errors and
+// histograms. iv is a plain struct of ints and float64s, so == compares
+// the stored HERROR values bit for bit.
+func requireSameState(t *testing.T, ctx string, ref, opt *FixedWindow) {
+	t.Helper()
+	ref.ensureFresh()
+	opt.ensureFresh()
+	if len(ref.queues) != len(opt.queues) {
+		t.Fatalf("%s: queue count %d vs %d", ctx, len(ref.queues), len(opt.queues))
+	}
+	for k := range ref.queues {
+		rq, oq := ref.queues[k], opt.queues[k]
+		if len(rq) != len(oq) {
+			t.Fatalf("%s: level %d: %d vs %d intervals", ctx, k+1, len(rq), len(oq))
+		}
+		for i := range rq {
+			if rq[i] != oq[i] {
+				t.Fatalf("%s: level %d interval %d: %+v vs %+v", ctx, k+1, i, rq[i], oq[i])
+			}
+		}
+	}
+	if re, oe := ref.ApproxError(), opt.ApproxError(); re != oe {
+		t.Fatalf("%s: ApproxError %v vs %v", ctx, re, oe)
+	}
+	rh, rerr := ref.Histogram()
+	oh, oerr := opt.Histogram()
+	if (rerr == nil) != (oerr == nil) {
+		t.Fatalf("%s: Histogram err %v vs %v", ctx, rerr, oerr)
+	}
+	if rerr != nil {
+		return
+	}
+	if rh.SSE != oh.SSE {
+		t.Fatalf("%s: SSE %v vs %v", ctx, rh.SSE, oh.SSE)
+	}
+	rb, ob := rh.Histogram.Buckets, oh.Histogram.Buckets
+	if len(rb) != len(ob) {
+		t.Fatalf("%s: bucket count %d vs %d", ctx, len(rb), len(ob))
+	}
+	for i := range rb {
+		if rb[i] != ob[i] {
+			t.Fatalf("%s: bucket %d: %+v vs %+v", ctx, i, rb[i], ob[i])
+		}
+	}
+}
+
+// TestRebuildEquivalenceRandom drives all rebuild variants through a
+// randomized stream long enough to fill the window, slide it through a
+// full wrap-around of the prefix arrays, and checks the complete state
+// after every push.
+func TestRebuildEquivalenceRandom(t *testing.T) {
+	const n, b = 96, 6
+	for _, eps := range []float64{0.1, 0.5} {
+		for seed := int64(1); seed <= 3; seed++ {
+			ref := newVariant(t, n, b, eps, 0, false, false)
+			opts := make([]*FixedWindow, 0, len(rebuildVariants)-1)
+			for _, v := range rebuildVariants[1:] {
+				opts = append(opts, newVariant(t, n, b, eps, 0, v.warm, v.memo))
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3*n; i++ { // > 2n: crosses the prefix-array rebase
+				x := rng.NormFloat64()*10 + float64(i%7)
+				ref.Push(x)
+				for j, opt := range opts {
+					opt.Push(x)
+					requireSameState(t, rebuildVariants[j+1].name, ref, opt)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildEquivalenceShapes replays the adversarial window shapes of
+// the matrix sweep through every rebuild variant.
+func TestRebuildEquivalenceShapes(t *testing.T) {
+	const n = 48
+	for name, gen := range adversarialShapes {
+		for _, b := range []int{2, 5} {
+			for _, delta := range []float64{0.1, 0.5} {
+				ref := newVariant(t, n, b, delta, delta, false, false)
+				opt := newVariant(t, n, b, delta, delta, true, true)
+				rngR := rand.New(rand.NewSource(220))
+				rngO := rand.New(rand.NewSource(220))
+				for i := 0; i < n+64; i++ {
+					ref.Push(gen(i, rngR))
+					opt.Push(gen(i, rngO))
+					requireSameState(t, name, ref, opt)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildEquivalenceBatched mixes Push, PushLazy and PushBatch so the
+// window slides by more than one position between rebuilds, exercising
+// the warm start's shift mapping for bursts, including bursts larger
+// than the window itself.
+func TestRebuildEquivalenceBatched(t *testing.T) {
+	const n, b = 64, 5
+	ref := newVariant(t, n, b, 0.1, 0, false, false)
+	opt := newVariant(t, n, b, 0.1, 0, true, true)
+	rng := rand.New(rand.NewSource(7))
+	step := 0
+	feed := func(k int) []float64 {
+		vs := make([]float64, k)
+		for i := range vs {
+			vs[i] = rng.NormFloat64() * float64(1+step%11)
+			step++
+		}
+		return vs
+	}
+	for round := 0; round < 40; round++ {
+		switch round % 4 {
+		case 0:
+			for _, v := range feed(1 + round%3) {
+				ref.Push(v)
+				opt.Push(v)
+			}
+		case 1:
+			for _, v := range feed(5) {
+				ref.PushLazy(v)
+				opt.PushLazy(v)
+			}
+		case 2:
+			vs := feed(n/2 + round)
+			ref.PushBatch(vs)
+			opt.PushBatch(vs)
+		case 3:
+			vs := feed(n + 9) // burst exceeding the window
+			ref.PushBatch(vs)
+			opt.PushBatch(vs)
+		}
+		requireSameState(t, "batched", ref, opt)
+	}
+}
+
+// TestRebuildtogglesMidStream flips the optimizations off and on while a
+// stream is in flight: a maintainer reconfigured mid-stream must keep
+// matching the cold reference exactly.
+func TestRebuildTogglesMidStream(t *testing.T) {
+	const n, b = 80, 6
+	ref := newVariant(t, n, b, 0.2, 0, false, false)
+	opt := newVariant(t, n, b, 0.2, 0, true, true)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4*n; i++ {
+		if i%(n/2) == 0 {
+			opt.SetWarmStart(i%n == 0)
+			opt.SetProbeMemo(i%(3*n/2) != 0)
+		}
+		x := rng.Float64() * 100
+		ref.Push(x)
+		opt.Push(x)
+		requireSameState(t, "toggle", ref, opt)
+	}
+}

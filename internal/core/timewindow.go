@@ -66,6 +66,14 @@ func (tw *TimeWindow) WindowStart() int64 { return tw.fw.WindowStart() }
 // maintenance (see FixedWindow.SetRegistry). A nil registry detaches.
 func (tw *TimeWindow) SetRegistry(reg *obs.Registry) { tw.fw.SetRegistry(reg) }
 
+// SetWarmStart toggles warm-started CreateList on the underlying
+// maintainer (see FixedWindow.SetWarmStart).
+func (tw *TimeWindow) SetWarmStart(on bool) { tw.fw.SetWarmStart(on) }
+
+// SetProbeMemo toggles the per-rebuild HERROR probe memo on the
+// underlying maintainer (see FixedWindow.SetProbeMemo).
+func (tw *TimeWindow) SetProbeMemo(on bool) { tw.fw.SetProbeMemo(on) }
+
 // Len returns the number of points currently inside the window.
 func (tw *TimeWindow) Len() int { return tw.size }
 

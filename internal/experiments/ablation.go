@@ -58,6 +58,11 @@ func ablationDelta(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Pin the cold rebuild path: this table characterizes the delta
+		// parameter itself, so the warm-start and probe-memo optimizations
+		// (on by default) would distort the evals/pt column.
+		fw.SetWarmStart(false)
+		fw.SetProbeMemo(false)
 		for i := 0; i < n; i++ {
 			fw.Push(g.Next())
 		}
@@ -124,6 +129,11 @@ func ablationSearch(cfg Config) (*Table, error) {
 					return nil, err
 				}
 				fw.SetLinearScan(linear)
+				// Cold path for the same reason as the delta table: this
+				// compares the paper's two endpoint-location strategies, not
+				// the rebuild-engine optimizations layered on top.
+				fw.SetWarmStart(false)
+				fw.SetProbeMemo(false)
 				for i := 0; i < n; i++ {
 					fw.Push(g.Next())
 				}

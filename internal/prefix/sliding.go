@@ -164,14 +164,73 @@ func (s *SlidingSums) Mean(lo, hi int) float64 {
 }
 
 // SQError returns SQERROR[lo,hi] over window-local positions: the SSE of
-// representing the covered values by their mean, clamped at zero.
+// representing the covered values by their mean, clamped at zero. The body
+// computes both prefix differences directly instead of going through
+// RangeSum/RangeSq, so the anchor offset is added once per argument and the
+// degenerate-range test is not repeated per component; the floating-point
+// operations (and therefore the result bits) are identical to the
+// RangeSum/RangeSq formulation, pinned by TestSQErrorMatchesRanges.
 func (s *SlidingSums) SQError(lo, hi int) float64 {
 	if hi <= lo {
 		return 0
 	}
-	n := float64(hi - lo + 1)
-	sum := s.RangeSum(lo, hi)
-	e := s.RangeSq(lo, hi) - sum*sum/n
+	i, j := s.start+lo, s.start+hi+1
+	sum := s.psum[j] - s.psum[i]
+	sq := s.psq[j] - s.psq[i]
+	e := sq - sum*sum/float64(hi-lo+1)
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Anchored returns the prefix arrays re-sliced to the window anchor, so
+// psum[i] (resp. psq[i]) is the sum (resp. sum of squares) of the values
+// strictly before window-local position i, for i in [0..Len()]. The views
+// are read-only and are invalidated by the next Push, EvictOldest or
+// restore. They exist for the hottest scan in internal/core, which
+// evaluates many SQERROR terms under one fixed right endpoint and wants
+// the components in registers rather than behind an evaluator struct.
+func (s *SlidingSums) Anchored() (psum, psq []float64) {
+	return s.psum[s.start:], s.psq[s.start:]
+}
+
+// Suffix is a fixed-right-endpoint SQError evaluator: the hi-dependent
+// prefix terms are hoisted once, so each SQError(lo) call is two array
+// loads and a handful of arithmetic ops, small enough to inline into the
+// caller's loop. This is the access shape of the inner minimization scans
+// in internal/core, which evaluate SQERROR[x+1, c] for many x under one
+// fixed c. The evaluator is a value (allocation-free to create) and is
+// invalidated by the next Push, EvictOldest or Restore.
+type Suffix struct {
+	psum, psq   []float64
+	sumHi, sqHi float64
+	start, hi   int
+}
+
+// Suffix returns an evaluator for SQError(lo, hi) with hi fixed.
+func (s *SlidingSums) Suffix(hi int) Suffix {
+	j := s.start + hi + 1
+	return Suffix{
+		psum:  s.psum,
+		psq:   s.psq,
+		sumHi: s.psum[j],
+		sqHi:  s.psq[j],
+		start: s.start,
+		hi:    hi,
+	}
+}
+
+// SQError returns SQERROR[lo, hi] for the evaluator's fixed hi, with
+// results bit-identical to SlidingSums.SQError(lo, hi).
+func (v Suffix) SQError(lo int) float64 {
+	if v.hi <= lo {
+		return 0
+	}
+	i := v.start + lo
+	sum := v.sumHi - v.psum[i]
+	sq := v.sqHi - v.psq[i]
+	e := sq - sum*sum/float64(v.hi-lo+1)
 	if e < 0 {
 		e = 0
 	}

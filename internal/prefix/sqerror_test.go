@@ -1,0 +1,155 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func filledSums(tb testing.TB, n, extra int, seed int64) *SlidingSums {
+	tb.Helper()
+	s, err := NewSlidingSums(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n+extra; i++ {
+		s.Push(rng.NormFloat64()*25 + float64(i%13))
+	}
+	return s
+}
+
+// sqErrorViaRanges is the original RangeSum/RangeSq formulation of
+// SQERROR. The restructured SQError must reproduce it bit for bit.
+func sqErrorViaRanges(s *SlidingSums, lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	sum := s.RangeSum(lo, hi)
+	sq := s.RangeSq(lo, hi)
+	e := sq - sum*sum/float64(hi-lo+1)
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// TestSQErrorMatchesRanges pins the direct-prefix-difference SQError to
+// the RangeSum/RangeSq formulation: identical floating-point operations,
+// identical bits — before and after a rebase.
+func TestSQErrorMatchesRanges(t *testing.T) {
+	for _, extra := range []int{0, 3, 130} { // extra > n crosses a rebase
+		s := filledSums(t, 64, extra, 41)
+		for lo := 0; lo < s.Len(); lo++ {
+			for hi := lo; hi < s.Len(); hi++ {
+				want := sqErrorViaRanges(s, lo, hi)
+				if got := s.SQError(lo, hi); got != want {
+					t.Fatalf("extra=%d SQError(%d,%d) = %v, want %v", extra, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSuffixSQErrorMatches pins the fixed-right-endpoint evaluator to
+// SlidingSums.SQError for every (lo, hi) pair.
+func TestSuffixSQErrorMatches(t *testing.T) {
+	s := filledSums(t, 64, 70, 42)
+	for hi := 0; hi < s.Len(); hi++ {
+		sf := s.Suffix(hi)
+		for lo := 0; lo <= hi; lo++ {
+			if got, want := sf.SQError(lo), s.SQError(lo, hi); got != want {
+				t.Fatalf("Suffix(%d).SQError(%d) = %v, want %v", hi, lo, got, want)
+			}
+		}
+	}
+}
+
+// TestAnchoredMatchesSQError pins the raw anchored prefix views (used by
+// the open-coded scan in internal/core) to SQError: computing the same
+// expression from the views must give identical bits.
+func TestAnchoredMatchesSQError(t *testing.T) {
+	s := filledSums(t, 64, 70, 43)
+	psum, psq := s.Anchored()
+	for hi := 0; hi < s.Len(); hi++ {
+		sumHi, sqHi := psum[hi+1], psq[hi+1]
+		for lo := 0; lo <= hi; lo++ {
+			var got float64
+			if hi > lo {
+				sum := sumHi - psum[lo]
+				sq := sqHi - psq[lo]
+				got = sq - sum*sum/float64(hi-lo+1)
+				if got < 0 {
+					got = 0
+				}
+			}
+			if want := s.SQError(lo, hi); got != want {
+				t.Fatalf("anchored SQERROR(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// The microbenchmarks below exercise the access shape of the rebuild
+// engine's inner scan: many SQERROR evaluations under one fixed right
+// endpoint. They document why the Suffix evaluator and the anchored
+// views exist.
+
+func BenchmarkSQErrorViaRanges(b *testing.B) {
+	s := filledSums(b, 4096, 100, 1)
+	hi := s.Len() - 1
+	var acc float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += sqErrorViaRanges(s, i%hi, hi)
+	}
+	sinkF = acc
+}
+
+func BenchmarkSQErrorDirect(b *testing.B) {
+	s := filledSums(b, 4096, 100, 1)
+	hi := s.Len() - 1
+	var acc float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += s.SQError(i%hi, hi)
+	}
+	sinkF = acc
+}
+
+func BenchmarkSQErrorSuffix(b *testing.B) {
+	s := filledSums(b, 4096, 100, 1)
+	hi := s.Len() - 1
+	sf := s.Suffix(hi)
+	var acc float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += sf.SQError(i % hi)
+	}
+	sinkF = acc
+}
+
+func BenchmarkSQErrorAnchored(b *testing.B) {
+	s := filledSums(b, 4096, 100, 1)
+	hi := s.Len() - 1
+	psum, psq := s.Anchored()
+	sumHi, sqHi := psum[hi+1], psq[hi+1]
+	var acc float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := i % hi
+		sum := sumHi - psum[lo]
+		sq := sqHi - psq[lo]
+		e := sq - sum*sum/float64(hi-lo+1)
+		if e < 0 {
+			e = 0
+		}
+		acc += e
+	}
+	sinkF = acc
+}
+
+var sinkF float64

@@ -152,6 +152,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"streamhist_core_createlist_total",
 		"streamhist_core_lazy_flush_points_total",
 		"streamhist_core_push_seconds",
+		// rebuild engine: probe memo and warm-started CreateList
+		"streamhist_core_memo_hits_total",
+		"streamhist_core_memo_misses_total",
+		"streamhist_core_warm_hits_total",
+		"streamhist_core_warm_fallbacks_total",
 		// agglomerative layer
 		"streamhist_agglom_points_total 8",
 		"streamhist_agglom_endpoints",

@@ -172,6 +172,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// ingestScratch holds the reusable parse buffers of one /ingest request:
+// the scanner's line buffer and the destination value slice.
+type ingestScratch struct {
+	buf  []byte
+	vals []float64
+}
+
+var ingestPool = sync.Pool{New: func() any {
+	return &ingestScratch{buf: make([]byte, 64*1024)}
+}}
+
 // requireMethod answers 405 in the error envelope unless the request uses
 // the given method.
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
@@ -203,7 +214,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	values, err := stream.ReadAll(body)
+	// Parse with pooled buffers: the scanner's line buffer and the value
+	// slice are reused across requests, and lines are parsed as byte-slice
+	// views (stream.ParseFloatBytes), so steady-state ingest parsing does
+	// not allocate.
+	scratch := ingestPool.Get().(*ingestScratch)
+	defer func() {
+		scratch.vals = scratch.vals[:0]
+		ingestPool.Put(scratch)
+	}()
+	values, err := stream.AppendValues(scratch.vals[:0], body, scratch.buf)
+	scratch.vals = values
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {

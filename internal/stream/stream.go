@@ -7,11 +7,13 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
+
+// maxLine bounds the length of a single input line.
+const maxLine = 1024 * 1024
 
 // Reader parses a value-per-line stream. Blank lines and lines starting
 // with '#' are skipped.
@@ -24,23 +26,25 @@ type Reader struct {
 // NewReader wraps r. Lines up to 1 MiB are supported.
 func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
 	return &Reader{sc: sc}
 }
 
 // Next returns the next value. It reports io.EOF after the last value and
-// a parse error (with line number) on malformed input.
+// a parse error (with line number) on malformed input. The hot path is
+// allocation-free: lines are trimmed and parsed as byte-slice views into
+// the scanner's buffer (ParseFloatBytes), never copied to strings.
 func (r *Reader) Next() (float64, error) {
 	if r.err != nil {
 		return 0, r.err
 	}
 	for r.sc.Scan() {
 		r.line++
-		text := strings.TrimSpace(r.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := bytes.TrimSpace(r.sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
-		v, err := strconv.ParseFloat(text, 64)
+		v, err := ParseFloatBytes(text)
 		if err != nil {
 			r.err = fmt.Errorf("stream: line %d: %w", r.line, err)
 			return 0, r.err

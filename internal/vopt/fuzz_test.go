@@ -8,10 +8,13 @@ import (
 )
 
 // FuzzCreateList drives the fixed-window CreateList maintainer (section 4.5
-// of the paper) with arbitrary byte streams and cross-checks the
-// approximation guarantee against the exact DP after every push:
-// ApproxError <= (1+eps) * HERROR_opt. The first byte picks the window
-// capacity, bucket budget and precision; the rest are the stream.
+// of the paper) with arbitrary byte streams and cross-checks, after every
+// push, (a) the approximation guarantee against the exact DP:
+// ApproxError <= (1+eps) * HERROR_opt, and (b) the warm-started, memoized
+// rebuild engine against a cold maintainer fed the same stream: identical
+// ApproxError bits and identical interval covers at every level. The first
+// byte picks the window capacity, bucket budget and precision; the rest
+// are the stream.
 func FuzzCreateList(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Add([]byte{0, 0, 0, 255, 255, 255, 0, 255})
@@ -30,8 +33,15 @@ func FuzzCreateList(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		cold, err := core.New(n, b, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold.SetWarmStart(false)
+		cold.SetProbeMemo(false)
 		for _, c := range data[1:] {
 			fw.Push(float64(c))
+			cold.Push(float64(c))
 			if fw.Len() < 2 {
 				continue
 			}
@@ -40,9 +50,25 @@ func FuzzCreateList(f *testing.F) {
 				t.Fatal(err)
 			}
 			bound := (1+eps)*opt + 1e-6
-			if got := fw.ApproxError(); got > bound {
+			got := fw.ApproxError()
+			if got > bound {
 				t.Fatalf("n=%d b=%d eps=%g seen=%d: ApproxError %v > (1+eps)*opt %v",
 					n, b, eps, fw.Seen(), got, bound)
+			}
+			if ce := cold.ApproxError(); ce != got {
+				t.Fatalf("n=%d b=%d eps=%g seen=%d: warm ApproxError %v != cold %v",
+					n, b, eps, fw.Seen(), got, ce)
+			}
+			for k := 1; k < b; k++ {
+				wc, cc := fw.Cover(k), cold.Cover(k)
+				if len(wc) != len(cc) {
+					t.Fatalf("level %d: warm cover has %d intervals, cold %d", k, len(wc), len(cc))
+				}
+				for i := range wc {
+					if wc[i] != cc[i] {
+						t.Fatalf("level %d interval %d: warm %+v != cold %+v", k, i, wc[i], cc[i])
+					}
+				}
 			}
 		}
 	})

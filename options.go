@@ -18,6 +18,10 @@ type config struct {
 	span       time.Duration
 	concurrent bool
 	metrics    *Metrics
+	warmSet    bool // WithWarmStart given
+	warm       bool
+	memoSet    bool // WithProbeMemo given
+	memo       bool
 }
 
 // WithDelta sets an explicit per-level growth factor instead of the
@@ -35,6 +39,23 @@ func WithDelta(delta float64) Option {
 // points with the wall clock; PushAt supplies explicit timestamps.
 func WithSpan(span time.Duration) Option {
 	return func(c *config) { c.span = span }
+}
+
+// WithWarmStart toggles warm-started CreateList: each rebuild seeds its
+// interval endpoint searches from the previous rebuild's cover shifted by
+// the window slide, verifying every guess so the produced cover is
+// bit-identical to the cold search's. On by default; WithWarmStart(false)
+// selects the cold path, kept as the ablation baseline.
+func WithWarmStart(on bool) Option {
+	return func(c *config) { c.warmSet, c.warm = true, on }
+}
+
+// WithProbeMemo toggles the per-rebuild HERROR probe memo, which
+// deduplicates the repeated probes adjacent endpoint searches make at
+// shared positions. On by default; WithProbeMemo(false) disables it for
+// ablation.
+func WithProbeMemo(on bool) Option {
+	return func(c *config) { c.memoSet, c.memo = true, on }
 }
 
 // WithConcurrency makes every method of the returned maintainer safe for
@@ -96,7 +117,8 @@ func (l *lockIf) enabled() bool { return l.on }
 // within a (1+eps) factor of the optimal b-bucket SSE of the window.
 // Per-point maintenance costs O((b^3/eps^2) log^3 n). Options select the
 // growth factor (WithDelta), a time-based window (WithSpan), locking
-// (WithConcurrency) and instrumentation (WithMetrics).
+// (WithConcurrency), instrumentation (WithMetrics) and the rebuild-engine
+// optimizations (WithWarmStart, WithProbeMemo — both on by default).
 func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) {
 	var cfg config
 	for _, o := range opts {
@@ -140,6 +162,20 @@ func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) 
 		}
 		fw.SetRegistry(cfg.metrics)
 		m.fw = fw
+	}
+	if cfg.warmSet {
+		if m.tw != nil {
+			m.tw.SetWarmStart(cfg.warm)
+		} else {
+			m.fw.SetWarmStart(cfg.warm)
+		}
+	}
+	if cfg.memoSet {
+		if m.tw != nil {
+			m.tw.SetProbeMemo(cfg.memo)
+		} else {
+			m.fw.SetProbeMemo(cfg.memo)
+		}
 	}
 	return m, nil
 }
