@@ -9,7 +9,8 @@
 // memo, warm-started CreateList, and both) at the headline configuration
 // n=4096, B=12, eps=0.1 with the default growth factor eps/(2B), plus a
 // scaling grid over window size and bucket budget and the
-// metrics-attached overhead of the instrumentation layer.
+// attached-overhead of the instrumentation layers (metrics registry and
+// flight-recorder tracing).
 //
 // Methodology: all variants of a comparison are constructed up front,
 // pushed to steady state over identical value sequences, then measured in
@@ -26,7 +27,10 @@
 // re-measures the headline configurations and fails (exit 1) if the
 // warm+memo product configuration regressed more than -tolerance
 // (default 15%) against the committed baseline, or if any variant
-// allocates more per push than its committed baseline.
+// allocates more per push than its committed baseline. It also holds the
+// tracing layer to its absolute budget: a detached flight recorder must
+// add zero allocations and an attached one at most -trace-tolerance
+// percent (default 5%) per push.
 package main
 
 import (
@@ -144,12 +148,13 @@ func utilValues(n int) []float64 {
 // newRunner builds a steady-state maintainer: constructed with the given
 // rebuild-engine switches, window filled in one batch from the front of
 // vals. delta <= 0 selects the default eps/(2B).
-func newRunner(cfg benchConfig, delta float64, warm, memo bool, reg *streamhist.Metrics, vals []float64) (*runner, error) {
+func newRunner(cfg benchConfig, delta float64, warm, memo bool, reg *streamhist.Metrics, vals []float64, extra ...streamhist.Option) (*runner, error) {
 	opts := []streamhist.Option{
 		streamhist.WithWarmStart(warm),
 		streamhist.WithProbeMemo(memo),
 		streamhist.WithMetrics(reg),
 	}
+	opts = append(opts, extra...)
 	if delta > 0 {
 		opts = append(opts, streamhist.WithDelta(delta))
 	}
@@ -250,6 +255,38 @@ func metricsOverhead(rounds, warmup, ops int) (off, on measurement, pct float64,
 	if err != nil {
 		return off, on, 0, err
 	}
+	off, on, pct = pairedOverhead(roff, ron, vals, rounds, warmup, ops)
+	return off, on, pct, nil
+}
+
+// traceOverhead is metricsOverhead for the flight recorder: the product
+// configuration with no tracer against one recording into a 4096-event
+// ring, under the same paired-round methodology. The detached side is
+// the budget guard — tracing that is off must add zero allocations —
+// and the attached side's median overhead is what CI gates at ≤5%.
+func traceOverhead(rounds, warmup, ops int) (off, on measurement, pct float64, err error) {
+	cfg := benchConfig{Window: 1024, Buckets: 12, Eps: 0.1, Delta: 0.1}
+	vals := utilValues(cfg.Window + warmup + rounds*ops)
+	roff, err := newRunner(cfg, cfg.Delta, true, true, nil, vals)
+	if err != nil {
+		return off, on, 0, err
+	}
+	tr, err := streamhist.NewTracer(4096)
+	if err != nil {
+		return off, on, 0, err
+	}
+	ron, err := newRunner(cfg, cfg.Delta, true, true, nil, vals, streamhist.WithTracing(tr))
+	if err != nil {
+		return off, on, 0, err
+	}
+	off, on, pct = pairedOverhead(roff, ron, vals, rounds, warmup, ops)
+	return off, on, pct, nil
+}
+
+// pairedOverhead times roff and ron in paired rounds with alternating
+// order and returns their measurements plus the median per-round
+// overhead percentage of ron against roff.
+func pairedOverhead(roff, ron *runner, vals []float64, rounds, warmup, ops int) (off, on measurement, pct float64) {
 	roff.push(vals, warmup)
 	ron.push(vals, warmup)
 
@@ -302,7 +339,7 @@ func metricsOverhead(rounds, warmup, ops int) (off, on measurement, pct float64,
 	if len(pcts)%2 == 0 {
 		pct = (pcts[len(pcts)/2-1] + pcts[len(pcts)/2]) / 2
 	}
-	return off, on, pct, nil
+	return off, on, pct
 }
 
 // report is the full JSON document benchsmoke emits and -check consumes.
@@ -318,6 +355,9 @@ type report struct {
 	MetricsOff         measurement            `json:"metrics_off"`
 	MetricsOn          measurement            `json:"metrics_on"`
 	MetricsOverheadPct float64                `json:"metrics_overhead_pct"`
+	TraceOff           measurement            `json:"trace_off"`
+	TraceOn            measurement            `json:"trace_on"`
+	TraceOverheadPct   float64                `json:"trace_overhead_pct"`
 	Scaling            []scalingRow           `json:"scaling"`
 }
 
@@ -330,7 +370,7 @@ func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, err
 	return results, cfg, err
 }
 
-func check(baselinePath string, tolerancePct float64) error {
+func check(baselinePath string, tolerancePct, traceTolerancePct float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -367,6 +407,23 @@ func check(baselinePath string, tolerancePct float64) error {
 				now.NsPerOp, pct, was.NsPerOp, tolerancePct))
 		}
 	}
+	// The tracing budget is absolute, not relative to the baseline file:
+	// a detached flight recorder must add zero allocations, and an
+	// attached one must cost at most -trace-tolerance percent per push.
+	offT, _, tracePct, err := traceOverhead(10, 10, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchsmoke: trace overhead %+.1f%% (budget %.0f%%), trace-off %d allocs/op\n",
+		tracePct, traceTolerancePct, offT.AllocsPerOp)
+	if offT.AllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"tracing off: %d allocs/op, budget 0", offT.AllocsPerOp))
+	}
+	if tracePct > traceTolerancePct {
+		failures = append(failures, fmt.Sprintf(
+			"tracing on: +%.1f%% per push, budget %.0f%%", tracePct, traceTolerancePct))
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchsmoke: REGRESSION:", f)
@@ -386,6 +443,10 @@ func run(outPath string) error {
 	if err != nil {
 		return err
 	}
+	offT, onT, tracePct, err := traceOverhead(10, 10, 100)
+	if err != nil {
+		return err
+	}
 	grid, err := scalingGrid(4, 1, 6)
 	if err != nil {
 		return err
@@ -402,6 +463,9 @@ func run(outPath string) error {
 		MetricsOff:         offM,
 		MetricsOn:          onM,
 		MetricsOverheadPct: overheadPct,
+		TraceOff:           offT,
+		TraceOn:            onT,
+		TraceOverheadPct:   tracePct,
 		Scaling:            grid,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -425,11 +489,12 @@ func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	checkPath := flag.String("check", "", "baseline report to gate against instead of emitting a new one")
 	tolerance := flag.Float64("tolerance", 15, "allowed warm_memo ns/op regression in percent (-check mode)")
+	traceTolerance := flag.Float64("trace-tolerance", 5, "allowed per-push overhead of an attached flight recorder in percent (-check mode)")
 	flag.Parse()
 
 	var err error
 	if *checkPath != "" {
-		err = check(*checkPath, *tolerance)
+		err = check(*checkPath, *tolerance, *traceTolerance)
 	} else {
 		err = run(*out)
 	}

@@ -17,6 +17,8 @@
 //	curl localhost:8080/readyz
 //	curl localhost:8080/metrics          # with -metrics (default on)
 //	go tool pprof localhost:8080/debug/pprof/profile  # with -pprof
+//	curl localhost:8080/debug/trace/events            # with -trace-buffer
+//	curl -o trace.json localhost:8080/debug/trace/chrome  # Perfetto-loadable
 //
 // Observability: with -metrics (the default) every layer is instrumented
 // into one registry — fixed-window maintenance, the agglomerative
@@ -25,6 +27,18 @@
 // The latency quantiles are computed by the library's own Greenwald-
 // Khanna summaries. -pprof additionally mounts net/http/pprof under
 // /debug/pprof/ (off by default: profiles expose more than metrics do).
+//
+// Tracing: -trace-buffer N keeps the last N span events (HTTP requests,
+// ingests, rebuilds with per-level detail, WAL appends and fsyncs,
+// checkpoints) in a fixed-size in-memory flight recorder, served as JSON
+// at /debug/trace/events and in Chrome trace-event format at
+// /debug/trace/chrome. With -trace-slow-threshold D, any rebuild taking
+// at least D snapshots the ring and the engine's counters to a JSON file
+// under -trace-dir (default <data-dir>/captures) for post-mortem.
+//
+// Logging goes through log/slog; -log-format json emits structured
+// records (text is the default). With tracing on and -log-level debug,
+// each request is logged with its span ID and traceparent.
 //
 // Durability: with -data-dir set, every acknowledged ingest batch is
 // appended to a write-ahead log before it is applied, and the window
@@ -51,41 +65,75 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"streamhist/internal/obs"
 	"streamhist/internal/server"
+	"streamhist/internal/trace"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		window   = flag.Int("window", 4096, "sliding window capacity")
-		buckets  = flag.Int("buckets", 16, "histogram bucket budget")
-		eps      = flag.Float64("eps", 0.1, "approximation precision")
-		delta    = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
-		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
-		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "period of automatic checkpoints (0: only at shutdown)")
-		fsync    = flag.Bool("fsync", true, "fsync the write-ahead log on every acknowledged ingest")
-		inflight = flag.Int("max-inflight", 64, "maximum concurrently admitted /ingest requests before answering 429")
-		maxBody  = flag.Int64("maxbody", 32<<20, "maximum request body bytes for /ingest and /restore (413 beyond)")
-		reqTmo   = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0: none)")
-		shutTmo  = flag.Duration("shutdown-timeout", 10*time.Second, "deadline for draining in-flight requests at shutdown")
-		metrics  = flag.Bool("metrics", true, "instrument all layers and serve GET /metrics in Prometheus text format")
-		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		window    = flag.Int("window", 4096, "sliding window capacity")
+		buckets   = flag.Int("buckets", 16, "histogram bucket budget")
+		eps       = flag.Float64("eps", 0.1, "approximation precision")
+		delta     = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
+		ckptIvl   = flag.Duration("checkpoint-interval", 30*time.Second, "period of automatic checkpoints (0: only at shutdown)")
+		fsync     = flag.Bool("fsync", true, "fsync the write-ahead log on every acknowledged ingest")
+		inflight  = flag.Int("max-inflight", 64, "maximum concurrently admitted /ingest requests before answering 429")
+		maxBody   = flag.Int64("maxbody", 32<<20, "maximum request body bytes for /ingest and /restore (413 beyond)")
+		reqTmo    = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0: none)")
+		shutTmo   = flag.Duration("shutdown-timeout", 10*time.Second, "deadline for draining in-flight requests at shutdown")
+		metrics   = flag.Bool("metrics", true, "instrument all layers and serve GET /metrics in Prometheus text format")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceBuf  = flag.Int("trace-buffer", 0, "flight-recorder ring capacity in events (0: tracing disabled)")
+		traceSlow = flag.Duration("trace-slow-threshold", 0, "rebuilds at least this slow snapshot the trace ring to disk (0: off)")
+		traceDir  = flag.String("trace-dir", "", "directory for slow-rebuild captures (default: <data-dir>/captures)")
+		traceKeep = flag.Int("trace-keep", 8, "maximum slow-rebuild capture files kept on disk")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamhistd:", err)
+		os.Exit(2)
+	}
 	if *delta == 0 {
 		*delta = *eps
 	}
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
+	}
+	var tr *trace.Recorder
+	if *traceBuf > 0 {
+		tr, err = trace.New(*traceBuf)
+		if err != nil {
+			fatal(logger, "trace buffer", "err", err)
+		}
+		if *traceSlow > 0 {
+			dir := *traceDir
+			if dir == "" && *dataDir != "" {
+				dir = filepath.Join(*dataDir, "captures")
+			}
+			if dir == "" {
+				fatal(logger, "-trace-slow-threshold needs -trace-dir or -data-dir")
+			}
+			tr.SetSlowCapture(dir, *traceSlow, *traceKeep)
+			logger.Info("slow-rebuild capture armed",
+				"threshold", *traceSlow, "dir", dir, "keep", *traceKeep)
+		}
+	} else if *traceSlow > 0 {
+		fatal(logger, "-trace-slow-threshold needs -trace-buffer > 0")
 	}
 	s, err := server.Open(server.Options{
 		Window:             *window,
@@ -100,9 +148,11 @@ func main() {
 		SyncEveryAppend:    *fsync,
 		Metrics:            reg,
 		EnablePprof:        *pprof,
+		Trace:              tr,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "open", "err", err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -113,8 +163,10 @@ func main() {
 	if *dataDir != "" {
 		durable = fmt.Sprintf("data-dir %s, checkpoint every %s, fsync=%v", *dataDir, *ckptIvl, *fsync)
 	}
-	fmt.Printf("streamhistd listening on %s (window %d, B=%d, eps=%g, delta=%g; %s)\n",
-		*addr, *window, *buckets, *eps, *delta, durable)
+	logger.Info("streamhistd listening",
+		"addr", *addr, "window", *window, "buckets", *buckets,
+		"eps", *eps, "delta", *delta, "durability", durable,
+		"tracing", tr != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,24 +177,49 @@ func main() {
 	case err := <-errc:
 		// Listener failed before any signal; still persist what we have.
 		if cerr := s.Close(); cerr != nil {
-			log.Printf("streamhistd: %v", cerr)
+			logger.Error("close", "err", cerr)
 		}
-		log.Fatal(err)
+		fatal(logger, "listen", "err", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("streamhistd: shutting down (draining up to %s)", *shutTmo)
+	logger.Info("shutting down", "drain_timeout", *shutTmo)
 	sctx, cancel := context.WithTimeout(context.Background(), *shutTmo)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("streamhistd: drain: %v", err)
+		logger.Error("drain", "err", err)
 	}
 	if err := s.Close(); err != nil {
-		log.Fatalf("streamhistd: %v", err)
+		fatal(logger, "close", "err", err)
 	}
 	if *dataDir != "" {
-		log.Printf("streamhistd: final checkpoint written (seen=%d); bye", s.Seen())
+		logger.Info("final checkpoint written; bye", "seen", s.Seen())
 	} else {
-		log.Printf("streamhistd: bye (seen=%d, state not persisted)", s.Seen())
+		logger.Info("bye (state not persisted)", "seen", s.Seen())
 	}
+}
+
+// newLogger builds the daemon's slog.Logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs at error level and exits nonzero — the slog replacement for
+// log.Fatal.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }

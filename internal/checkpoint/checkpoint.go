@@ -19,8 +19,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"streamhist/internal/faults"
+	"streamhist/internal/trace"
 )
 
 const (
@@ -65,6 +67,21 @@ func Save(fsys faults.FS, dir string, seen int64, blob []byte) error {
 	}
 	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// SaveTraced is Save with flight-recorder context: on success it records
+// an EvCheckpoint event under parent carrying the blob size, the stream
+// position and the write's duration. A nil recorder makes it exactly
+// Save.
+func SaveTraced(tr *trace.Recorder, parent trace.SpanID, fsys faults.FS, dir string, seen int64, blob []byte) error {
+	start := tr.Now()
+	if err := Save(fsys, dir, seen, blob); err != nil {
+		return err
+	}
+	if tr != nil {
+		tr.Instant(trace.EvCheckpoint, 0, parent, time.Duration(tr.Now()-start), int64(len(blob)), seen)
 	}
 	return nil
 }

@@ -18,14 +18,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
+	rtrace "runtime/trace"
+	"time"
 
 	"streamhist/internal/errs"
 	"streamhist/internal/histogram"
 	"streamhist/internal/obs"
 	"streamhist/internal/prefix"
+	"streamhist/internal/trace"
 )
 
 // iv is one interval [A..B] of a queue: HERROR[x,k] stays within a
@@ -79,6 +83,12 @@ type FixedWindow struct {
 	memoMisses int64 // probes computed and stored (memo enabled only)
 	warmHits   int64 // intervals whose endpoint was seeded from prev
 	warmMisses int64 // intervals that fell back to searchEndpoint
+
+	// Flight recorder (nil = disabled, the obs contract). traceParent is
+	// the span the next rebuild attributes itself to — the Push span on
+	// the eager path, or the request span that forced a lazy flush.
+	tr          *trace.Recorder
+	traceParent trace.SpanID
 
 	// Observability (all handles nil until SetRegistry; nil handles no-op).
 	m           fwMetrics
@@ -134,6 +144,19 @@ func (f *FixedWindow) SetRegistry(reg *obs.Registry) {
 		warmFallbacks: reg.Counter("streamhist_core_warm_fallbacks_total", "CreateList intervals whose warm-start guess failed verification and fell back to search."),
 	}
 }
+
+// SetTracer attaches the maintainer to a flight recorder: every rebuild
+// records a span with per-level CreateList stats and memo/warm-start
+// summaries, and slow rebuilds trigger the recorder's anomaly capture.
+// A nil recorder detaches (the default): all tracing code degenerates to
+// a pointer test and Push stays allocation-free.
+func (f *FixedWindow) SetTracer(tr *trace.Recorder) { f.tr = tr }
+
+// SetTraceParent sets the span the next rebuild (and any events under
+// it) is attributed to. The server threads the active request's span ID
+// through here before operations that may trigger maintenance; 0 makes
+// rebuilds trace roots.
+func (f *FixedWindow) SetTraceParent(p trace.SpanID) { f.traceParent = p }
 
 // New creates a fixed-window maintainer for windows of capacity n, b
 // buckets and precision eps; delta is set to eps/(2B) as in the paper.
@@ -232,9 +255,16 @@ func (f *FixedWindow) WarmStats() (seeded, fallbacks int64) {
 // queues with CreateList and recompute the approximate B-bucket error.
 func (f *FixedWindow) Push(v float64) {
 	start := f.m.push.Start()
+	saved := f.traceParent
+	psp := f.tr.StartSpan(saved, trace.EvPush, 0, 0, 1)
+	if f.tr != nil {
+		f.traceParent = psp.ID()
+	}
 	f.sums.Push(v)
 	f.pending++
 	f.rebuild()
+	f.traceParent = saved
+	psp.End(0, 0)
 	f.m.push.ObserveSince(start)
 }
 
@@ -296,6 +326,16 @@ func (f *FixedWindow) rebuild() {
 		f.pending = 0
 		return
 	}
+	pending := f.pending // f.pending is zeroed below; the trace span reports it
+	traced := f.tr != nil
+	var rspan trace.Span
+	var region *rtrace.Region
+	if traced {
+		rspan = f.tr.StartSpan(f.traceParent, trace.EvRebuild, 0, int64(w), pending)
+		if rtrace.IsEnabled() {
+			region = rtrace.StartRegion(context.Background(), "streamhist.rebuild")
+		}
+	}
 	ws := f.sums.WindowStart()
 	if f.warm && f.b > 1 {
 		// Retire the current queues as the warm-start source. lastWS dates
@@ -314,7 +354,26 @@ func (f *FixedWindow) rebuild() {
 	for k := 1; k <= f.b-1; k++ {
 		f.epoch++ // new level: all memo entries become vacant in O(1)
 		f.queues[k-1] = f.queues[k-1][:0]
-		f.createList(0, w-1, k)
+		if traced {
+			evals0, memo0 := f.evals, f.memoHits
+			lstart := f.tr.Now()
+			if region != nil {
+				rtrace.WithRegion(context.Background(), "streamhist.createList", func() {
+					f.createList(0, w-1, k)
+				})
+			} else {
+				f.createList(0, w-1, k)
+			}
+			code := k
+			if code > 255 {
+				code = 255
+			}
+			f.tr.Instant(trace.EvLevel, uint8(code), rspan.ID(),
+				time.Duration(f.tr.Now()-lstart),
+				(f.evals-evals0)+(f.memoHits-memo0), int64(len(f.queues[k-1])))
+		} else {
+			f.createList(0, w-1, k)
+		}
 	}
 	f.epoch++
 	f.herrTop = f.evalHErr(w-1, f.b)
@@ -327,6 +386,12 @@ func (f *FixedWindow) rebuild() {
 		f.m.flushPoints.Add(f.pending)
 	}
 	f.pending = 0
+	if traced {
+		// The exp* cursors still hold the previous rebuild's totals here,
+		// so the differences are exactly this rebuild's contribution.
+		f.tr.Instant(trace.EvMemo, 0, rspan.ID(), 0, f.memoHits-f.expMemoHit, f.memoMisses-f.expMemoMiss)
+		f.tr.Instant(trace.EvWarm, 0, rspan.ID(), 0, f.warmHits-f.expWarmHit, f.warmMisses-f.expWarmMiss)
+	}
 	f.m.evals.Add(f.evals - f.expEvals)
 	f.m.candidates.Add(f.candidates - f.expCands)
 	f.expEvals, f.expCands = f.evals, f.candidates
@@ -336,6 +401,25 @@ func (f *FixedWindow) rebuild() {
 	f.m.warmFallbacks.Add(f.warmMisses - f.expWarmMiss)
 	f.expMemoHit, f.expMemoMiss = f.memoHits, f.memoMisses
 	f.expWarmHit, f.expWarmMiss = f.warmHits, f.warmMisses
+	if traced {
+		if region != nil {
+			region.End()
+		}
+		dur := rspan.End(int64(w), pending)
+		f.tr.MaybeCaptureSlow(dur, trace.CaptureStats{
+			Window:        w,
+			Buckets:       f.b,
+			Eps:           f.eps,
+			Delta:         f.delta,
+			Pending:       pending,
+			Evals:         f.evals,
+			Candidates:    f.candidates,
+			MemoHits:      f.memoHits,
+			MemoMisses:    f.memoMisses,
+			WarmHits:      f.warmHits,
+			WarmFallbacks: f.warmMisses,
+		})
+	}
 }
 
 // createList builds the interval cover of [a..b] for level k (Figure 5's

@@ -67,6 +67,7 @@ func (f *FixedWindow) UnmarshalBinary(data []byte) error {
 	}
 	restored.sums = sums
 	restored.m = f.m // the metrics attachment survives a restore
+	restored.tr, restored.traceParent = f.tr, f.traceParent // so does the flight recorder
 	restored.rebuild()
 	*f = *restored
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"streamhist/internal/errs"
 	"streamhist/internal/obs"
+	"streamhist/internal/trace"
 )
 
 // TimeWindow maintains an approximate histogram over the points of the
@@ -65,6 +66,14 @@ func (tw *TimeWindow) WindowStart() int64 { return tw.fw.WindowStart() }
 // SetRegistry attaches instrumentation for the underlying fixed-window
 // maintenance (see FixedWindow.SetRegistry). A nil registry detaches.
 func (tw *TimeWindow) SetRegistry(reg *obs.Registry) { tw.fw.SetRegistry(reg) }
+
+// SetTracer attaches the underlying maintainer to a flight recorder
+// (see FixedWindow.SetTracer). A nil recorder detaches.
+func (tw *TimeWindow) SetTracer(tr *trace.Recorder) { tw.fw.SetTracer(tr) }
+
+// SetTraceParent sets the span the next rebuild is attributed to (see
+// FixedWindow.SetTraceParent).
+func (tw *TimeWindow) SetTraceParent(p trace.SpanID) { tw.fw.SetTraceParent(p) }
 
 // SetWarmStart toggles warm-started CreateList on the underlying
 // maintainer (see FixedWindow.SetWarmStart).

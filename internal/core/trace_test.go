@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"streamhist/internal/trace"
+)
+
+// TestPushSpanTree validates the span structure one eager Push emits:
+// a push span rooted at the configured parent, a rebuild span under it,
+// one level instant per queue level under the rebuild, and the memo and
+// warm-start summaries.
+func TestPushSpanTree(t *testing.T) {
+	tr, err := trace.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(64, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+	f.SetTraceParent(trace.SpanID(77))
+
+	for i := 0; i < 8; i++ {
+		f.Push(float64(i % 3))
+	}
+
+	events := tr.Snapshot()
+	// Index span IDs: find the last push span and its rebuild child.
+	var pushEnd, rebuildEnd *trace.Event
+	for i := range events {
+		e := &events[i]
+		if e.Ph != trace.PhaseEnd {
+			continue
+		}
+		switch e.Type {
+		case trace.EvPush:
+			pushEnd = e
+		case trace.EvRebuild:
+			rebuildEnd = e
+		}
+	}
+	if pushEnd == nil || rebuildEnd == nil {
+		t.Fatalf("missing push/rebuild end events in %d events", len(events))
+	}
+	if pushEnd.Parent != trace.SpanID(77) {
+		t.Fatalf("push span parent = %d, want 77", pushEnd.Parent)
+	}
+	if rebuildEnd.Parent != pushEnd.Span {
+		t.Fatalf("rebuild parent = %d, want push span %d", rebuildEnd.Parent, pushEnd.Span)
+	}
+	if rebuildEnd.A != 8 || rebuildEnd.N != 1 {
+		t.Fatalf("rebuild end A,N = %d,%d; want window=8, pending=1", rebuildEnd.A, rebuildEnd.N)
+	}
+
+	// The last rebuild's children: levels 1..B-1 plus memo and warm
+	// summaries, all parented to the rebuild span.
+	levels := map[uint8]bool{}
+	var sawMemo, sawWarm bool
+	for _, e := range events {
+		if e.Parent != rebuildEnd.Span || e.Ph != trace.PhaseInstant {
+			continue
+		}
+		switch e.Type {
+		case trace.EvLevel:
+			levels[e.Code] = true
+			if e.N <= 0 {
+				t.Fatalf("level %d produced %d intervals", e.Code, e.N)
+			}
+		case trace.EvMemo:
+			sawMemo = true
+		case trace.EvWarm:
+			sawWarm = true
+		}
+	}
+	for k := uint8(1); k <= 3; k++ {
+		if !levels[k] {
+			t.Fatalf("no level instant for k=%d (got %v)", k, levels)
+		}
+	}
+	if !sawMemo || !sawWarm {
+		t.Fatalf("memo/warm summaries missing: memo=%v warm=%v", sawMemo, sawWarm)
+	}
+}
+
+// TestLazyFlushAttributesToCurrentParent pins the lazy-ingest causality:
+// PushLazy records nothing; the rebuild forced by the next query is
+// attributed to whatever parent is current at query time.
+func TestLazyFlushAttributesToCurrentParent(t *testing.T) {
+	tr, err := trace.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(64, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+
+	f.SetTraceParent(trace.SpanID(5)) // the "ingest" request
+	for i := 0; i < 10; i++ {
+		f.PushLazy(float64(i))
+	}
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("PushLazy emitted %d events, want 0", n)
+	}
+
+	f.SetTraceParent(trace.SpanID(9)) // the "query" request that flushes
+	_ = f.ApproxError()
+	events := tr.Snapshot()
+	var rebuildEnd *trace.Event
+	for i := range events {
+		if events[i].Type == trace.EvRebuild && events[i].Ph == trace.PhaseEnd {
+			rebuildEnd = &events[i]
+		}
+	}
+	if rebuildEnd == nil {
+		t.Fatal("lazy flush did not record a rebuild span")
+	}
+	if rebuildEnd.Parent != trace.SpanID(9) {
+		t.Fatalf("lazy rebuild parent = %d, want the querying span 9", rebuildEnd.Parent)
+	}
+	if rebuildEnd.N != 10 {
+		t.Fatalf("lazy rebuild flushed N = %d, want 10 pending points", rebuildEnd.N)
+	}
+}
+
+// TestSlowRebuildCaptureFromPush drives a real Push over an armed
+// recorder with a zero-ish threshold and checks the produced capture
+// carries the engine's counters.
+func TestSlowRebuildCaptureFromPush(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := trace.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetSlowCapture(dir, time.Nanosecond, 4)
+	f, err := New(64, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+	for i := 0; i < 4; i++ {
+		f.Push(float64(i))
+	}
+	// Every rebuild exceeds 1ns; the capture instant must be in the ring.
+	var captures int
+	for _, e := range tr.Snapshot() {
+		if e.Type == trace.EvCapture {
+			captures++
+		}
+	}
+	if captures == 0 {
+		t.Fatal("no capture events recorded under a 1ns threshold")
+	}
+}
+
+// TestTracerSurvivesSnapshotRestore mirrors the metrics-attachment
+// guarantee: UnmarshalBinary must keep the flight recorder attached.
+func TestTracerSurvivesSnapshotRestore(t *testing.T) {
+	tr, err := trace.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(32, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+	for i := 0; i < 6; i++ {
+		f.Push(float64(i))
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Total()
+	if err := f.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() <= before {
+		t.Fatal("restore rebuild was not traced; tracer lost across UnmarshalBinary")
+	}
+	f.Push(7)
+	if tr.Total() <= before+1 {
+		t.Fatal("pushes after restore are not traced")
+	}
+}
+
+// TestPushTracingDisabledAllocationFree pins the acceptance criterion:
+// with a nil recorder the traced Push path performs zero allocations.
+func TestPushTracingDisabledAllocationFree(t *testing.T) {
+	f, err := New(256, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		f.Push(float64(i % 17))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Push(float64(i % 17))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Push with nil tracer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestPushTracingEnabledAllocationFree pins that even with tracing ON the
+// steady-state Push path does not allocate: the ring is preallocated and
+// spans are values.
+func TestPushTracingEnabledAllocationFree(t *testing.T) {
+	tr, err := trace.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(256, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+	for i := 0; i < 512; i++ {
+		f.Push(float64(i % 17))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Push(float64(i % 17))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Push with tracing enabled: %v allocs/op, want 0", allocs)
+	}
+}

@@ -19,10 +19,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
+	// Scrapes copy the slice header set under a read lock, so concurrent
+	// scrapes and handle lookups never serialize against each other; only
+	// the registration of a brand-new series takes the write lock.
+	r.mu.RLock()
 	ms := make([]metric, len(r.all))
 	copy(ms, r.all)
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	sort.SliceStable(ms, func(i, j int) bool {
 		a, b := ms[i].id(), ms[j].id()
 		if a.name != b.name {

@@ -59,7 +59,7 @@ type metric interface {
 // text exposition format. The zero value is unusable; construct with
 // NewRegistry, or use a nil *Registry as the disabled no-op instance.
 type Registry struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	all   []metric          // guarded by mu; registration order
 	index map[string]metric // guarded by mu; keyed by name+"\xff"+labels
 }
@@ -72,11 +72,25 @@ func NewRegistry() *Registry {
 // register returns the existing metric under (name, labels) or installs
 // the one built by mk. Registering the same series under a different
 // metric type is a programming error and panics.
+//
+// Lookups vastly outnumber installs — per-request label handles resolve
+// through here — so the fast path takes only the read lock and the write
+// lock is acquired (with a re-check) just to install a new series. Reads
+// therefore run concurrently with each other and with WriteText scrapes.
 func (r *Registry) register(m meta, typ string, mk func() metric) metric {
 	key := m.name + "\xff" + m.labels
+	r.mu.RLock()
+	got, ok := r.index[key]
+	r.mu.RUnlock()
+	if ok {
+		if got.typ() != typ {
+			panic("obs: series " + m.name + "{" + m.labels + "} registered as both " + got.typ() + " and " + typ)
+		}
+		return got
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if got, ok := r.index[key]; ok {
+	if got, ok := r.index[key]; ok { // lost the install race; reuse the winner
 		if got.typ() != typ {
 			panic("obs: series " + m.name + "{" + m.labels + "} registered as both " + got.typ() + " and " + typ)
 		}

@@ -207,6 +207,63 @@ func TestRegistryRace(t *testing.T) {
 	}
 }
 
+// TestScrapeVsRegisterRace drives continuous WriteText scrapes against
+// goroutines that keep installing brand-new series (the write-lock path)
+// and re-resolving existing ones (the read-lock fast path). Under -race
+// this pins the RWMutex split: scrapes and lookups may interleave freely
+// while installs stay exclusive, and a scrape never observes a torn
+// registry.
+func TestScrapeVsRegisterRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := reg.WriteText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var regs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		regs.Add(1)
+		go func(g int) {
+			defer regs.Done()
+			for i := 0; i < 300; i++ {
+				// New series per iteration: exercises the install path.
+				reg.LabeledCounter("scrapereg_total", `g="`+strconv.Itoa(g)+`",i="`+strconv.Itoa(i)+`"`, "x").Inc()
+				// Same series from every goroutine: exercises the
+				// read-lock fast path and the lost-install re-check.
+				reg.Counter("scrapereg_shared_total", "x").Inc()
+			}
+		}(g)
+	}
+	regs.Wait()
+	close(stop)
+	scrapes.Wait()
+	if got := reg.Counter("scrapereg_shared_total", "x").Value(); got != 4*300 {
+		t.Errorf("shared counter = %d, want %d", got, 4*300)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "scrapereg_total{"); n != 4*300 {
+		t.Errorf("rendered %d scrapereg_total series, want %d", n, 4*300)
+	}
+}
+
 // TestDisabledHandlesAllocateNothing asserts the nil fast path performs
 // zero allocations — the property that lets hot paths carry unconditional
 // instrumentation calls.

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"reflect"
 	"strings"
@@ -42,12 +44,15 @@ func batchBody(b []float64) string {
 	return sb.String()
 }
 
-func quietLogf(string, ...any) {}
+// quietLogger drops all records; tests that exercise fault paths would
+// otherwise spam the output. (slog.DiscardHandler is 1.24+; the repo
+// targets 1.22.)
+var quietLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 func crashOptions(dir string, fsys faults.FS) Options {
 	return Options{
 		Window: cwWindow, Buckets: cwBuckets, Eps: cwEps, Delta: cwEps,
-		DataDir: dir, FS: fsys, SyncEveryAppend: true, Logf: quietLogf,
+		DataDir: dir, FS: fsys, SyncEveryAppend: true, Logger: quietLogger,
 	}
 }
 

@@ -109,7 +109,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2,
 		DataDir: t.TempDir(),
 		Metrics: reg,
-		Logf:    t.Logf,
+		Logger:  quietLogger,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,14 +1,16 @@
 package server
 
 import (
+	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"streamhist/internal/checkpoint"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
+	"streamhist/internal/trace"
 	"streamhist/internal/wal"
 )
 
@@ -59,10 +61,16 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (outside the
 	// request timeout, so long profile captures survive).
 	EnablePprof bool
+	// Trace, when non-nil, attaches the flight recorder: every layer a
+	// request touches records span events into its ring (see
+	// internal/trace), and GET /debug/trace/{events,chrome} serve the
+	// ring. Nil disables tracing at zero cost.
+	Trace *trace.Recorder
 
-	// Logf receives operational messages (recovery progress, checkpoint
-	// failures); nil means log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives operational records (recovery progress, checkpoint
+	// failures) and, at debug level, per-request access records with
+	// trace/span IDs when Trace is set. Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (o *Options) setDefaults() {
@@ -75,8 +83,8 @@ func (o *Options) setDefaults() {
 	if o.FS == nil {
 		o.FS = faults.OS{}
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 }
 
@@ -101,6 +109,14 @@ func Open(opts Options) (*Server, error) {
 		cm:       newCkptMetrics(opts.Metrics),
 	}
 	s.state.Store(stateStarting)
+	s.tr = opts.Trace
+	s.logger = opts.Logger
+	s.logDebug = s.tr != nil && s.logger.Enabled(context.Background(), slog.LevelDebug)
+	if s.tr != nil {
+		s.tr.SetRegistry(opts.Metrics)
+		s.tr.SetCodeNamer(tracePathName)
+		fw.SetTracer(s.tr)
+	}
 	s.registerGaugeFuncs(opts.Metrics)
 	s.routes()
 	if opts.DataDir != "" {
@@ -135,7 +151,7 @@ func (s *Server) recover() error {
 		if err := s.fw.UnmarshalBinary(blob); err != nil {
 			return fmt.Errorf("server: checkpoint at seen=%d unusable: %w", seen, err)
 		}
-		s.opts.Logf("streamhistd: recovered checkpoint at seen=%d (window %d points)", seen, s.fw.Len())
+		s.logger.Info("recovered checkpoint", "seen", seen, "window", s.fw.Len())
 	}
 	w, err := wal.Open(wal.Options{
 		Dir:             s.opts.DataDir,
@@ -143,6 +159,7 @@ func (s *Server) recover() error {
 		SegmentBytes:    s.opts.SegmentBytes,
 		SyncEveryAppend: s.opts.SyncEveryAppend,
 		Metrics:         s.opts.Metrics,
+		Trace:           s.tr,
 	})
 	if err != nil {
 		return err
@@ -170,7 +187,7 @@ func (s *Server) recover() error {
 		return fmt.Errorf("server: wal replay: %w", err)
 	}
 	if replayed > 0 {
-		s.opts.Logf("streamhistd: replayed %d points from the wal (seen=%d)", replayed, s.fw.Seen())
+		s.logger.Info("replayed wal tail", "points", replayed, "seen", s.fw.Seen())
 	}
 	// Recovery invariants: the window never holds more than min(seen, n)
 	// points, and the log must be positioned to accept the next ingest.
@@ -207,7 +224,7 @@ func (s *Server) Checkpoint() error {
 		s.cm.failures.Inc()
 		return fmt.Errorf("server: %w", err)
 	}
-	if err := checkpoint.Save(s.fs, s.opts.DataDir, seen, blob); err != nil {
+	if err := checkpoint.SaveTraced(s.tr, 0, s.fs, s.opts.DataDir, seen, blob); err != nil {
 		s.cm.failures.Inc()
 		return err
 	}
@@ -247,7 +264,7 @@ func (s *Server) checkpointLoop(interval time.Duration) {
 		select {
 		case <-t.C:
 			if err := s.Checkpoint(); err != nil {
-				s.opts.Logf("streamhistd: periodic checkpoint failed: %v", err)
+				s.logger.Error("periodic checkpoint failed", "err", err)
 			}
 		case <-s.stop:
 			return

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPprofRoutesEnabled checks every mounted /debug/pprof/* route
+// responds 200 through the full handler chain when EnablePprof is set.
+// The streaming endpoints (profile, trace) are captured with seconds=1
+// so the test stays fast.
+func TestPprofRoutesEnabled(t *testing.T) {
+	s, err := Open(Options{
+		Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2,
+		EnablePprof: true, Logger: quietLogger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fast := []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/heap",      // named profiles route through Index
+		"/debug/pprof/goroutine", // ditto
+		"/debug/pprof/symbol",
+	}
+	for _, path := range fast {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (body: %s)", path, rec.Code, strings.TrimSpace(rec.Body.String()))
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	for _, path := range []string{"/debug/pprof/profile?seconds=1", "/debug/pprof/trace?seconds=1"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (body: %s)", path, rec.Code, strings.TrimSpace(rec.Body.String()))
+		}
+	}
+}
+
+// TestPprofRoutesDisabled checks the profiling surface does not exist on
+// a server without EnablePprof: nothing registers under /debug/pprof/,
+// so the mux falls through to 404.
+func TestPprofRoutesDisabled(t *testing.T) {
+	s, err := New(64, 4, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/profile",
+		"/debug/pprof/symbol",
+		"/debug/pprof/trace",
+		"/debug/pprof/heap",
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 when pprof is disabled", path, rec.Code)
+		}
+	}
+}
+
+// TestPprofBypassesRequestTimeout pins the design reason withPprof sits
+// outside the timeout handler: a 1s profile must survive a server whose
+// RequestTimeout is far shorter.
+func TestPprofBypassesRequestTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s profile capture")
+	}
+	s, err := Open(Options{
+		Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2,
+		EnablePprof: true, RequestTimeout: 50 * time.Millisecond,
+		Logger: quietLogger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/profile?seconds=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("1s profile under 50ms request timeout = %d, want 200", rec.Code)
+	}
+}

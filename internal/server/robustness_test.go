@@ -14,7 +14,7 @@ import (
 )
 
 func TestIngestOversizedBodyReturns413(t *testing.T) {
-	s, err := Open(Options{Window: 8, Buckets: 2, Eps: 0.2, Delta: 0.2, MaxBody: 16, Logf: quietLogf})
+	s, err := Open(Options{Window: 8, Buckets: 2, Eps: 0.2, Delta: 0.2, MaxBody: 16, Logger: quietLogger})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func (g *gateReader) Read(p []byte) (int, error) {
 }
 
 func TestIngestOverloadReturns429(t *testing.T) {
-	s, err := Open(Options{Window: 8, Buckets: 2, Eps: 0.2, Delta: 0.2, MaxInflight: 1, Logf: quietLogf})
+	s, err := Open(Options{Window: 8, Buckets: 2, Eps: 0.2, Delta: 0.2, MaxInflight: 1, Logger: quietLogger})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -56,6 +57,7 @@ import (
 	"streamhist/internal/faults"
 	"streamhist/internal/quantile"
 	"streamhist/internal/stream"
+	"streamhist/internal/trace"
 	"streamhist/internal/vhist"
 	"streamhist/internal/wal"
 )
@@ -86,9 +88,13 @@ type Server struct {
 	inflight chan struct{}
 	state    atomic.Int32
 
-	// Observability (zero/nil without Options.Metrics).
-	om *httpMetrics
-	cm ckptMetrics
+	// Observability (zero/nil without Options.Metrics; nil tr is the
+	// disabled flight recorder).
+	om       *httpMetrics
+	cm       ckptMetrics
+	tr       *trace.Recorder
+	logger   *slog.Logger
+	logDebug bool // logger admits Debug records; precomputed for the request path
 
 	// Durability (nil / zero when DataDir is unset).
 	opts      Options
@@ -154,9 +160,15 @@ func (s *Server) routes() {
 	if s.opts.Metrics != nil {
 		s.mux.Handle("/metrics", s.opts.Metrics.Handler())
 	}
-	var h http.Handler = s.mux
+	if s.tr != nil {
+		s.mux.HandleFunc("/debug/trace/events", s.handleTraceEvents)
+		s.mux.HandleFunc("/debug/trace/chrome", s.handleTraceChrome)
+	}
+	// traceware sits innermost so request spans measure handler time and
+	// the span ID reaches the handlers through the request context.
+	h := s.traceware(s.mux)
 	if s.opts.RequestTimeout > 0 {
-		h = http.TimeoutHandler(s.mux, s.opts.RequestTimeout, timeoutBody)
+		h = http.TimeoutHandler(h, s.opts.RequestTimeout, timeoutBody)
 	}
 	if s.opts.EnablePprof {
 		// Profiles stream for longer than RequestTimeout by design
@@ -234,13 +246,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
+	ispan := s.tr.StartSpan(spanFromContext(r.Context()), trace.EvIngest, 0, 0, int64(len(values)))
 	s.mu.Lock()
 	if s.wal != nil {
 		// Write-ahead: the batch is durable (to the configured fsync
 		// policy) before it is applied or acknowledged, so an acknowledged
 		// batch is never silently lost by a crash.
-		if err := s.wal.Append(s.fw.Seen(), values); err != nil {
+		if err := s.wal.AppendCtx(ispan.ID(), s.fw.Seen(), values); err != nil {
 			s.mu.Unlock()
+			ispan.End(0, 0)
 			writeError(w, http.StatusInternalServerError, errInternal, "wal append: %v", err)
 			return
 		}
@@ -254,6 +268,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	seen := s.fw.Seen()
 	s.mu.Unlock()
+	ispan.End(0, int64(len(values)))
 	writeJSON(w, map[string]any{"ingested": len(values), "seen": seen})
 }
 
@@ -262,6 +277,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	s.setTraceParent(r) // a lazy flush here is this request's doing
 	res, err := s.fw.Histogram()
 	windowStart := s.fw.WindowStart()
 	s.mu.Unlock()
@@ -329,6 +345,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "range [%d,%d] outside window [0,%d]", lo, hi, length-1)
 		return
 	}
+	s.setTraceParent(r)
 	res, err := s.fw.Histogram()
 	s.mu.Unlock()
 	if err != nil {
@@ -454,6 +471,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	restored.SetRegistry(s.opts.Metrics)
+	restored.SetTracer(s.tr)
 	o := s.opts
 	o.Window, o.Buckets = restored.Capacity(), restored.Buckets()
 	o.Eps, o.Delta = restored.Epsilon(), restored.Delta()
@@ -491,6 +509,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	s.setTraceParent(r)
 	res, err := s.fw.Histogram()
 	if err != nil {
 		s.mu.Unlock()

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"streamhist/internal/trace"
+)
+
+// pathCodes compresses known request paths into the one-byte Code slot
+// of an EvHTTP event; 0 is "other". codePaths is the inverse, used by
+// the exports to render codes back to paths.
+var pathCodes = map[string]uint8{
+	"/ingest":             1,
+	"/histogram":          2,
+	"/agglom":             3,
+	"/query":              4,
+	"/stats":              5,
+	"/quantile":           6,
+	"/selectivity":        7,
+	"/snapshot":           8,
+	"/restore":            9,
+	"/drift":              10,
+	"/healthz":            11,
+	"/readyz":             12,
+	"/metrics":            13,
+	"/debug/trace/events": 14,
+	"/debug/trace/chrome": 15,
+}
+
+var codePaths = func() map[uint8]string {
+	m := make(map[uint8]string, len(pathCodes))
+	for p, c := range pathCodes {
+		m[c] = p
+	}
+	return m
+}()
+
+// tracePathName is the recorder's code namer: it renders EvHTTP codes
+// back to request paths; other event types keep their type name.
+func tracePathName(t trace.EventType, code uint8) string {
+	if t == trace.EvHTTP {
+		if p, ok := codePaths[code]; ok {
+			return p
+		}
+		return "other"
+	}
+	return ""
+}
+
+// spanKey carries the active request's span ID through the context.
+type spanKey struct{}
+
+// spanFromContext returns the request span threaded by traceware, or 0
+// when tracing is disabled.
+func spanFromContext(ctx context.Context) trace.SpanID {
+	id, _ := ctx.Value(spanKey{}).(trace.SpanID)
+	return id
+}
+
+// traceware opens one EvHTTP span per request, honoring an incoming W3C
+// traceparent header (the caller's span becomes the parent and its trace
+// ID is echoed back) and injecting a traceparent response header so
+// external callers can correlate. It sits innermost in the handler chain
+// — inside the timeout handler — so the span measures handler time, and
+// the span ID rides the request context into the handlers. With tracing
+// disabled (and no debug logging) it is the identity.
+func (s *Server) traceware(next http.Handler) http.Handler {
+	if s.tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := pathCodes[r.URL.Path] // 0 = other
+		hi, lo := s.tr.TraceID()
+		var parent trace.SpanID
+		if phi, plo, pspan, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			hi, lo, parent = phi, plo, pspan
+		}
+		span := s.tr.StartSpan(parent, trace.EvHTTP, code, int64(hi), int64(lo))
+		w.Header().Set("traceparent", trace.FormatTraceparent(hi, lo, span.ID()))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), spanKey{}, span.ID())))
+		dur := span.End(int64(rec.status), 0)
+		if s.logDebug {
+			s.logger.Debug("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur", dur,
+				"span", uint64(span.ID()),
+				"traceparent", trace.FormatTraceparent(hi, lo, span.ID()),
+			)
+		}
+	})
+}
+
+// setTraceParent threads the active request's span into the fixed-window
+// maintainer so a rebuild the request forces (lazy ingest flushes at the
+// next query) is attributed to this request.
+//
+//lint:ignore mutex-discipline runs with s.mu held by the handler
+func (s *Server) setTraceParent(r *http.Request) {
+	if s.tr != nil {
+		s.fw.SetTraceParent(spanFromContext(r.Context()))
+	}
+}
+
+// handleTraceEvents serves the flight-recorder ring as JSON: recorder
+// identity, drop accounting, and the events oldest-first.
+func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	events := s.tr.Snapshot()
+	out := make([]trace.EventJSON, len(events))
+	for i, e := range events {
+		out[i] = e.JSON(tracePathName)
+	}
+	hi, lo := s.tr.TraceID()
+	writeJSON(w, map[string]any{
+		"traceId":  trace.FormatTraceparent(hi, lo, 0)[3:35],
+		"epoch":    s.tr.Epoch(),
+		"capacity": s.tr.Capacity(),
+		"total":    s.tr.Total(),
+		"dropped":  s.tr.Dropped(),
+		"events":   out,
+	})
+}
+
+// handleTraceChrome serves the ring in the Chrome trace-event format —
+// load the download at ui.perfetto.dev or chrome://tracing.
+func (s *Server) handleTraceChrome(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	events := s.tr.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="streamhist-trace.json"`)
+	if err := trace.WriteChrome(w, events, tracePathName); err != nil {
+		return // headers already sent
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// chromeFixture is a hand-built, fully deterministic event sequence
+// exercising every render path: metadata tracks, a nested span pair
+// (Begin suppressed, End rendered as an "X" slice), a timed instant and
+// a zero-duration instant.
+func chromeFixture() []Event {
+	return []Event{
+		{TS: 1000, Span: 1, Parent: 0, A: 11, N: 22, Type: EvHTTP, Ph: PhaseBegin, Code: 2},
+		{TS: 2000, Span: 2, Parent: 1, A: 100, N: 5, Type: EvRebuild, Ph: PhaseBegin},
+		{TS: 2500, Parent: 2, A: 9, N: 4, Type: EvLevel, Ph: PhaseInstant, Code: 1},
+		{TS: 3500, Dur: 250, Parent: 2, A: 512, N: 64, Type: EvWALAppend, Ph: PhaseInstant},
+		{TS: 4000, Dur: 2000, Span: 2, Parent: 1, A: 100, N: 5, Type: EvRebuild, Ph: PhaseEnd},
+		{TS: 5000, Dur: 4000, Span: 1, Parent: 0, A: 200, Type: EvHTTP, Ph: PhaseEnd, Code: 2},
+	}
+}
+
+func testNamer(t EventType, code uint8) string {
+	if t == EvHTTP && code == 2 {
+		return "POST /ingest"
+	}
+	return ""
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, chromeFixture(), testNamer); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeIsValidTraceJSON checks the structural contract the
+// golden alone can't: the output parses as the Chrome trace-event
+// container format, Begin events are suppressed, and slices start at
+// TS-Dur in microseconds.
+func TestWriteChromeIsValidTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, chromeFixture(), testNamer); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var slices, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur <= 0 {
+				t.Fatalf("X slice with non-positive dur: %+v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		case "B", "E":
+			t.Fatalf("unexpected begin/end phase in export: %+v", e)
+		}
+	}
+	// 3 slices (rebuild span, HTTP span, timed WAL instant), 1 instant
+	// (level), 4 metadata tracks (http, rebuild, level, wal_append).
+	if slices != 3 || instants != 1 || meta != 4 {
+		t.Fatalf("got %d slices, %d instants, %d metadata records; want 3/1/4\n%s", slices, instants, meta, buf.String())
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "POST /ingest" {
+			if e.TS != 1.0 || e.Dur != 4.0 {
+				t.Fatalf("HTTP slice ts/dur = %v/%v µs, want 1.000/4.000", e.TS, e.Dur)
+			}
+			if e.Args["span"].(float64) != 1 || e.Args["a"].(float64) != 200 {
+				t.Fatalf("HTTP slice args wrong: %+v", e.Args)
+			}
+		}
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v\n%s", err, buf.String())
+	}
+}

@@ -38,9 +38,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
+	"streamhist/internal/trace"
 )
 
 const (
@@ -72,6 +74,9 @@ type Options struct {
 	// Metrics receives the log's instrumentation (appends, bytes, fsync
 	// latency, segment rolls); nil disables it.
 	Metrics *obs.Registry
+	// Trace receives per-append and per-fsync flight-recorder events;
+	// nil disables it.
+	Trace *trace.Recorder
 }
 
 // WAL is an open write-ahead log. Methods are safe for concurrent use;
@@ -95,8 +100,10 @@ type WAL struct {
 	// record at its tail; -1 means the tail is clean.
 	repair int64
 
-	// Observability (all handles nil without Options.Metrics).
-	m walMetrics
+	// Observability (all handles nil without Options.Metrics; nil tr is
+	// the disabled flight recorder).
+	m  walMetrics
+	tr *trace.Recorder
 }
 
 // walMetrics holds the log's instrumentation handles; the zero value (all
@@ -143,7 +150,7 @@ func Open(opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics)}
+	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics), tr: opts.Trace}
 	w.m.segments.Set(float64(len(segs)))
 	if n := len(segs); n > 0 {
 		w.nextSeq = segs[n-1].seq + 1
@@ -214,9 +221,17 @@ func (w *WAL) End() int64 {
 // not continue the log, and fsyncs before returning when configured.
 // A failed append leaves at most a torn tail that recovery truncates.
 func (w *WAL) Append(start int64, values []float64) error {
+	return w.AppendCtx(0, start, values)
+}
+
+// AppendCtx is Append with trace context: the recorded append and fsync
+// events are parented to the given span (0 = root). With no recorder
+// attached it is exactly Append.
+func (w *WAL) AppendCtx(parent trace.SpanID, start int64, values []float64) error {
 	if len(values) == 0 {
 		return nil
 	}
+	tstart := w.tr.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.lastEnd >= 0 && start != w.lastEnd {
@@ -238,6 +253,7 @@ func (w *WAL) Append(start int64, values []float64) error {
 	}
 	if w.syncEvery {
 		fsyncStart := w.m.fsync.Start()
+		trSyncStart := w.tr.Now()
 		if err := w.cur.Sync(); err != nil {
 			// The record reached the file but not durably; it was not
 			// acknowledged, so drop it entirely rather than let the log-end
@@ -246,12 +262,18 @@ func (w *WAL) Append(start int64, values []float64) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		w.m.fsync.ObserveSince(fsyncStart)
+		if w.tr != nil {
+			w.tr.Instant(trace.EvWALSync, 0, parent, time.Duration(w.tr.Now()-trSyncStart), 0, 0)
+		}
 	}
 	// Only now is the record part of the log.
 	w.curSize += int64(len(rec))
 	w.lastEnd = start + int64(len(values))
 	w.m.appends.Inc()
 	w.m.bytes.Add(int64(len(rec)))
+	if w.tr != nil {
+		w.tr.Instant(trace.EvWALAppend, 0, parent, time.Duration(w.tr.Now()-tstart), int64(len(rec)), int64(len(values)))
+	}
 	if w.curSize >= w.segBytes {
 		return w.rotate(w.lastEnd)
 	}

@@ -18,6 +18,7 @@ type config struct {
 	span       time.Duration
 	concurrent bool
 	metrics    *Metrics
+	tracer     *Tracer
 	warmSet    bool // WithWarmStart given
 	warm       bool
 	memoSet    bool // WithProbeMemo given
@@ -74,6 +75,15 @@ func WithMetrics(reg *Metrics) Option {
 	return func(c *config) { c.metrics = reg }
 }
 
+// WithTracing attaches a flight recorder to the maintainer: every push
+// and rebuild opens a span, and each rebuild level, probe-memo summary
+// and warm-start summary lands in the ring as a timed event. A nil
+// tracer is the same as omitting the option; recording is
+// allocation-free either way.
+func WithTracing(tr *Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
 // Maintainer is a stream histogram maintainer constructed by
 // NewFixedWindow: an epsilon-approximate B-bucket V-optimal histogram
 // over a sliding window, where the window is the last n points (default)
@@ -117,7 +127,7 @@ func (l *lockIf) enabled() bool { return l.on }
 // within a (1+eps) factor of the optimal b-bucket SSE of the window.
 // Per-point maintenance costs O((b^3/eps^2) log^3 n). Options select the
 // growth factor (WithDelta), a time-based window (WithSpan), locking
-// (WithConcurrency), instrumentation (WithMetrics) and the rebuild-engine
+// (WithConcurrency), instrumentation (WithMetrics, WithTracing) and the rebuild-engine
 // optimizations (WithWarmStart, WithProbeMemo — both on by default).
 func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) {
 	var cfg config
@@ -147,6 +157,7 @@ func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) 
 			return nil, err
 		}
 		tw.SetRegistry(cfg.metrics)
+		tw.SetTracer(cfg.tracer)
 		m.tw = tw
 	case cfg.delta != 0:
 		fw, err := core.NewWithDelta(n, b, eps, cfg.delta)
@@ -154,6 +165,7 @@ func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) 
 			return nil, err
 		}
 		fw.SetRegistry(cfg.metrics)
+		fw.SetTracer(cfg.tracer)
 		m.fw = fw
 	default:
 		fw, err := core.New(n, b, eps)
@@ -161,6 +173,7 @@ func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) 
 			return nil, err
 		}
 		fw.SetRegistry(cfg.metrics)
+		fw.SetTracer(cfg.tracer)
 		m.fw = fw
 	}
 	if cfg.warmSet {
