@@ -40,9 +40,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"streamhist"
+	"streamhist/internal/resilience"
 )
 
 // benchConfig is one benchmarked maintainer configuration, recorded in
@@ -82,6 +84,7 @@ var rebuildVariants = []variant{
 // cursor into the shared value sequence, and its per-trial samples.
 type runner struct {
 	m      *streamhist.Maintainer
+	pre    func() // optional per-push bookkeeping timed with the push
 	pos    int
 	nsMin  float64
 	allocs uint64
@@ -89,6 +92,14 @@ type runner struct {
 }
 
 func (r *runner) push(vals []float64, n int) {
+	if r.pre != nil {
+		for i := 0; i < n; i++ {
+			r.pre()
+			r.m.Push(vals[r.pos%len(vals)])
+			r.pos++
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		r.m.Push(vals[r.pos%len(vals)])
 		r.pos++
@@ -283,6 +294,37 @@ func traceOverhead(rounds, warmup, ops int) (off, on measurement, pct float64, e
 	return off, on, pct, nil
 }
 
+// resilienceOverhead is traceOverhead for the self-healing layer: the
+// product configuration bare against one paying, per push, the
+// bookkeeping the server's armed healthy breaker adds to the ingest hot
+// path (a degraded-flag load plus a breaker Success — charged per push
+// though the server pays it per batch, a deliberate upper bound). The
+// median overhead is what CI gates at ≤2%, and the armed side must add
+// zero allocations over the bare one.
+func resilienceOverhead(rounds, warmup, ops int) (off, on measurement, pct float64, err error) {
+	cfg := benchConfig{Window: 1024, Buckets: 12, Eps: 0.1, Delta: 0.1}
+	vals := utilValues(cfg.Window + warmup + rounds*ops)
+	roff, err := newRunner(cfg, cfg.Delta, true, true, nil, vals)
+	if err != nil {
+		return off, on, 0, err
+	}
+	ron, err := newRunner(cfg, cfg.Delta, true, true, nil, vals)
+	if err != nil {
+		return off, on, 0, err
+	}
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		Threshold: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second,
+	})
+	var degraded atomic.Bool
+	ron.pre = func() {
+		if !degraded.Load() {
+			br.Success()
+		}
+	}
+	off, on, pct = pairedOverhead(roff, ron, vals, rounds, warmup, ops)
+	return off, on, pct, nil
+}
+
 // pairedOverhead times roff and ron in paired rounds with alternating
 // order and returns their measurements plus the median per-round
 // overhead percentage of ron against roff.
@@ -344,21 +386,24 @@ func pairedOverhead(roff, ron *runner, vals []float64, rounds, warmup, ops int) 
 
 // report is the full JSON document benchsmoke emits and -check consumes.
 type report struct {
-	Bench              string                 `json:"bench"`
-	Goos               string                 `json:"goos"`
-	Goarch             string                 `json:"goarch"`
-	Stream             string                 `json:"stream"`
-	Aggregation        string                 `json:"aggregation"`
-	Config             benchConfig            `json:"config"`
-	Results            map[string]measurement `json:"results"`
-	SpeedupWarmMemo    float64                `json:"speedup_warm_memo_vs_cold"`
-	MetricsOff         measurement            `json:"metrics_off"`
-	MetricsOn          measurement            `json:"metrics_on"`
-	MetricsOverheadPct float64                `json:"metrics_overhead_pct"`
-	TraceOff           measurement            `json:"trace_off"`
-	TraceOn            measurement            `json:"trace_on"`
-	TraceOverheadPct   float64                `json:"trace_overhead_pct"`
-	Scaling            []scalingRow           `json:"scaling"`
+	Bench                 string                 `json:"bench"`
+	Goos                  string                 `json:"goos"`
+	Goarch                string                 `json:"goarch"`
+	Stream                string                 `json:"stream"`
+	Aggregation           string                 `json:"aggregation"`
+	Config                benchConfig            `json:"config"`
+	Results               map[string]measurement `json:"results"`
+	SpeedupWarmMemo       float64                `json:"speedup_warm_memo_vs_cold"`
+	MetricsOff            measurement            `json:"metrics_off"`
+	MetricsOn             measurement            `json:"metrics_on"`
+	MetricsOverheadPct    float64                `json:"metrics_overhead_pct"`
+	TraceOff              measurement            `json:"trace_off"`
+	TraceOn               measurement            `json:"trace_on"`
+	TraceOverheadPct      float64                `json:"trace_overhead_pct"`
+	ResilienceOff         measurement            `json:"resilience_off"`
+	ResilienceOn          measurement            `json:"resilience_on"`
+	ResilienceOverheadPct float64                `json:"resilience_overhead_pct"`
+	Scaling               []scalingRow           `json:"scaling"`
 }
 
 // headline measures the four rebuild variants at the configuration the
@@ -370,7 +415,7 @@ func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, err
 	return results, cfg, err
 }
 
-func check(baselinePath string, tolerancePct, traceTolerancePct float64) error {
+func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -424,6 +469,23 @@ func check(baselinePath string, tolerancePct, traceTolerancePct float64) error {
 		failures = append(failures, fmt.Sprintf(
 			"tracing on: +%.1f%% per push, budget %.0f%%", tracePct, traceTolerancePct))
 	}
+	// The resilience budget is likewise absolute: an armed healthy
+	// breaker may cost at most -resilience-tolerance percent per push
+	// and must add zero allocations over the bare path.
+	offR, onR, resiliencePct, err := resilienceOverhead(10, 10, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchsmoke: resilience overhead %+.1f%% (budget %.0f%%), armed adds %d allocs/op\n",
+		resiliencePct, resilienceTolerancePct, onR.AllocsPerOp-min(onR.AllocsPerOp, offR.AllocsPerOp))
+	if onR.AllocsPerOp > offR.AllocsPerOp {
+		failures = append(failures, fmt.Sprintf(
+			"resilience armed: %d allocs/op over bare %d, budget 0", onR.AllocsPerOp, offR.AllocsPerOp))
+	}
+	if resiliencePct > resilienceTolerancePct {
+		failures = append(failures, fmt.Sprintf(
+			"resilience armed: +%.1f%% per push, budget %.0f%%", resiliencePct, resilienceTolerancePct))
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchsmoke: REGRESSION:", f)
@@ -447,26 +509,33 @@ func run(outPath string) error {
 	if err != nil {
 		return err
 	}
+	offR, onR, resiliencePct, err := resilienceOverhead(10, 10, 100)
+	if err != nil {
+		return err
+	}
 	grid, err := scalingGrid(4, 1, 6)
 	if err != nil {
 		return err
 	}
 	rep := report{
-		Bench:           "FixedWindow.Push",
-		Goos:            runtime.GOOS,
-		Goarch:          runtime.GOARCH,
-		Stream:          "utilization(seed=17,quantize)",
-		Aggregation:     "interleaved trials, min ns/op, max allocs",
-		Config:          cfg,
-		Results:         results,
-		SpeedupWarmMemo: results["cold"].NsPerOp / results["warm_memo"].NsPerOp,
-		MetricsOff:         offM,
-		MetricsOn:          onM,
-		MetricsOverheadPct: overheadPct,
-		TraceOff:           offT,
-		TraceOn:            onT,
-		TraceOverheadPct:   tracePct,
-		Scaling:            grid,
+		Bench:                 "FixedWindow.Push",
+		Goos:                  runtime.GOOS,
+		Goarch:                runtime.GOARCH,
+		Stream:                "utilization(seed=17,quantize)",
+		Aggregation:           "interleaved trials, min ns/op, max allocs",
+		Config:                cfg,
+		Results:               results,
+		SpeedupWarmMemo:       results["cold"].NsPerOp / results["warm_memo"].NsPerOp,
+		MetricsOff:            offM,
+		MetricsOn:             onM,
+		MetricsOverheadPct:    overheadPct,
+		TraceOff:              offT,
+		TraceOn:               onT,
+		TraceOverheadPct:      tracePct,
+		ResilienceOff:         offR,
+		ResilienceOn:          onR,
+		ResilienceOverheadPct: resiliencePct,
+		Scaling:               grid,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -490,11 +559,12 @@ func main() {
 	checkPath := flag.String("check", "", "baseline report to gate against instead of emitting a new one")
 	tolerance := flag.Float64("tolerance", 15, "allowed warm_memo ns/op regression in percent (-check mode)")
 	traceTolerance := flag.Float64("trace-tolerance", 5, "allowed per-push overhead of an attached flight recorder in percent (-check mode)")
+	resilienceTolerance := flag.Float64("resilience-tolerance", 2, "allowed per-push overhead of an armed healthy circuit breaker in percent (-check mode)")
 	flag.Parse()
 
 	var err error
 	if *checkPath != "" {
-		err = check(*checkPath, *tolerance, *traceTolerance)
+		err = check(*checkPath, *tolerance, *traceTolerance, *resilienceTolerance)
 	} else {
 		err = run(*out)
 	}

@@ -87,6 +87,11 @@ func main() {
 		delta     = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
 		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
 		ckptIvl   = flag.Duration("checkpoint-interval", 30*time.Second, "period of automatic checkpoints (0: only at shutdown)")
+		onPersist = flag.String("on-persist-error", "degrade", "when the WAL breaker trips: degrade (accept ingests memory-only) or refuse (503 until recovery)")
+		panicRest = flag.Bool("panic-restore", false, "after a panic under the state lock, restore from the last checkpoint instead of staying quarantined")
+		brThresh  = flag.Int("breaker-threshold", 0, "consecutive WAL failures that trip the breaker (0: default 3)")
+		brBackoff = flag.Duration("breaker-backoff", 0, "first recovery-probe backoff after the breaker opens (0: default 100ms)")
+		brMaxBack = flag.Duration("breaker-max-backoff", 0, "cap on the doubling recovery-probe backoff (0: default 30s)")
 		fsync     = flag.Bool("fsync", true, "fsync the write-ahead log on every acknowledged ingest")
 		inflight  = flag.Int("max-inflight", 64, "maximum concurrently admitted /ingest requests before answering 429")
 		maxBody   = flag.Int64("maxbody", 32<<20, "maximum request body bytes for /ingest and /restore (413 beyond)")
@@ -146,6 +151,11 @@ func main() {
 		DataDir:            *dataDir,
 		CheckpointInterval: *ckptIvl,
 		SyncEveryAppend:    *fsync,
+		OnPersistError:     *onPersist,
+		RestoreOnPanic:     *panicRest,
+		BreakerThreshold:   *brThresh,
+		BreakerBackoff:     *brBackoff,
+		BreakerMaxBackoff:  *brMaxBack,
 		Metrics:            reg,
 		EnablePprof:        *pprof,
 		Trace:              tr,

@@ -115,28 +115,38 @@ func Latest(fsys faults.FS, dir string) (blob []byte, seen int64, err error) {
 }
 
 // Prune removes checkpoints older than the keep newest ones, plus any
-// leftover temp files from interrupted saves. Failures to remove are
-// ignored — a stale file only costs disk.
-func Prune(fsys faults.FS, dir string, keep int) {
+// leftover temp files from interrupted saves. A failure never blocks the
+// caller's checkpoint — a stale file only costs disk — but it is
+// reported (the first error encountered) so the caller can log and count
+// it instead of flying blind on a disk that refuses deletes.
+func Prune(fsys faults.FS, dir string, keep int) error {
 	if fsys == nil {
 		fsys = faults.OS{}
 	}
+	var firstErr error
+	note := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint: prune: %w", err)
+		}
+	}
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return
+		return fmt.Errorf("checkpoint: prune: %w", err)
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			_ = fsys.Remove(filepath.Join(dir, e.Name()))
+			note(fsys.Remove(filepath.Join(dir, e.Name())))
 		}
 	}
 	names, err := list(fsys, dir)
 	if err != nil {
-		return
+		note(err)
+		return firstErr
 	}
 	for i := 0; i < len(names)-keep; i++ {
-		_ = fsys.Remove(filepath.Join(dir, names[i]))
+		note(fsys.Remove(filepath.Join(dir, names[i])))
 	}
+	return firstErr
 }
 
 func fileName(seen int64) string {

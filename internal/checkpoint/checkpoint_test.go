@@ -84,7 +84,9 @@ func TestPrune(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, fileName(5)+".tmp"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	Prune(nil, dir, 2)
+	if err := Prune(nil, dir, 2); err != nil {
+		t.Fatalf("healthy prune reported %v", err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +100,31 @@ func TestPrune(t *testing.T) {
 	}
 	if _, seen, _ := Latest(nil, dir); seen != 4 {
 		t.Errorf("newest survived prune as seen=%d, want 4", seen)
+	}
+}
+
+// TestPruneReportsRemoveFailure proves a disk that refuses deletes is
+// reported instead of silently swallowed: the caller can log and count
+// the failure while the checkpoints themselves stay intact.
+func TestPruneReportsRemoveFailure(t *testing.T) {
+	dir := t.TempDir()
+	for _, seen := range []int64{1, 2, 3} {
+		if err := Save(nil, dir, seen, []byte{byte(seen)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chaos := faults.NewChaos(faults.OS{}, 1)
+	chaos.SetRules(faults.Rule{Ops: faults.OpRemove, Prob: 1})
+	err := Prune(chaos, dir, 1)
+	if err == nil {
+		t.Fatal("Prune swallowed the Remove failure")
+	}
+	if !faults.IsInjected(err) {
+		t.Errorf("error %v does not unwrap to ErrInjected", err)
+	}
+	// Nothing was removed, but every checkpoint is still loadable.
+	if _, seen, lerr := Latest(nil, dir); lerr != nil || seen != 3 {
+		t.Errorf("Latest after failed prune = (%d, %v)", seen, lerr)
 	}
 }
 

@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func chaosWrite(t *testing.T, c *Chaos, name string, data []byte) error {
+	t.Helper()
+	f, err := c.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func TestChaosNoRulesPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 1)
+	if err := chaosWrite(t, c, filepath.Join(dir, "a"), []byte("hello")); err != nil {
+		t.Fatalf("healthy chaos failed: %v", err)
+	}
+	if c.Fired() != 0 {
+		t.Errorf("fired %d faults with no rules", c.Fired())
+	}
+	if c.Ops() != 3 { // create + write + sync
+		t.Errorf("ops = %d, want 3", c.Ops())
+	}
+}
+
+func TestChaosDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		c := NewChaos(OS{}, seed)
+		c.SetRules(Rule{Ops: OpWrite, Prob: 0.5})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			err := chaosWrite(t, c, filepath.Join(dir, "f"), []byte("x"))
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	diff := run(43)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if a[i] != diff[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules (suspicious)")
+	}
+	var fired int
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestChaosWindowArmsAndDisarms(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 7)
+	// Fault writes 3..5 (After=2 skips two, Count=3 bounds the window).
+	c.SetRules(Rule{Ops: OpWrite, Prob: 1, After: 2, Count: 3})
+	name := filepath.Join(dir, "f")
+	f, err := c.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []bool
+	for i := 0; i < 8; i++ {
+		_, err := f.Write([]byte("x"))
+		got = append(got, err != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("write %d: faulted=%v, want %v (full: %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+func TestChaosENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 1)
+	c.SetRules(Rule{Ops: OpWrite | OpCreate, Prob: 1, Err: ErrNoSpace})
+	err := chaosWrite(t, c, filepath.Join(dir, "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("ENOSPC rule did not fire")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("error %v does not match syscall.ENOSPC", err)
+	}
+	if !IsInjected(err) {
+		t.Errorf("error %v does not match ErrInjected", err)
+	}
+}
+
+func TestChaosTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	c := NewChaos(OS{}, 1)
+	c.SetRules(Rule{Ops: OpWrite, Prob: 1, Torn: true, ShortFrac: 0.25})
+	f, err := c.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 16)); err == nil {
+		t.Fatal("torn write did not fail")
+	}
+	f.Close()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4 {
+		t.Errorf("torn write left %d bytes, want 4 (ShortFrac 0.25 of 16)", len(data))
+	}
+}
+
+func TestChaosSyncOnlyFailures(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	c := NewChaos(OS{}, 1)
+	c.SetRules(Rule{Ops: OpSync, Prob: 1})
+	f, err := c.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("write under sync-only rule failed: %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync did not fail")
+	}
+	// The written bytes reached the file: only durability failed.
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "data" {
+		t.Errorf("file holds %q after sync fault", data)
+	}
+}
+
+func TestChaosPathFilterAndClear(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 1)
+	c.SetRules(Rule{Ops: OpAll, Prob: 1, PathContains: "wal-"})
+	if err := chaosWrite(t, c, filepath.Join(dir, "checkpoint-1"), []byte("x")); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if err := chaosWrite(t, c, filepath.Join(dir, "wal-0001.log"), []byte("x")); err == nil {
+		t.Fatal("matching path did not fault")
+	}
+	c.Clear()
+	if err := chaosWrite(t, c, filepath.Join(dir, "wal-0002.log"), []byte("x")); err != nil {
+		t.Fatalf("cleared chaos still faulting: %v", err)
+	}
+}
+
+func TestChaosLatencyInjection(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 1)
+	c.SetRules(Rule{Ops: OpWrite, Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := chaosWrite(t, c, filepath.Join(dir, "f"), []byte("x")); err != nil {
+		t.Fatalf("latency-only rule failed the op: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("write returned in %v, expected >= 20ms injected latency", elapsed)
+	}
+}
+
+func TestChaosRuleSwapMidStream(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChaos(OS{}, 1)
+	name := filepath.Join(dir, "f")
+	if err := chaosWrite(t, c, name, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRules(Rule{Ops: OpAll, Prob: 1})
+	if err := chaosWrite(t, c, name, []byte("x")); err == nil {
+		t.Fatal("armed rules did not fault")
+	}
+	c.SetRules() // healthy again
+	if err := chaosWrite(t, c, name, []byte("x")); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}

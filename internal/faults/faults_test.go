@@ -109,3 +109,66 @@ func TestOpenFileCountsOnlyCreation(t *testing.T) {
 		t.Error("creation did not fault")
 	}
 }
+
+// TestInjectorSyncFaultLeavesWrittenBytes: a fault at the Sync point
+// (op after a clean torn-free write) must leave the full written bytes
+// in the file — only durability failed, not the write — and every later
+// Sync keeps failing.
+func TestInjectorSyncFaultLeavesWrittenBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	inj := NewInjector(OS{}, 3)
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil { // op 3: fault
+		t.Fatal("sync did not fault")
+	} else if !IsInjected(err) {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Error("sync after trip succeeded")
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123456789" {
+		t.Errorf("sync fault disturbed file contents: %q", data)
+	}
+}
+
+// TestInjectorSyncDirFault: SyncDir is a counted mutating op (it is the
+// durability point of renames); a fault there fails it and trips the
+// injector, while the rename it would have made durable stays visible.
+func TestInjectorSyncDirFault(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a")
+	if err := os.WriteFile(old, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS{}, 2)
+	if err := inj.Rename(old, new); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := inj.SyncDir(dir); err == nil { // op 2: fault
+		t.Fatal("syncdir did not fault")
+	} else if !IsInjected(err) {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if !inj.Tripped() {
+		t.Error("not tripped after syncdir fault")
+	}
+	// The rename itself reached the (possibly un-durable) directory.
+	if _, err := os.Stat(new); err != nil {
+		t.Errorf("renamed file missing after syncdir fault: %v", err)
+	}
+	if err := inj.SyncDir(dir); err == nil {
+		t.Error("syncdir after trip succeeded")
+	}
+}

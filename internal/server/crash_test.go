@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"streamhist/internal/checkpoint"
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 )
@@ -58,8 +60,10 @@ func crashOptions(dir string, fsys faults.FS) Options {
 
 // runWorkload drives one daemon lifetime: 12 ingest batches with manual
 // checkpoints after batches 4 and 8, never Closing — the "process" ends
-// by crashing. It returns the number of acknowledged values; after the
-// injected fault fires, ingests fail with 500 and are not counted.
+// by crashing. It returns the number of durably acknowledged values:
+// after the injected fault fires, ingests fail with 500 until the
+// breaker trips, then are acknowledged with "degraded":true — an
+// explicit non-durability marker — and neither kind counts.
 func runWorkload(t *testing.T, dir string, fsys faults.FS) (acked int) {
 	t.Helper()
 	s, err := Open(crashOptions(dir, fsys))
@@ -70,9 +74,18 @@ func runWorkload(t *testing.T, dir string, fsys faults.FS) (acked int) {
 		rec := do(t, s, http.MethodPost, "/ingest", batchBody(b))
 		switch rec.Code {
 		case http.StatusOK:
-			acked += len(b)
-		case http.StatusInternalServerError:
-			// Post-fault: the WAL refused the batch; nothing was applied.
+			var resp struct {
+				Degraded bool `json:"degraded"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("batch %d: unparseable ingest response %q: %v", i, rec.Body, err)
+			}
+			if !resp.Degraded {
+				acked += len(b)
+			}
+		case http.StatusInternalServerError, http.StatusServiceUnavailable:
+			// Post-fault: the WAL refused the batch (or the refuse policy
+			// turned it away); nothing durable was acknowledged.
 		default:
 			t.Fatalf("batch %d: unexpected status %d: %s", i, rec.Code, rec.Body)
 		}
@@ -229,5 +242,224 @@ func TestGracefulShutdownRoundTrip(t *testing.T) {
 	expectEqualState(t, s2, all)
 	if rec := do(t, s2, http.MethodGet, "/readyz", ""); rec.Code != http.StatusOK {
 		t.Errorf("readyz after reopen: %d", rec.Code)
+	}
+}
+
+// TestCrashRecoveryExtendedMatrix is the rotation-and-prune variant of
+// the matrix: tiny segments force mid-workload rotations (including the
+// rotate buried inside Append), and three manual checkpoints activate
+// pruning, so the injected crash points additionally land inside
+// segment creation at rotate, prune removes, and extra truncations.
+func TestCrashRecoveryExtendedMatrix(t *testing.T) {
+	batches := crashBatches()
+	var allValues []float64
+	for _, b := range batches {
+		allValues = append(allValues, b...)
+	}
+	const batchLen = 4
+	run := func(t *testing.T, dir string, fsys faults.FS) (acked int) {
+		t.Helper()
+		opts := crashOptions(dir, fsys)
+		opts.SegmentBytes = 128
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatalf("initial open: %v", err)
+		}
+		for i, b := range batches {
+			rec := do(t, s, http.MethodPost, "/ingest", batchBody(b))
+			switch rec.Code {
+			case http.StatusOK:
+				if !ingestResp(t, rec) {
+					acked += len(b)
+				}
+			case http.StatusInternalServerError, http.StatusServiceUnavailable:
+			default:
+				t.Fatalf("batch %d: unexpected status %d: %s", i, rec.Code, rec.Body)
+			}
+			if i == 2 || i == 5 || i == 8 {
+				_ = s.Checkpoint()
+			}
+		}
+		return acked
+	}
+
+	probe := faults.NewInjector(faults.OS{}, -1)
+	if acked := run(t, t.TempDir(), probe); acked != len(allValues) {
+		t.Fatalf("probe run acked %d of %d", acked, len(allValues))
+	}
+	total := probe.Ops()
+	if total < 30 {
+		t.Fatalf("extended probe counted implausibly few crash points: %d", total)
+	}
+	t.Logf("extended crash-point matrix: %d injected fault points", total)
+
+	for n := 1; n <= total; n++ {
+		t.Run(fmt.Sprintf("op%03d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faults.NewInjector(faults.OS{}, n)
+			acked := run(t, dir, inj)
+			if !inj.Tripped() {
+				t.Fatal("fault never fired")
+			}
+			opts := crashOptions(dir, faults.OS{})
+			opts.SegmentBytes = 128
+			s2, err := Open(opts)
+			if err != nil {
+				t.Fatalf("recovery after fault at op %d: %v", n, err)
+			}
+			defer s2.Close()
+			recSeen := int(s2.Seen())
+			if recSeen < acked {
+				t.Fatalf("durability violated: recovered seen=%d < acknowledged %d", recSeen, acked)
+			}
+			if recSeen > acked+batchLen {
+				t.Fatalf("recovered seen=%d, but only %d acked (+%d in flight max)", recSeen, acked, batchLen)
+			}
+			expectEqualState(t, s2, allValues[:recSeen])
+			if rec := do(t, s2, http.MethodPost, "/ingest", "1\n2\n"); rec.Code != http.StatusOK {
+				t.Fatalf("ingest after recovery: %d: %s", rec.Code, rec.Body)
+			}
+			if err := s2.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestDiskFullAtRotate: ENOSPC exactly when the WAL starts a new
+// segment. The rotate failure strikes after the record is durable, so
+// the log end advances past the unapplied state and every later append
+// would be a gap — the breaker turns that into degraded mode, and the
+// re-anchor (fresh checkpoint + WAL reset) is what makes the log
+// appendable again once space returns.
+func TestDiskFullAtRotate(t *testing.T) {
+	dir := t.TempDir()
+	chaos := faults.NewChaos(faults.OS{}, 1)
+	opts := resilientOptions(dir, chaos)
+	opts.SegmentBytes = 128
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// After=1 lets the first segment create through; the next create —
+	// the rotation — hits a full disk.
+	chaos.SetRules(faults.Rule{Ops: faults.OpCreate, PathContains: "wal-", Prob: 1, Err: faults.ErrNoSpace, After: 1})
+	sawRotateFailure := false
+	for i := 0; i < 40 && !s.degraded.Load(); i++ {
+		rec := do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n4\n")
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusInternalServerError:
+			sawRotateFailure = true
+		default:
+			t.Fatalf("ingest %d: unexpected status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if !sawRotateFailure {
+		t.Fatal("full disk never surfaced as an append failure")
+	}
+	waitFor(t, "degraded mode after disk-full rotate", func() bool { return s.degraded.Load() })
+
+	// Space returns; the supervisor re-anchors and appends flow again.
+	chaos.Clear()
+	waitFor(t, "reanchor", func() bool { return !s.degraded.Load() })
+	if rec := do(t, s, http.MethodPost, "/ingest", "5\n"); rec.Code != http.StatusOK || ingestResp(t, rec) {
+		t.Fatalf("post-recovery ingest: %d %s", rec.Code, rec.Body)
+	}
+	seen := s.Seen()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s2, err := Open(crashOptions(dir, faults.OS{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Seen(); got != seen {
+		t.Errorf("recovered seen=%d, want %d", got, seen)
+	}
+}
+
+// TestRecoveryResetCrashPoints injects a crash at every filesystem
+// mutation of the recovery-time WAL Reset — the path taken when the
+// newest checkpoint is ahead of the log (its un-fsynced tail was lost).
+// Wherever the Reset dies, the directory must stay recoverable.
+func TestRecoveryResetCrashPoints(t *testing.T) {
+	// build constructs a dir whose checkpoint (seen=8) is ahead of the
+	// log (pinned at 4), forcing Open to Reset the WAL to 8.
+	build := func(t *testing.T) (string, []float64) {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := Open(crashOptions(dir, faults.OS{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec := do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n4\n"); rec.Code != http.StatusOK {
+			t.Fatalf("seed ingest: %d", rec.Code)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		eight := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		ref, err := core.NewWithDelta(cwWindow, cwBuckets, cwEps, cwEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.PushBatch(eight)
+		blob, err := ref.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Save(nil, dir, 8, blob); err != nil {
+			t.Fatal(err)
+		}
+		return dir, eight
+	}
+
+	// Probe pass: count the mutating ops of one recovering Open.
+	dir, eight := build(t)
+	probe := faults.NewInjector(faults.OS{}, -1)
+	s, err := Open(crashOptions(dir, probe))
+	if err != nil {
+		t.Fatalf("probe recovery: %v", err)
+	}
+	total := probe.Ops()
+	if got := s.Seen(); got != 8 {
+		t.Fatalf("probe recovery seen=%d, want 8", got)
+	}
+	_ = s.Close()
+	if total < 3 {
+		t.Fatalf("probe counted implausibly few reset crash points: %d", total)
+	}
+	t.Logf("recovery-reset matrix: %d injected fault points", total)
+
+	for n := 1; n <= total; n++ {
+		t.Run(fmt.Sprintf("op%03d", n), func(t *testing.T) {
+			dir, _ := build(t)
+			inj := faults.NewInjector(faults.OS{}, n)
+			s, err := Open(crashOptions(dir, inj))
+			if err == nil {
+				// The fault landed on an op whose failure Reset tolerates
+				// (or past the whole recovery): the server must be whole.
+				if got := s.Seen(); got != 8 {
+					t.Fatalf("fault at op %d: opened with seen=%d, want 8", n, got)
+				}
+				_ = s.Close()
+			}
+			// Either way the directory must still recover cleanly.
+			s2, err := Open(crashOptions(dir, faults.OS{}))
+			if err != nil {
+				t.Fatalf("clean recovery after fault at op %d: %v", n, err)
+			}
+			defer s2.Close()
+			if got := s2.Seen(); got != 8 {
+				t.Fatalf("clean recovery after fault at op %d: seen=%d, want 8", n, got)
+			}
+			expectEqualState(t, s2, eight)
+			if rec := do(t, s2, http.MethodPost, "/ingest", "9\n"); rec.Code != http.StatusOK {
+				t.Fatalf("ingest after reset recovery: %d: %s", rec.Code, rec.Body)
+			}
+		})
 	}
 }

@@ -20,6 +20,13 @@ const (
 	errBadSnapshot      = "bad_snapshot"
 	errInternal         = "internal"
 	errTimeout          = "timeout"
+	// errDegraded: the durability layer is down and Options.OnPersistError
+	// is "refuse", so writes are refused until the log recovers.
+	errDegraded = "degraded"
+	// errQuarantined: a panic occurred while the state lock was held; the
+	// in-memory state is suspect and mutating requests are refused until
+	// the server restores from disk or is restarted.
+	errQuarantined = "quarantined"
 )
 
 // timeoutBody is the envelope http.TimeoutHandler writes when a request

@@ -7,10 +7,16 @@ import (
 	"net/http"
 	"time"
 
+	"streamhist/internal/agglom"
 	"streamhist/internal/checkpoint"
+	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
+	"streamhist/internal/quantile"
+	"streamhist/internal/resilience"
+	"streamhist/internal/stream"
 	"streamhist/internal/trace"
+	"streamhist/internal/vhist"
 	"streamhist/internal/wal"
 )
 
@@ -52,6 +58,25 @@ type Options struct {
 	// the real one. Tests inject faults here.
 	FS faults.FS
 
+	// OnPersistError selects the degraded-mode policy once WAL appends
+	// trip the circuit breaker: OnPersistDegrade (the default) accepts
+	// ingests memory-only with "degraded":true in the response;
+	// OnPersistRefuse fails them with 503/degraded until the log
+	// recovers. See resilience.go for the full contract.
+	OnPersistError string
+	// RestoreOnPanic, with DataDir set, rebuilds the in-memory state from
+	// the last checkpoint plus WAL replay after a panic quarantined it,
+	// instead of waiting for an orchestrator restart.
+	RestoreOnPanic bool
+	// BreakerThreshold is the consecutive WAL-append failures that trip
+	// the breaker into degraded mode; 0 means the resilience default (3).
+	BreakerThreshold int
+	// BreakerBackoff is the first recovery-probe interval; doubles per
+	// failed probe up to BreakerMaxBackoff. Zeros mean the resilience
+	// defaults (100ms, 30s).
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+
 	// Metrics, when non-nil, receives instrumentation from every layer the
 	// server drives (HTTP, fixed-window maintenance, agglomerative summary,
 	// WAL, checkpoints) and enables GET /metrics serving the registry in
@@ -86,6 +111,9 @@ func (o *Options) setDefaults() {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	if o.OnPersistError == "" {
+		o.OnPersistError = OnPersistDegrade
+	}
 }
 
 // Open constructs a server and, when opts.DataDir is set, recovers its
@@ -94,6 +122,10 @@ func (o *Options) setDefaults() {
 // returned server must be Closed to take the final checkpoint.
 func Open(opts Options) (*Server, error) {
 	opts.setDefaults()
+	if opts.OnPersistError != OnPersistDegrade && opts.OnPersistError != OnPersistRefuse {
+		return nil, fmt.Errorf("server: unknown OnPersistError policy %q (want %q or %q)",
+			opts.OnPersistError, OnPersistDegrade, OnPersistRefuse)
+	}
 	fw, agg, gk, sed, det, err := newState(opts)
 	if err != nil {
 		return nil, err
@@ -107,6 +139,7 @@ func Open(opts Options) (*Server, error) {
 		fs:       opts.FS,
 		om:       newHTTPMetrics(opts.Metrics),
 		cm:       newCkptMetrics(opts.Metrics),
+		rm:       newResilienceMetrics(opts.Metrics),
 	}
 	s.state.Store(stateStarting)
 	s.tr = opts.Trace
@@ -123,8 +156,13 @@ func Open(opts Options) (*Server, error) {
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
+		s.br = s.newBreaker()
+		s.rm.breakerState.Set(float64(resilience.Closed))
+		s.stop = make(chan struct{})
+		s.probeWake = make(chan struct{}, 1)
+		s.supDone = make(chan struct{})
+		go s.supervisor()
 		if opts.CheckpointInterval > 0 {
-			s.stop = make(chan struct{})
 			s.loopDone = make(chan struct{})
 			go s.checkpointLoop(opts.CheckpointInterval)
 		}
@@ -143,16 +181,6 @@ func (s *Server) recover() error {
 	if err := s.fs.MkdirAll(s.opts.DataDir, 0o755); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
-	blob, seen, err := checkpoint.Latest(s.fs, s.opts.DataDir)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	if blob != nil {
-		if err := s.fw.UnmarshalBinary(blob); err != nil {
-			return fmt.Errorf("server: checkpoint at seen=%d unusable: %w", seen, err)
-		}
-		s.logger.Info("recovered checkpoint", "seen", seen, "window", s.fw.Len())
-	}
 	w, err := wal.Open(wal.Options{
 		Dir:             s.opts.DataDir,
 		FS:              s.fs,
@@ -164,46 +192,70 @@ func (s *Server) recover() error {
 	if err != nil {
 		return err
 	}
+	stats, err := loadState(s.logger, s.fs, s.opts.DataDir, w, s.fw, s.agg, s.gk, s.sed)
+	if err != nil {
+		return err
+	}
+	s.stats = stats
+	s.wal = w
+	return nil
+}
+
+// loadState rebuilds a summary set from dir against an open WAL: load
+// the newest checkpoint into fw, replay the log tail past it into every
+// summary, verify the recovery invariants, and re-pin the log when the
+// checkpoint is ahead of it (the un-fsynced tail was lost, or the log
+// was truncated after the checkpoint). It returns the rebuilt running
+// stats. Callers own all locking: startup recovery runs single-threaded
+// and quarantine restore works on fresh state before swapping it in.
+func loadState(logger *slog.Logger, fsys faults.FS, dir string, w *wal.WAL, fw *core.FixedWindow, agg *agglom.Summary, gk *quantile.GK, sed *vhist.StreamingEqualDepth) (stream.Counter, error) {
+	var stats stream.Counter
+	blob, seen, err := checkpoint.Latest(fsys, dir)
+	if err != nil {
+		return stats, fmt.Errorf("server: %w", err)
+	}
+	if blob != nil {
+		if err := fw.UnmarshalBinary(blob); err != nil {
+			return stats, fmt.Errorf("server: checkpoint at seen=%d unusable: %w", seen, err)
+		}
+		logger.Info("recovered checkpoint", "seen", seen, "window", fw.Len())
+	}
 	var replayed int64
 	err = w.Replay(func(start int64, values []float64) error {
 		for i, v := range values {
 			switch p := start + int64(i); {
-			case p < s.fw.Seen():
+			case p < fw.Seen():
 				// Covered by the checkpoint.
-			case p == s.fw.Seen():
-				s.fw.PushLazy(v)
-				s.agg.Push(v)
-				s.gk.Insert(v)
-				s.sed.Push(v)
-				s.stats.Push(v)
+			case p == fw.Seen():
+				fw.PushLazy(v)
+				agg.Push(v)
+				gk.Insert(v)
+				sed.Push(v)
+				stats.Push(v)
 				replayed++
 			default:
-				return fmt.Errorf("gap: record for position %d but state ends at %d", p, s.fw.Seen())
+				return fmt.Errorf("gap: record for position %d but state ends at %d", p, fw.Seen())
 			}
 		}
 		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("server: wal replay: %w", err)
+		return stats, fmt.Errorf("server: wal replay: %w", err)
 	}
 	if replayed > 0 {
-		s.logger.Info("replayed wal tail", "points", replayed, "seen", s.fw.Seen())
+		logger.Info("replayed wal tail", "points", replayed, "seen", fw.Seen())
 	}
 	// Recovery invariants: the window never holds more than min(seen, n)
 	// points, and the log must be positioned to accept the next ingest.
-	if want := min(s.fw.Seen(), int64(s.fw.Capacity())); int64(s.fw.Len()) != want {
-		return fmt.Errorf("server: recovery invariant violated: window holds %d points, want %d", s.fw.Len(), want)
+	if want := min(fw.Seen(), int64(fw.Capacity())); int64(fw.Len()) != want {
+		return stats, fmt.Errorf("server: recovery invariant violated: window holds %d points, want %d", fw.Len(), want)
 	}
-	if end := w.End(); end >= 0 && end < s.fw.Seen() {
-		// The checkpoint is ahead of the log (the un-fsynced WAL tail was
-		// lost, or the log was truncated after the checkpoint): restart the
-		// log at the recovered position so appends continue contiguously.
-		if err := w.Reset(s.fw.Seen()); err != nil {
-			return err
+	if end := w.End(); end >= 0 && end < fw.Seen() {
+		if err := w.Reset(fw.Seen()); err != nil {
+			return stats, err
 		}
 	}
-	s.wal = w
-	return nil
+	return stats, nil
 }
 
 // Checkpoint atomically persists the current fixed-window state and then
@@ -212,6 +264,11 @@ func (s *Server) recover() error {
 func (s *Server) Checkpoint() error {
 	if s.opts.DataDir == "" {
 		return fmt.Errorf("server: no data dir configured")
+	}
+	if s.quarantined.Load() {
+		// A lock-held panic left the in-memory state suspect: persisting
+		// it would overwrite the last good checkpoint with garbage.
+		return fmt.Errorf("server: state quarantined; refusing to checkpoint")
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
@@ -228,7 +285,13 @@ func (s *Server) Checkpoint() error {
 		s.cm.failures.Inc()
 		return err
 	}
-	checkpoint.Prune(s.fs, s.opts.DataDir, 2)
+	if err := checkpoint.Prune(s.fs, s.opts.DataDir, 2); err != nil {
+		// The checkpoint itself is durable; a failed prune only leaves
+		// stale files behind. Still a disk complaint worth counting — a
+		// disk that refuses deletes is often about to refuse writes.
+		s.cm.failures.Inc()
+		s.logger.Warn("checkpoint prune failed", "err", err)
+	}
 	if s.wal != nil {
 		// Only after the checkpoint is durable may covered log segments go.
 		// Rotate first so the just-covered active segment becomes deletable
@@ -256,15 +319,57 @@ func (s *Server) Seen() int64 {
 	return s.fw.Seen()
 }
 
+// ckptWatchdogFailures is how many consecutive periodic-checkpoint
+// failures (with the WAL still growing) escalate to degraded mode.
+const ckptWatchdogFailures = 3
+
 func (s *Server) checkpointLoop(interval time.Duration) {
 	defer close(s.loopDone)
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	retry := resilience.Retry{Base: interval, Max: 8 * interval}
+	var fails int
+	var sizeAtFirstFail int64
 	for {
 		select {
 		case <-t.C:
-			if err := s.Checkpoint(); err != nil {
-				s.logger.Error("periodic checkpoint failed", "err", err)
+			if s.degraded.Load() || s.quarantined.Load() {
+				// The supervisor owns recovery; a checkpoint now would
+				// either fight the re-anchor or persist suspect state.
+				continue
+			}
+			err := s.Checkpoint()
+			if err == nil {
+				fails = 0
+				continue
+			}
+			fails++
+			if fails == 1 && s.wal != nil {
+				sizeAtFirstFail = s.wal.SizeBytes()
+			}
+			s.logger.Error("periodic checkpoint failed", "err", err, "consecutive", fails)
+			// Watchdog: checkpoints keep failing while the WAL keeps
+			// growing — replay-on-restart is getting worse without bound,
+			// so escalate: trip the breaker and let the supervisor force a
+			// re-anchor (which both checkpoints and truncates) when the
+			// disk answers again.
+			if fails >= ckptWatchdogFailures && s.wal != nil && s.wal.SizeBytes() > sizeAtFirstFail {
+				s.rm.watchdog.Inc()
+				s.br.Trip()
+				s.enterDegraded("checkpoint watchdog: repeated failures with a growing wal", err)
+				fails = 0
+				continue
+			}
+			// Backoff: a failing disk gets geometrically fewer checkpoint
+			// attempts, not one per tick.
+			if d := retry.Delay(fails); d > 0 {
+				if !s.sleep(d) {
+					return
+				}
+				select {
+				case <-t.C: // drop the tick that fired during the backoff
+				default:
+				}
 			}
 		case <-s.stop:
 			return
@@ -280,10 +385,18 @@ func (s *Server) Close() error {
 		s.state.Store(stateDraining)
 		if s.stop != nil {
 			close(s.stop)
-			<-s.loopDone
+			if s.loopDone != nil {
+				<-s.loopDone
+			}
+			if s.supDone != nil {
+				<-s.supDone
+			}
 		}
 		if s.opts.DataDir != "" {
-			if err := s.Checkpoint(); err != nil {
+			if s.quarantined.Load() {
+				// Don't persist suspect state over the last good checkpoint.
+				s.logger.Warn("closing while quarantined; skipping final checkpoint")
+			} else if err := s.Checkpoint(); err != nil {
 				s.closeErr = fmt.Errorf("server: final checkpoint: %w", err)
 			}
 		}

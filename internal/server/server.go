@@ -56,6 +56,7 @@ import (
 	"streamhist/internal/drift"
 	"streamhist/internal/faults"
 	"streamhist/internal/quantile"
+	"streamhist/internal/resilience"
 	"streamhist/internal/stream"
 	"streamhist/internal/trace"
 	"streamhist/internal/vhist"
@@ -100,11 +101,21 @@ type Server struct {
 	opts      Options
 	fs        faults.FS
 	wal       *wal.WAL
-	ckptMu    sync.Mutex // serializes Checkpoint
+	ckptMu    sync.Mutex // serializes Checkpoint and re-anchoring
 	stop      chan struct{}
 	loopDone  chan struct{}
 	closeOnce sync.Once
 	closeErr  error
+
+	// Self-healing (see resilience.go; br and the channels are nil on a
+	// memory-only server).
+	br          *resilience.Breaker
+	degraded    atomic.Bool   // ingests are memory-only; supervisor owns recovery
+	quarantined atomic.Bool   // lock-held panic; state suspect, mutations refused
+	probeWake   chan struct{} // kicks the supervisor when the breaker trips
+	supDone     chan struct{}
+	rm          resilienceMetrics
+	failpoint   func(point string) // test seam; nil in production
 }
 
 // New creates an in-memory server (no durability) maintaining, over the
@@ -176,6 +187,11 @@ func (s *Server) routes() {
 		// handler.
 		h = withPprof(h)
 	}
+	// recoverware sits outside the timeout handler (which re-raises its
+	// child goroutine's panic here) but inside the metrics middleware, so
+	// a contained panic is still counted and the in-flight gauge still
+	// balances.
+	h = s.recoverware(h)
 	s.handler = s.om.middleware(h)
 }
 
@@ -205,6 +221,10 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
+// errRefusedDegraded marks an ingest refused because the durability
+// layer is down and the policy is OnPersistRefuse.
+var errRefusedDegraded = errors.New("degraded")
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -214,6 +234,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
+	if s.quarantined.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errQuarantined, "state quarantined after a panic; restore or restart pending")
+		return
+	}
 	// Admission control: refuse rather than queue when every in-flight
 	// slot is taken, so saturation surfaces as fast 429s instead of
 	// unbounded goroutine and memory growth.
@@ -221,7 +246,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.inflight <- struct{}{}:
 		defer func() { <-s.inflight }()
 	default:
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, errOverloaded, "too many in-flight ingests")
 		return
 	}
@@ -247,28 +272,77 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ispan := s.tr.StartSpan(spanFromContext(r.Context()), trace.EvIngest, 0, 0, int64(len(values)))
-	s.mu.Lock()
-	if s.wal != nil {
-		// Write-ahead: the batch is durable (to the configured fsync
-		// policy) before it is applied or acknowledged, so an acknowledged
-		// batch is never silently lost by a crash.
-		if err := s.wal.AppendCtx(ispan.ID(), s.fw.Seen(), values); err != nil {
-			s.mu.Unlock()
-			ispan.End(0, 0)
-			writeError(w, http.StatusInternalServerError, errInternal, "wal append: %v", err)
+	s.failAt("ingest.before-lock")
+	// The critical section runs as a closure so a panic mid-mutation is
+	// caught by guardUnlock while the fault is still attributable to the
+	// held lock: the state is quarantined instead of deadlocking every
+	// later request on a mutex nobody will release.
+	var (
+		seen        int64
+		werr        error
+		degradedAck bool
+	)
+	func() {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		if s.wal != nil {
+			if s.degraded.Load() {
+				// Durability is down; the supervisor owns recovery. Appending
+				// here is futile (the log position already diverged from the
+				// memory-only state) and would hammer a sick disk.
+				if s.opts.OnPersistError == OnPersistRefuse {
+					werr = errRefusedDegraded
+					return
+				}
+				degradedAck = true
+			} else if err := s.wal.AppendCtx(ispan.ID(), s.fw.Seen(), values); err != nil {
+				// Write-ahead failed: count it toward the breaker. Crossing
+				// the threshold enters degraded mode, and under the degrade
+				// policy this very batch rides into it memory-only.
+				s.rm.appendFailures.Inc()
+				if s.br.Failure() {
+					s.enterDegraded("wal append failures reached breaker threshold", err)
+				}
+				if s.degraded.Load() && s.opts.OnPersistError != OnPersistRefuse {
+					degradedAck = true
+				} else {
+					werr = err
+					return
+				}
+			} else {
+				// Write-ahead: the batch is durable (to the configured fsync
+				// policy) before it is applied or acknowledged, so an
+				// acknowledged batch is never silently lost by a crash.
+				s.br.Success()
+			}
+		}
+		s.failAt("ingest.apply")
+		for _, v := range values {
+			s.fw.PushLazy(v)
+			s.agg.Push(v)
+			s.gk.Insert(v)
+			s.sed.Push(v)
+			s.stats.Push(v)
+		}
+		seen = s.fw.Seen()
+	}()
+	if werr != nil {
+		ispan.End(0, 0)
+		if errors.Is(werr, errRefusedDegraded) {
+			s.setRetryAfter(w)
+			writeError(w, http.StatusServiceUnavailable, errDegraded, "durability degraded; ingests refused by policy")
 			return
 		}
+		writeError(w, http.StatusInternalServerError, errInternal, "wal append: %v", werr)
+		return
 	}
-	for _, v := range values {
-		s.fw.PushLazy(v)
-		s.agg.Push(v)
-		s.gk.Insert(v)
-		s.sed.Push(v)
-		s.stats.Push(v)
-	}
-	seen := s.fw.Seen()
-	s.mu.Unlock()
 	ispan.End(0, int64(len(values)))
+	if degradedAck {
+		s.rm.degradedBatches.Inc()
+		s.rm.degradedPoints.Add(int64(len(values)))
+		writeJSON(w, map[string]any{"ingested": len(values), "seen": seen, "degraded": true})
+		return
+	}
 	writeJSON(w, map[string]any{"ingested": len(values), "seen": seen})
 }
 
@@ -455,6 +529,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
+	if s.quarantined.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errQuarantined, "state quarantined after a panic; restore or restart pending")
+		return
+	}
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -480,11 +559,16 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.fw, s.agg, s.gk, s.sed, s.det = restored, agg, gk, sed, det
-	s.stats = stream.Counter{}
-	seen, length := restored.Seen(), restored.Len()
-	s.mu.Unlock()
+	var seen int64
+	var length int
+	func() {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		s.failAt("restore.apply")
+		s.fw, s.agg, s.gk, s.sed, s.det = restored, agg, gk, sed, det
+		s.stats = stream.Counter{}
+		seen, length = restored.Seen(), restored.Len()
+	}()
 	if s.wal != nil {
 		// Make the replacement durable before acknowledging: checkpoint the
 		// new state, then restart the log at its stream position.
@@ -540,14 +624,26 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is liveness: the process is up and serving.
+// handleHealthz is liveness: the process is up and serving. The one
+// exception is quarantine — after a lock-held panic the in-memory state
+// is suspect, and reporting unhealthy lets an orchestrator restart the
+// process (the durable state on disk recovers it) when RestoreOnPanic
+// is not doing so in-process.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok"})
+	if s.quarantined.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "unhealthy", "reason": "quarantined"})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "degraded": s.degraded.Load()})
 }
 
 // handleReadyz is readiness: 503 while the server recovers state at
-// startup or drains at shutdown, so load balancers stop routing before
-// writes start failing.
+// startup, drains at shutdown, is quarantined, or is degraded under the
+// refuse policy (writes would 503 anyway) — so load balancers stop
+// routing before writes start failing. A degraded server under the
+// degrade policy stays ready and advertises "degraded":true.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	var status string
 	switch s.state.Load() {
@@ -558,6 +654,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	default:
 		status = "starting"
 	}
+	degraded := s.degraded.Load()
+	if status == "ready" {
+		switch {
+		case s.quarantined.Load():
+			status = "quarantined"
+		case degraded && s.opts.OnPersistError == OnPersistRefuse:
+			status = "degraded"
+		}
+	}
 	if status != "ready" {
 		w.Header().Set("Retry-After", "1")
 		w.Header().Set("Content-Type", "application/json")
@@ -565,7 +670,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(map[string]any{"status": status})
 		return
 	}
-	writeJSON(w, map[string]any{"status": status})
+	writeJSON(w, map[string]any{"status": status, "degraded": degraded})
 }
 
 // bucketJSON is the wire form of one histogram bucket.

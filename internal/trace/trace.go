@@ -65,6 +65,8 @@ const (
 	EvWALSync              // instant: one WAL fsync on the append path.
 	EvCheckpoint           // instant: one checkpoint. A = snapshot bytes; N = stream position.
 	EvCapture              // instant: a slow-rebuild capture was written. A = events captured.
+	EvBreaker              // instant: a circuit-breaker transition. A = from state; N = to state.
+	EvPanic                // instant: a contained handler panic. A = 1 when the state lock was held.
 
 	numEventTypes // sentinel; keep last
 )
@@ -94,6 +96,10 @@ func (t EventType) String() string {
 		return "checkpoint"
 	case EvCapture:
 		return "capture"
+	case EvBreaker:
+		return "breaker"
+	case EvPanic:
+		return "panic"
 	}
 	return "unknown"
 }

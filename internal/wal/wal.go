@@ -150,6 +150,27 @@ func Open(opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sweep out segments whose header never finished writing. Records
+	// are only ever written after the header is complete, so a
+	// bad-header file is a failed creation — garbage left by a crash or
+	// full disk mid-create. It may even share a sequence number with a
+	// real segment (creation failures don't consume sequence numbers),
+	// which would scramble replay order if it were kept.
+	kept := segs[:0]
+	for _, seg := range segs {
+		data, err := fsys.ReadFile(filepath.Join(opts.Dir, seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if len(data) >= headerLen && string(data[:len(magic)]) == magic {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(opts.Dir, seg.name)); err != nil {
+			return nil, fmt.Errorf("wal: discarding torn segment %s: %w", seg.name, err)
+		}
+	}
+	segs = kept
 	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics), tr: opts.Trace}
 	w.m.segments.Set(float64(len(segs)))
 	if n := len(segs); n > 0 {
@@ -214,6 +235,26 @@ func (w *WAL) End() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastEnd
+}
+
+// SizeBytes returns the bytes the log occupies on disk: sealed segment
+// sizes plus the active segment's append position. Supervision watchdogs
+// compare successive readings to detect a log that keeps growing because
+// the checkpoints that would truncate it keep failing.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	for i, s := range w.segs {
+		if i == len(w.segs)-1 && w.cur != nil {
+			total += w.curSize
+			continue
+		}
+		if fi, err := w.fs.Stat(filepath.Join(w.dir, s.name)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // Append records that values were ingested starting at stream position
@@ -344,8 +385,20 @@ func (w *WAL) Reset(start int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.closeCur()
-	for _, seg := range w.segs {
-		_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
+	// Remove every segment file on disk, not just the tracked ones: a
+	// failed creation leaves an untracked bad-header file whose name can
+	// collide with the fresh log's first segment (O_EXCL), wedging the
+	// very reset that is supposed to heal the log. Removal stays
+	// best-effort; a leftover the sweep can't delete surfaces as a
+	// newSegment error and the caller retries.
+	if segs, err := listSegments(w.fs, w.dir); err == nil {
+		for _, seg := range segs {
+			_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
+		}
+	} else {
+		for _, seg := range w.segs {
+			_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
+		}
 	}
 	w.segs = w.segs[:0]
 	w.lastEnd = -1

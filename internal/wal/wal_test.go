@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -398,5 +399,99 @@ func TestTransientWriteErrorSelfRepairs(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("%s: replay = %+v, want %+v", mode, got, want)
 		}
+	}
+}
+
+func TestSizeBytesTracksGrowthAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 64, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.SizeBytes(); got != 0 {
+		t.Fatalf("empty log SizeBytes = %d", got)
+	}
+	var pos int64
+	var prev int64
+	for i := 0; i < 8; i++ {
+		if err := w.Append(pos, []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		pos += 3
+		got := w.SizeBytes()
+		if got <= prev {
+			t.Fatalf("append %d: SizeBytes %d did not grow past %d", i, got, prev)
+		}
+		prev = got
+	}
+	// Seal the tail and drop everything before the end: the log shrinks
+	// back to just the pinned empty segment.
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(pos); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SizeBytes(); got >= prev {
+		t.Errorf("SizeBytes after truncation = %d, want < %d", got, prev)
+	}
+}
+
+// A crash (or full disk) during segment creation can leave a file whose
+// header never finished — possibly sharing a sequence number with a real
+// segment created by a later retry. Open must sweep such garbage out and
+// replay only the real log; Reset must remove it even though it was
+// never tracked.
+func TestOpenSweepsTornHeaderOrphans(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a torn creation: same sequence number as the real segment,
+	// different start, header cut off mid-magic.
+	orphan := filepath.Join(dir, fmt.Sprintf("wal-%016x-%016x.log", 0, uint64(7)))
+	if err := os.WriteFile(orphan, []byte(magic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("open with torn orphan: %v", err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("torn orphan not swept: %v", err)
+	}
+	var got []float64
+	if err := w2.Replay(func(start int64, values []float64) error {
+		got = append(got, values...)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after sweep: %v", err)
+	}
+	if len(got) != 3 || w2.End() != 3 {
+		t.Fatalf("replayed %v end=%d, want 3 values end=3", got, w2.End())
+	}
+
+	// Reset must clear untracked leftovers too, or its fresh first
+	// segment can collide with one under O_EXCL.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("wal-%016x-%016x.log", w2.nextSeq, uint64(9))), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Reset(9); err != nil {
+		t.Fatalf("reset over untracked orphan: %v", err)
+	}
+	if err := w2.Append(9, []float64{4}); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
