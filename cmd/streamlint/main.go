@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	streamlint [-list] [packages]
+//	streamlint [-list] [-json] [packages]
+//
+// -json prints one JSON object per diagnostic per line (keys: file,
+// line, rule, msg) for CI annotation rendering.
 //
 // Packages are module-relative directory patterns: "./..." (or no
 // arguments) analyzes the whole module; "./internal/prefix" restricts the
@@ -27,6 +30,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the rules and exit")
+	asJSON := flag.Bool("json", false, "print diagnostics as JSON, one object per line")
 	flag.Parse()
 	if *list {
 		for _, r := range lint.AllRules() {
@@ -34,13 +38,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	if err := run(flag.Args(), *asJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "streamlint: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string) error {
+func run(patterns []string, asJSON bool) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -60,12 +64,19 @@ func run(patterns []string) error {
 		}
 	}
 	diags := lint.Run(selected, lint.AllRules())
-	for _, d := range diags {
-		rel, err := filepath.Rel(root, d.Pos.Filename)
-		if err == nil {
-			d.Pos.Filename = rel
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "streamlint: %d issue(s) in %d package(s)\n", len(diags), len(selected))

@@ -1,0 +1,129 @@
+// Package leakcheck detects goroutine leaks in tests by snapshotting the
+// full runtime.Stack dump before a workload and diffing it afterwards.
+// Unlike a bare runtime.NumGoroutine comparison it attributes a leak to
+// a stack signature, so a failure names the function that is still
+// running instead of reporting an opaque count — and unrelated
+// goroutines that exist in both snapshots cancel out exactly.
+//
+// Usage:
+//
+//	before := leakcheck.Take()
+//	... start and stop the system under test ...
+//	leakcheck.Check(t, before)
+//
+// Check retries the diff until a deadline, since goroutine teardown is
+// asynchronous (a Close typically returns before the last worker's
+// stack frame is gone).
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the checker needs; tests of the checker
+// itself substitute a recorder.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Snapshot counts live goroutines per stack signature.
+type Snapshot map[string]int
+
+// Take captures the current goroutines bucketed by signature: each
+// record's function frames (innermost first), stripped of argument
+// values, addresses and goroutine ids so identical code paths collapse
+// into one bucket regardless of scheduling.
+func Take() Snapshot {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	snap := make(Snapshot)
+	for _, record := range strings.Split(string(buf), "\n\n") {
+		sig := signature(record)
+		if sig == "" || strings.Contains(sig, "leakcheck.Take") {
+			continue // the snapshotting goroutine itself never cancels out
+		}
+		snap[sig]++
+	}
+	return snap
+}
+
+// signature reduces one goroutine record to its function-frame chain.
+// A record looks like:
+//
+//	goroutine 7 [chan receive]:
+//	streamhist/internal/server.(*Server).supervise(0xc000112000)
+//		/path/server.go:101 +0x5b
+//	created by streamhist/internal/server.Open in goroutine 1
+//		/path/persist.go:140 +0x3a2
+//
+// The signature keeps the function names and the "created by" origin,
+// drops file:line frames (they carry addresses) and the header (it
+// carries the goroutine id and scheduler state).
+func signature(record string) string {
+	var frames []string
+	for i, line := range strings.Split(record, "\n") {
+		if i == 0 || line == "" || strings.HasPrefix(line, "\t") {
+			continue // header or file:line detail
+		}
+		if origin, ok := strings.CutPrefix(line, "created by "); ok {
+			name, _, _ := strings.Cut(origin, " in goroutine")
+			frames = append(frames, "created by "+name)
+			continue
+		}
+		if i := strings.LastIndexByte(line, '('); i > 0 {
+			line = line[:i] // drop the argument values
+		}
+		frames = append(frames, line)
+	}
+	return strings.Join(frames, " <- ")
+}
+
+// diff returns the signatures with more goroutines now than in before,
+// sorted for stable output.
+func diff(before, now Snapshot) []string {
+	var out []string
+	for sig, n := range now {
+		if grew := n - before[sig]; grew > 0 {
+			out = append(out, fmt.Sprintf("%d leaked: %s", grew, sig))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check fails t if goroutines beyond the before snapshot are still
+// running, retrying for 2 seconds to let asynchronous teardown finish.
+func Check(t TB, before Snapshot) {
+	t.Helper()
+	CheckWithin(t, before, 2*time.Second)
+}
+
+// CheckWithin is Check with an explicit teardown deadline.
+func CheckWithin(t TB, before Snapshot, deadline time.Duration) {
+	t.Helper()
+	giveUp := time.Now().Add(deadline)
+	var leaks []string
+	for {
+		leaks = diff(before, Take())
+		if len(leaks) == 0 {
+			return
+		}
+		if time.Now().After(giveUp) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after %v:\n  %s", deadline, strings.Join(leaks, "\n  "))
+}

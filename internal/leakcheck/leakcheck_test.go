@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Fatalf instead of ending the test, so the failure
+// path of the checker itself can be asserted.
+type recorder struct {
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = strings.TrimSpace(format)
+	_ = args
+}
+
+func TestCleanTeardownPasses(t *testing.T) {
+	before := Take()
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	close(stop)
+	<-done
+	Check(t, before)
+}
+
+func TestLeakIsReportedWithSignature(t *testing.T) {
+	before := Take()
+	stop := make(chan struct{})
+	defer close(stop)
+	go leakyWorker(stop)
+
+	rec := &recorder{}
+	CheckWithin(rec, before, 50*time.Millisecond)
+	if !rec.failed {
+		t.Fatal("checker missed a blocked goroutine")
+	}
+
+	// The real failure message names the leaked function, not just a count.
+	leaks := diff(before, Take())
+	if len(leaks) != 1 || !strings.Contains(leaks[0], "leakyWorker") {
+		t.Errorf("diff = %q, want one leak naming leakyWorker", leaks)
+	}
+}
+
+// leakyWorker blocks until stop closes; while blocked it is a leak from
+// the checker's point of view.
+func leakyWorker(stop chan struct{}) {
+	<-stop
+}
+
+func TestSignatureStripsVolatileDetail(t *testing.T) {
+	record := "goroutine 42 [chan receive]:\n" +
+		"streamhist/internal/server.(*Server).supervise(0xc000112000)\n" +
+		"\t/path/server.go:101 +0x5b\n" +
+		"created by streamhist/internal/server.Open in goroutine 1\n" +
+		"\t/path/persist.go:140 +0x3a2"
+	got := signature(record)
+	want := "streamhist/internal/server.(*Server).supervise <- created by streamhist/internal/server.Open"
+	if got != want {
+		t.Errorf("signature = %q, want %q", got, want)
+	}
+}

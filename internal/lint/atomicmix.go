@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix catches mixed atomic/plain access: once any code touches a
+// field through the sync/atomic functions (atomic.AddInt64(&s.n, ...)
+// and friends), a plain read or write of that field races with the
+// atomic ones unless it happens under a lock that the atomic writers
+// also respect. Concretely, a plain access to an atomically-accessed
+// field is reported unless the field carries a "guarded by <mu>"
+// annotation AND the engine's must-held facts prove <mu> is held at the
+// access (the slow-path-under-lock / atomic-fast-path idiom).
+//
+// Fields of the atomic.Int64/Uint64/Bool/... wrapper types are immune by
+// construction (no plain access exists) and are the project's preferred
+// style; this rule exists to police the legacy function-style usage.
+// The analysis is per-package, matching how such fields are used in
+// practice.
+type AtomicMix struct{}
+
+// Name implements Rule.
+func (AtomicMix) Name() string { return "atomicmix" }
+
+// Doc implements Rule.
+func (AtomicMix) Doc() string {
+	return "a field accessed via sync/atomic is never read or written plainly outside its guarding lock"
+}
+
+// atomicOpPrefixes are the sync/atomic function families whose first
+// argument is the address of the accessed word.
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+// Check implements Rule.
+func (AtomicMix) Check(p *Package) []Diagnostic {
+	atomicFields, atomicSites := collectAtomicUses(p)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	guards := collectGuards(p)
+	a := analyzeLocks(p)
+	var out []Diagnostic
+	for _, fa := range a.funcs {
+		for _, n := range fa.cfg.Nodes {
+			if n.Stmt == nil {
+				continue
+			}
+			fact := fa.must[n]
+			walkOwn(n.Stmt, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				selection := p.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok || !atomicFields[field] {
+					return true
+				}
+				mu, guarded := guards[field]
+				if guarded && guardHeld(p, fact, sel, mu) {
+					return true
+				}
+				if guarded {
+					out = append(out, diag(p, sel, AtomicMix{}.Name(),
+						"%s is accessed via sync/atomic elsewhere; this plain access is outside its guarding lock %s",
+						field.Name(), mu.Name()))
+				} else {
+					out = append(out, diag(p, sel, AtomicMix{}.Name(),
+						"%s is accessed via sync/atomic elsewhere; use atomic accesses everywhere or annotate a guarding lock",
+						field.Name()))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectAtomicUses finds the struct fields whose address is passed to a
+// sync/atomic function, and the selector expressions of those uses (so
+// the atomic sites themselves are not re-reported as plain accesses).
+func collectAtomicUses(p *Package) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := make(map[*types.Var]bool)
+	sites := make(map[*ast.SelectorExpr]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicFn(p, call) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+				if field, ok := s.Obj().(*types.Var); ok {
+					fields[field] = true
+					sites[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, sites
+}
+
+// isAtomicFn reports whether the call targets one of sync/atomic's
+// pointer-taking functions.
+func isAtomicFn(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}

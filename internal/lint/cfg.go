@@ -1,0 +1,469 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the control-flow half of streamlint's dataflow engine: an
+// intraprocedural CFG over go/ast function bodies. Each executable
+// statement becomes one node; branch, loop, switch, select, labeled
+// break/continue and return edges are explicit, and every statement that
+// can panic gets an edge to a dedicated panic-exit node so rules can
+// reason about locks (and other facts) that are live when a contained
+// panic unwinds the function.
+//
+// Granularity and known limits, by design:
+//
+//   - Condition and header expressions (if/for/switch tags) belong to the
+//     statement's own node; short-circuit evaluation inside an expression
+//     is not split into separate nodes.
+//   - Function literals are NOT inlined: a literal's body is analyzed as
+//     its own function by the rules (see packageFuncs), and the enclosing
+//     CFG treats the literal as an opaque value. An immediately-invoked
+//     literal therefore contributes its effects to its own CFG, not the
+//     caller's — sound for lock balance (the call returns with locks
+//     balanced or is reported in the literal itself).
+//   - goto is not modeled (the module does not use it); a goto statement
+//     simply ends its path.
+//   - Panic edges are added for statements containing a call (any
+//     non-builtin call may panic) and for explicit panic(...) statements,
+//     which also lose their fall-through edge.
+
+// CFGNode is one statement — or a synthetic entry/exit — of a CFG.
+type CFGNode struct {
+	Stmt  ast.Stmt // nil for Entry, Exit and PanicExit
+	Succs []*CFGNode
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *CFGNode // synthetic start, before the first statement
+	Exit  *CFGNode // normal termination: returns and falling off the end
+	// PanicExit terminates paths that unwind: explicit panics and the
+	// may-panic edge of every statement containing a call. Dataflow
+	// solvers propagate a node's IN fact (not OUT) along edges into
+	// PanicExit: the statement panicked mid-execution.
+	PanicExit *CFGNode
+	Nodes     []*CFGNode // all nodes including the synthetic three
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(p *Package, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		p:   p,
+		cfg: &CFG{Entry: &CFGNode{}, Exit: &CFGNode{}, PanicExit: &CFGNode{}},
+	}
+	b.cfg.Nodes = append(b.cfg.Nodes, b.cfg.Entry, b.cfg.Exit, b.cfg.PanicExit)
+	outs := b.stmts(body.List, []*CFGNode{b.cfg.Entry})
+	b.link(outs, b.cfg.Exit)
+	b.addPanicEdges()
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	p   *Package
+	cfg *CFG
+	// loops is the stack of enclosing breakable/continuable constructs,
+	// innermost last.
+	loops []*loopFrame
+}
+
+// loopFrame is one enclosing for/range/switch/select construct and the
+// targets its break and continue statements jump to.
+type loopFrame struct {
+	label     string     // from an enclosing LabeledStmt, or ""
+	isLoop    bool       // continue only targets loops
+	breakOuts []*CFGNode // dangling nodes to be wired after the construct
+	contTo    *CFGNode   // continue target (loop head or post node)
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *CFGNode {
+	n := &CFGNode{Stmt: s}
+	b.cfg.Nodes = append(b.cfg.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) link(preds []*CFGNode, to *CFGNode) {
+	for _, p := range preds {
+		p.Succs = append(p.Succs, to)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, preds []*CFGNode) []*CFGNode {
+	for _, s := range list {
+		preds = b.stmt(s, preds, "")
+	}
+	return preds
+}
+
+// stmt wires one statement into the graph and returns the dangling nodes
+// control falls out of. label is the name of an immediately-enclosing
+// LabeledStmt, consumed by breakable constructs.
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*CFGNode, label string) []*CFGNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, preds)
+
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, preds, s.Label.Name)
+
+	case *ast.IfStmt:
+		n := b.node(s) // init + condition
+		b.link(preds, n)
+		outs := b.stmts(s.Body.List, []*CFGNode{n})
+		if s.Else != nil {
+			outs = append(outs, b.stmt(s.Else, []*CFGNode{n}, "")...)
+		} else {
+			outs = append(outs, n)
+		}
+		return outs
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds, "")
+		}
+		head := b.node(s) // the condition check
+		b.link(preds, head)
+		frame := &loopFrame{label: label, isLoop: true, contTo: head}
+		var post *CFGNode
+		if s.Post != nil {
+			post = b.node(s.Post)
+			post.Succs = append(post.Succs, head)
+			frame.contTo = post
+		}
+		b.loops = append(b.loops, frame)
+		bodyOuts := b.stmts(s.Body.List, []*CFGNode{head})
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.link(bodyOuts, post)
+		} else {
+			b.link(bodyOuts, head)
+		}
+		outs := frame.breakOuts
+		if s.Cond != nil {
+			outs = append(outs, head) // condition false falls out
+		}
+		return outs
+
+	case *ast.RangeStmt:
+		head := b.node(s)
+		b.link(preds, head)
+		frame := &loopFrame{label: label, isLoop: true, contTo: head}
+		b.loops = append(b.loops, frame)
+		bodyOuts := b.stmts(s.Body.List, []*CFGNode{head})
+		b.loops = b.loops[:len(b.loops)-1]
+		b.link(bodyOuts, head)
+		return append(frame.breakOuts, head)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds, "")
+		}
+		return b.switchClauses(s, s.Body.List, preds, label, hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds, "")
+		}
+		return b.switchClauses(s, s.Body.List, preds, label, hasDefaultClause(s.Body.List))
+
+	case *ast.SelectStmt:
+		head := b.node(s)
+		b.link(preds, head)
+		frame := &loopFrame{label: label}
+		b.loops = append(b.loops, frame)
+		var outs []*CFGNode
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			entry := []*CFGNode{head}
+			if cc.Comm != nil {
+				cn := b.node(cc.Comm)
+				b.link(entry, cn)
+				entry = []*CFGNode{cn}
+			}
+			outs = append(outs, b.stmts(cc.Body, entry)...)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		// A select with no clauses blocks forever: no outs.
+		return append(outs, frame.breakOuts...)
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		b.link(preds, n)
+		n.Succs = append(n.Succs, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		b.link(preds, n)
+		if f := b.branchTarget(s); f != nil {
+			switch s.Tok.String() {
+			case "break":
+				f.breakOuts = append(f.breakOuts, n)
+			case "continue":
+				n.Succs = append(n.Succs, f.contTo)
+			}
+		}
+		// goto and fallthrough (and unresolved labels) end the path; the
+		// fallthrough approximation loses only the next clause's body,
+		// which is itself reached via its case edge.
+		return nil
+
+	case *ast.ExprStmt:
+		n := b.node(s)
+		b.link(preds, n)
+		if isPanicCall(b.p, s.X) {
+			n.Succs = append(n.Succs, b.cfg.PanicExit)
+			return nil
+		}
+		return []*CFGNode{n}
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty:
+		// straight-line statements.
+		n := b.node(s)
+		b.link(preds, n)
+		return []*CFGNode{n}
+	}
+}
+
+// switchClauses wires the case clauses of a (type) switch. The switch
+// node itself is an out when no default exists (no case matched).
+func (b *cfgBuilder) switchClauses(s ast.Stmt, clauses []ast.Stmt, preds []*CFGNode, label string, hasDefault bool) []*CFGNode {
+	head := b.node(s) // tag / assign expression
+	b.link(preds, head)
+	frame := &loopFrame{label: label}
+	b.loops = append(b.loops, frame)
+	var outs []*CFGNode
+	var prevOuts []*CFGNode // fallthrough from the previous clause
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		entry := append([]*CFGNode{head}, prevOuts...)
+		prevOuts = nil
+		clauseOuts := b.stmts(cc.Body, entry)
+		if endsInFallthrough(cc.Body) {
+			prevOuts = clauseOuts
+		} else {
+			outs = append(outs, clauseOuts...)
+		}
+	}
+	outs = append(outs, prevOuts...) // trailing fallthrough (illegal Go, but be safe)
+	b.loops = b.loops[:len(b.loops)-1]
+	outs = append(outs, frame.breakOuts...)
+	if !hasDefault {
+		outs = append(outs, head)
+	}
+	return outs
+}
+
+// branchTarget resolves which enclosing frame a break/continue targets.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt) *loopFrame {
+	want := ""
+	if s.Label != nil {
+		want = s.Label.Name
+	}
+	isCont := s.Tok.String() == "continue"
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if isCont && !f.isLoop {
+			continue
+		}
+		if want == "" || f.label == want {
+			return f
+		}
+	}
+	return nil
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// addPanicEdges gives every statement that may panic an edge to
+// PanicExit. The approximation is calls-only: any non-builtin call can
+// panic (so can the argument expressions of defer and go statements,
+// which evaluate at the statement). Runtime panics from indexing or nil
+// dereference are not modeled.
+func (b *cfgBuilder) addPanicEdges() {
+	for _, n := range b.cfg.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		if stmtMayPanic(b.p, n.Stmt) && !hasSucc(n, b.cfg.PanicExit) {
+			n.Succs = append(n.Succs, b.cfg.PanicExit)
+		}
+	}
+}
+
+func hasSucc(n, succ *CFGNode) bool {
+	for _, s := range n.Succs {
+		if s == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtMayPanic reports whether the node's own expressions (excluding
+// nested statements and function-literal bodies) contain a call that can
+// panic. Defer and go statements only evaluate their function value and
+// arguments at the statement — the call itself runs later — so only
+// those sub-expressions count.
+func stmtMayPanic(p *Package, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		return callSetupMayPanic(p, s.Call)
+	case *ast.GoStmt:
+		return callSetupMayPanic(p, s.Call)
+	}
+	found := false
+	walkOwn(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		found = callMayPanic(p, call)
+		return !found
+	})
+	return found
+}
+
+// callSetupMayPanic reports whether evaluating a deferred/spawned call's
+// function value or arguments (not the call itself) may panic.
+func callSetupMayPanic(p *Package, call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr{}, call.Args...)
+	// The receiver/operand of the function value evaluates too; the final
+	// selection itself is just a method lookup.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		may := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			if c, ok := m.(*ast.CallExpr); ok && callMayPanic(p, c) {
+				may = true
+			}
+			return !may
+		})
+		if may {
+			return true
+		}
+	}
+	return false
+}
+
+// callMayPanic reports whether one call expression can panic on the
+// engine's model: any real function call except the sync mutex
+// lock/unlock family (an Unlock that panics IS the discipline bug the
+// lock rules report directly — modeling it as a panic edge would flag
+// every manual unlock site as leak-prone and drown the signal).
+func callMayPanic(p *Package, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			// Of the builtins only panic itself panics on this model;
+			// explicit panic statements already lost their fall-through.
+			return b.Name() == "panic"
+		}
+	}
+	if _, isConv := conversionType(p, call); isConv {
+		return false // type conversion, not a call
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+			if _, isMutexOp := mutexMethodOps[fn.FullName()]; isMutexOp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// conversionType reports whether the "call" is actually a type conversion.
+func conversionType(p *Package, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	if tv.IsType() {
+		return tv.Type, true
+	}
+	return nil, false
+}
+
+// walkOwn visits the parts of a statement that execute AT its CFG node:
+// header and inline expressions, but not nested statements (they have
+// their own nodes) and not function-literal bodies (they are separate
+// functions). The visitor returns false to stop descending.
+func walkOwn(s ast.Stmt, f func(ast.Node) bool) {
+	visit := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			return f(m)
+		})
+	}
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		visit(s.Init)
+		visit(s.Cond)
+	case *ast.ForStmt:
+		visit(s.Cond) // Init and Post have their own nodes
+	case *ast.RangeStmt:
+		visit(s.Key)
+		visit(s.Value)
+		visit(s.X)
+	case *ast.SwitchStmt:
+		visit(s.Tag) // Init has its own node
+	case *ast.TypeSwitchStmt:
+		visit(s.Assign)
+	case *ast.SelectStmt:
+		// Clause communications have their own nodes.
+	case *ast.BlockStmt, *ast.LabeledStmt:
+		// Composite: children have their own nodes.
+	case *ast.CaseClause, *ast.CommClause:
+		// Clause headers are attached to the switch/select head node.
+	default:
+		visit(s)
+	}
+}

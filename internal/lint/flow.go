@@ -1,0 +1,63 @@
+package lint
+
+// This file is the dataflow half of the engine: a generic forward
+// fixpoint solver over a CFG. A rule supplies a lattice (bottom, join,
+// equality) and a transfer function; the solver iterates to a fixpoint
+// and returns the fact flowing INTO each node.
+//
+// Edges into CFG.PanicExit are special-cased: they propagate a node's IN
+// fact rather than its OUT fact, because the statement panicked somewhere
+// mid-execution — the sound assumption is that none of its effects
+// happened. (For lock facts this is exact for the Lock call itself and
+// conservative for everything else.)
+
+// lattice defines the join-semilattice a forward analysis runs over.
+type lattice[F any] interface {
+	// bottom is the "unreachable" fact every node starts at.
+	bottom() F
+	// join merges facts at control-flow merge points.
+	join(a, b F) F
+	// equal reports whether two facts are the same (fixpoint check).
+	equal(a, b F) bool
+}
+
+// solveForward runs a forward dataflow analysis to fixpoint and returns
+// the IN fact of every node. entry is the fact at function entry;
+// transfer maps a node's IN fact to its OUT fact and must be monotone.
+func solveForward[F any](g *CFG, lat lattice[F], entry F, transfer func(n *CFGNode, in F) F) map[*CFGNode]F {
+	ins := make(map[*CFGNode]F, len(g.Nodes))
+	for _, n := range g.Nodes {
+		ins[n] = lat.bottom()
+	}
+	ins[g.Entry] = entry
+
+	// Worklist seeded with entry; membership tracked to avoid duplicates.
+	work := []*CFGNode{g.Entry}
+	queued := map[*CFGNode]bool{g.Entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		in := ins[n]
+		out := in
+		if n.Stmt != nil {
+			out = transfer(n, in)
+		}
+		for _, succ := range n.Succs {
+			fact := out
+			if succ == g.PanicExit {
+				fact = in
+			}
+			merged := lat.join(ins[succ], fact)
+			if lat.equal(merged, ins[succ]) {
+				continue
+			}
+			ins[succ] = merged
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return ins
+}

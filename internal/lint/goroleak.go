@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak checks goroutine lifecycles: a goroutine that can loop
+// forever must listen for a stop signal inside the loop. The rule builds
+// the CFG of every `go` statement's body and looks for a "trap" — a
+// strongly connected component reachable from entry with no non-panic
+// edge leaving it — that contains no stop signal. Stop signals are the
+// mechanisms the daemon's supervisor and checkpoint loops already use by
+// hand:
+//
+//   - a channel receive (<-stop, <-ctx.Done(), a select with receive
+//     clauses — receiving from a closed channel is the shutdown wake-up)
+//   - ranging over a channel (terminates when the channel is closed)
+//   - (*sync.WaitGroup).Wait
+//
+// A loop with a normal exit edge (a bounded for, a loop with break or
+// return) is not a trap and is never reported. Only go statements whose
+// body is visible — a function literal or a same-package function — are
+// checked; spawning an external function is outside the intraprocedural
+// model.
+type GoroLeak struct{}
+
+// Name implements Rule.
+func (GoroLeak) Name() string { return "goroleak" }
+
+// Doc implements Rule.
+func (GoroLeak) Doc() string {
+	return "every go statement's loop has a reachable stop signal (channel receive, ctx.Done, WaitGroup.Wait)"
+}
+
+// Check implements Rule.
+func (GoroLeak) Check(p *Package) []Diagnostic {
+	decls := declIndex(p)
+	var out []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(p, decls, gs)
+			if body == nil {
+				return true
+			}
+			cfg := buildCFG(p, body)
+			if trapSCC(p, cfg) {
+				out = append(out, diag(p, gs, GoroLeak{}.Name(),
+					"goroutine can loop forever with no stop signal (no channel receive, ctx.Done, or WaitGroup.Wait in the loop)"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal's body or a same-package function's declaration body.
+func spawnedBody(p *Package, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// trapSCC reports whether the CFG has a reachable loop with no normal
+// exit and no stop signal.
+func trapSCC(p *Package, g *CFG) bool {
+	idx := make(map[*CFGNode]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		idx[n] = i
+	}
+	// Panic edges are not an escape: every loop containing a call would
+	// trivially "exit" through them.
+	succs := func(i int) []int {
+		var out []int
+		for _, s := range g.Nodes[i].Succs {
+			if s != g.PanicExit {
+				out = append(out, idx[s])
+			}
+		}
+		return out
+	}
+	reachable := make([]bool, len(g.Nodes))
+	var mark func(i int)
+	mark = func(i int) {
+		if reachable[i] {
+			return
+		}
+		reachable[i] = true
+		for _, s := range succs(i) {
+			mark(s)
+		}
+	}
+	mark(idx[g.Entry])
+
+	for _, comp := range tarjanSCC(len(g.Nodes), succs) {
+		if !nontrivialSCC(comp, succs) {
+			continue
+		}
+		live := false
+		for _, i := range comp {
+			if reachable[i] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		member := make(map[int]bool, len(comp))
+		for _, i := range comp {
+			member[i] = true
+		}
+		escapes := false
+		for _, i := range comp {
+			for _, s := range succs(i) {
+				if !member[s] {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes {
+			continue
+		}
+		stops := false
+		for _, i := range comp {
+			if stmtHasStopSignal(p, g.Nodes[i].Stmt) {
+				stops = true
+				break
+			}
+		}
+		if !stops {
+			return true
+		}
+	}
+	return false
+}
+
+// nontrivialSCC reports whether the component is an actual cycle: more
+// than one node, or a single node with a self edge.
+func nontrivialSCC(comp []int, succs func(int) []int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	for _, s := range succs(comp[0]) {
+		if s == comp[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtHasStopSignal reports whether the statement's own expressions
+// contain a shutdown-capable operation.
+func stmtHasStopSignal(p *Package, s ast.Stmt) bool {
+	if s == nil {
+		return false
+	}
+	if rs, ok := s.(*ast.RangeStmt); ok {
+		if tv, ok := p.Info.Types[rs.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	found := false
+	walkOwn(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Wait" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable diagnostic shape: exactly the
+// fields CI needs to render an annotation.
+type jsonDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// WriteJSON writes one JSON object per line per diagnostic, in the
+// order given. The format is a stable contract (see the golden test):
+// keys file, line, rule, msg, nothing else.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	// Keep lockorder's "A.mu -> B.mu" witness arrows readable: this is a
+	// line protocol for CI, not an HTML embedding.
+	enc.SetEscapeHTML(false)
+	for _, d := range diags {
+		jd := jsonDiagnostic{File: d.Pos.Filename, Line: d.Pos.Line, Rule: d.Rule, Msg: d.Msg}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,10 +1,20 @@
 // Package lint implements streamlint, the project's static-analysis suite.
 // It is built only on the standard library's go/ast, go/parser, go/types
-// and go/importer packages and enforces five project-specific rules:
+// and go/importer packages. Since PR 7 it carries an intraprocedural
+// CFG + forward-dataflow engine (cfg.go, flow.go, locks.go) that the
+// concurrency rules run on, and enforces nine project-specific rules:
 //
 //	float-eq            no ==/!= on floating-point operands (use tolerances)
 //	mutex-discipline    fields annotated "guarded by <mu>" are only touched
-//	                    by functions that lock <mu>
+//	                    while <mu> is held (flow-sensitive must-held facts)
+//	unlockpath          a Lock is released on every exit path, including
+//	                    panic unwinds of calls made while holding it
+//	lockorder           the whole-program lock-acquisition graph is acyclic;
+//	                    a cycle is reported with its witness path
+//	goroleak            every go statement's loop has a reachable stop
+//	                    signal (channel receive, ctx.Done, WaitGroup.Wait)
+//	atomicmix           a field accessed via sync/atomic is never read or
+//	                    written plainly outside its guarding lock
 //	unchecked-err       no silently dropped error results
 //	hotpath-alloc       packages tagged //streamhist:hotpath do not call
 //	                    fmt.Sprintf / fmt.Errorf / reflect outside error
@@ -48,11 +58,24 @@ type Rule interface {
 	Check(p *Package) []Diagnostic
 }
 
+// ProgramRule is a rule that additionally runs once over the whole
+// program, seeing every loaded package together (the lock-order graph
+// crosses package boundaries). Its per-package Check typically reports
+// nothing.
+type ProgramRule interface {
+	Rule
+	CheckProgram(pkgs []*Package) []Diagnostic
+}
+
 // AllRules returns every streamlint rule, in reporting order.
 func AllRules() []Rule {
 	return []Rule{
 		FloatEq{},
 		MutexDiscipline{},
+		UnlockPath{},
+		LockOrder{},
+		GoroLeak{},
+		AtomicMix{},
 		UncheckedErr{},
 		HotpathAlloc{},
 		InvariantCoverage{},
@@ -60,17 +83,40 @@ func AllRules() []Rule {
 }
 
 // Run applies the rules to every package and returns the surviving
-// diagnostics (suppressions applied), sorted by position.
+// diagnostics (suppressions applied), sorted by position. Rules that
+// implement ProgramRule additionally run once over all packages, with
+// the union of every package's suppressions applied (a program-scoped
+// diagnostic lands in whichever file its witness is in).
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	var out []Diagnostic
+	var all []*suppressions
 	for _, p := range pkgs {
 		sup, bad := collectSuppressions(p)
+		all = append(all, sup)
 		out = append(out, bad...)
 		for _, r := range rules {
 			for _, d := range r.Check(p) {
 				if !sup.covers(d) {
 					out = append(out, d)
 				}
+			}
+		}
+	}
+	for _, r := range rules {
+		pr, ok := r.(ProgramRule)
+		if !ok {
+			continue
+		}
+		for _, d := range pr.CheckProgram(pkgs) {
+			covered := false
+			for _, sup := range all {
+				if sup.covers(d) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				out = append(out, d)
 			}
 		}
 	}
@@ -197,8 +243,13 @@ func directiveText(comment string) (string, bool) {
 
 // diag builds a Diagnostic at a node's position.
 func diag(p *Package, n ast.Node, rule, format string, args ...any) Diagnostic {
+	return diagAt(p, n.Pos(), rule, format, args...)
+}
+
+// diagAt builds a Diagnostic at a raw token position.
+func diagAt(p *Package, pos token.Pos, rule, format string, args ...any) Diagnostic {
 	return Diagnostic{
-		Pos:  p.Fset.Position(n.Pos()),
+		Pos:  p.Fset.Position(pos),
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),
 	}

@@ -1,6 +1,9 @@
 package lint_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -101,6 +104,95 @@ func TestHotpathAllocGolden(t *testing.T) {
 
 func TestInvariantCoverageGolden(t *testing.T) {
 	runGolden(t, "invcov", []lint.Rule{lint.InvariantCoverage{}})
+}
+
+func TestUnlockPathGolden(t *testing.T) {
+	runGolden(t, "unlockpathd", []lint.Rule{lint.UnlockPath{}})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, "lockorderd", []lint.Rule{lint.LockOrder{}})
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	runGolden(t, "goroleakd", []lint.Rule{lint.GoroLeak{}})
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, "atomicmixd", []lint.Rule{lint.AtomicMix{}})
+}
+
+// TestIgnoreEdgeCases pins down the suppression corner cases: a directive
+// on a line that trips two rules silences only the named rule; a
+// function-level directive covers a body whose guard is an embedded
+// sync.Mutex; and a directive with no reason suppresses nothing and is
+// itself reported. Expectations are asserted programmatically because the
+// malformed-directive line cannot carry a want comment (any trailing text
+// would become its reason).
+func TestIgnoreEdgeCases(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "ignoreedge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(dir, "streamlint.test/ignoreedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []lint.Rule{lint.MutexDiscipline{}, lint.UnlockPath{}, lint.AtomicMix{}}
+	diags := lint.Run([]*lint.Package{pkg}, rules)
+
+	expected := []struct{ rule, substr string }{
+		{"ignore-syntax", "malformed //lint:ignore directive"},
+		{"mutex-discipline", "not held at this access in readPlain"}, // atomicmix on the same line is suppressed
+		{"mutex-discipline", "not held at this access in unguarded"}, // embedded-mutex guard enforced
+		{"unlockpath", "not released on every return path of missingReason"},
+	}
+	matched := make([]bool, len(diags))
+	for _, e := range expected {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Rule == e.rule && strings.Contains(d.Msg, e.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic: rule %s containing %q", e.rule, e.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestWriteJSON pins the -json output contract: one object per line with
+// exactly the file/line/rule/msg keys, decodable line by line.
+func TestWriteJSON(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 2}, Rule: "unlockpath", Msg: `mu is "leaked"`},
+		{Pos: token.Position{Filename: "b.go", Line: 10, Column: 1}, Rule: "lockorder", Msg: "cycle A.mu -> B.mu -> A.mu"},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a.go","line":3,"rule":"unlockpath","msg":"mu is \"leaked\""}` + "\n" +
+		`{"file":"b.go","line":10,"rule":"lockorder","msg":"cycle A.mu -> B.mu -> A.mu"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON output mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Errorf("line %d is not standalone JSON: %v", i+1, err)
+		}
+		if len(obj) != 4 {
+			t.Errorf("line %d has %d keys, want 4 (file, line, rule, msg)", i+1, len(obj))
+		}
+	}
 }
 
 // TestIgnoreSyntax checks that a malformed //lint:ignore directive is

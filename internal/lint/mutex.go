@@ -11,11 +11,15 @@ import (
 //
 //	fieldName T // guarded by mu
 //
-// may only be read or written inside functions that lock that mutex. The
-// check is a deliberately conservative approximation: a function counts as
-// "locking mu" if its body contains a call to <x>.mu.Lock() or
-// <x>.mu.RLock() anywhere — no flow sensitivity, no tracking of lock
-// hand-offs between functions. Helpers that run with the lock already held
+// may only be read or written while that mutex is held. The check is
+// flow-sensitive: the dataflow engine computes the set of locks that MUST
+// be held entering each statement, and every guarded-field access is
+// checked against it — an access after Unlock, before Lock, or on a path
+// that skipped the Lock is reported even if the same function locks the
+// mutex elsewhere. Immediately-invoked function literals inherit the
+// must-held facts of their occurrence; escaping literals (callbacks,
+// go/defer bodies) do not, since nothing guarantees the caller's locks
+// survive to their execution. Helpers that run with the lock already held
 // (or before the value escapes to another goroutine, e.g. constructors)
 // must carry a //lint:ignore mutex-discipline directive with the reason.
 type MutexDiscipline struct{}
@@ -36,16 +40,16 @@ func (MutexDiscipline) Check(p *Package) []Diagnostic {
 	if len(guards) == 0 {
 		return nil
 	}
+	a := analyzeLocks(p)
 	var out []Diagnostic
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+	for _, fa := range a.funcs {
+		for _, n := range fa.cfg.Nodes {
+			if n.Stmt == nil {
 				continue
 			}
-			locked := lockedMutexes(p, fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
+			fact := fa.must[n]
+			walkOwn(n.Stmt, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
 				if !ok {
 					return true
 				}
@@ -58,16 +62,28 @@ func (MutexDiscipline) Check(p *Package) []Diagnostic {
 					return true
 				}
 				mu, guarded := guards[field]
-				if !guarded || locked[mu] {
+				if !guarded || guardHeld(p, fact, sel, mu) {
 					return true
 				}
 				out = append(out, diag(p, sel, MutexDiscipline{}.Name(),
-					"%s is guarded by %s, but %s does not lock it", field.Name(), mu.Name(), fd.Name.Name))
+					"%s is guarded by %s, but %s is not held at this access in %s",
+					field.Name(), mu.Name(), mu.Name(), fa.fn.name))
 				return true
 			})
 		}
 	}
 	return out
+}
+
+// guardHeld reports whether the mutex guarding the accessed field's
+// instance is in the must-held set at the access.
+func guardHeld(p *Package, fact lockFact, sel *ast.SelectorExpr, mu *types.Var) bool {
+	key, ok := guardKey(p, sel, mu)
+	if !ok {
+		return false
+	}
+	_, held := fact.held[key]
+	return held
 }
 
 // collectGuards maps each annotated field object to the mutex field object
@@ -130,32 +146,18 @@ func structFieldByName(p *Package, st *ast.StructType, name string) *types.Var {
 			}
 		}
 	}
+	// Embedded fields carry no name ident; their implicit name is the type
+	// name ("Mutex" for an embedded sync.Mutex). Resolve through the
+	// type-checked struct so "guarded by Mutex" works on embedded locks.
+	if tv, ok := p.Info.Types[st]; ok {
+		if s, ok := tv.Type.(*types.Struct); ok {
+			for i := 0; i < s.NumFields(); i++ {
+				if f := s.Field(i); f.Embedded() && f.Name() == name {
+					return f
+				}
+			}
+		}
+	}
 	return nil
 }
 
-// lockedMutexes collects the field objects on which the body calls Lock or
-// RLock.
-func lockedMutexes(p *Package, body *ast.BlockStmt) map[*types.Var]bool {
-	locked := make(map[*types.Var]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
-			return true
-		}
-		recv, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if selection := p.Info.Selections[recv]; selection != nil {
-			if field, ok := selection.Obj().(*types.Var); ok {
-				locked[field] = true
-			}
-		}
-		return true
-	})
-	return locked
-}

@@ -1,0 +1,51 @@
+// Package atomicmixd seeds atomic/plain mixed-access violations for the
+// golden tests: fields touched through sync/atomic in one place and with
+// plain loads or stores in another.
+package atomicmixd
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu   sync.Mutex
+	hits int64 // guarded by mu
+	raw  int64
+}
+
+// fastPath bumps both fields atomically — these sites are fine on their
+// own; they make the fields "atomic" for the rest of the package.
+func fastPath(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.raw, 1)
+}
+
+// slowPath reads hits under its annotated guarding lock: clean, because
+// the atomic writers and the locked readers are a coherent protocol only
+// when every plain access holds the guard.
+func slowPath(c *counters) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// racyRead reads hits plainly outside the guard.
+func racyRead(c *counters) int64 {
+	return c.hits // want "this plain access is outside its guarding lock mu"
+}
+
+// unguarded mixes plain and atomic access on a field with no guard
+// annotation at all, so no lock can excuse it.
+func unguarded(c *counters) int64 {
+	return c.raw // want "use atomic accesses everywhere or annotate a guarding lock"
+}
+
+// fresh builds the value before it can be shared — the suppressed false
+// positive of this package.
+func fresh() *counters {
+	c := &counters{}
+	//lint:ignore atomicmix construction precedes sharing; no concurrent access yet
+	c.raw = 1
+	return c
+}

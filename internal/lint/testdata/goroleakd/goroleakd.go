@@ -1,0 +1,99 @@
+// Package goroleakd seeds goroutine-lifecycle violations for the golden
+// tests: spawned loops with no reachable stop signal, against the clean
+// select/range/bounded patterns.
+package goroleakd
+
+import (
+	"context"
+	"sync"
+)
+
+// forever spins with no stop signal of any kind.
+func forever(work func()) {
+	go func() { // want "goroutine can loop forever with no stop signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// stoppable drains a stop channel each round: clean.
+func stoppable(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxLoop watches ctx.Done: clean.
+func ctxLoop(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// drains ranges over a channel, so closing the channel stops it: clean.
+func drains(in chan int, f func(int)) {
+	go func() {
+		for v := range in {
+			f(v)
+		}
+	}()
+}
+
+// bounded has a loop condition, hence a normal exit: clean.
+func bounded(work func()) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// waits parks on a WaitGroup every round; the Wait counts as a stop
+// signal: clean.
+func waits(wg *sync.WaitGroup, work func()) {
+	go func() {
+		for {
+			wg.Wait()
+			work()
+		}
+	}()
+}
+
+// named spawns a same-package function whose body loops forever; the
+// rule follows the call to its declaration.
+func named(work func()) {
+	go spin(work) // want "goroutine can loop forever with no stop signal"
+}
+
+func spin(work func()) {
+	for {
+		work()
+	}
+}
+
+// spinner is a deliberate process-lifetime load generator — the
+// suppressed false positive of this package.
+//
+//lint:ignore goroleak load generator runs for the process lifetime by design
+func spinner(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

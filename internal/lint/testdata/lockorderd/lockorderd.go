@@ -1,0 +1,136 @@
+// Package lockorderd seeds lock-order violations for the golden tests.
+// update takes A.mu then B.mu while report takes B.mu then A.mu — the
+// classic AB/BA inversion, reported as a cycle with its witness path.
+package lockorderd
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// update nests B.mu inside A.mu.
+func update(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "potential deadlock: lock-order cycle A.mu -> B.mu -> A.mu"
+	defer b.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// report nests A.mu inside B.mu: the inversion completing the cycle.
+func report(a *A, b *B) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n + b.n
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// push and pop agree on C.mu before D.mu: consistent order, no cycle.
+func push(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.n++
+	d.n++
+}
+
+func pop(c *C, d *D) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return c.n + d.n
+}
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+type H struct {
+	mu sync.Mutex
+	n  int
+}
+
+// viaCall nests H.mu inside G.mu transitively, through a helper: the
+// edge comes from lockSet(lockH), not from a literal Lock in this body.
+func viaCall(g *G, h *H) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lockH(h) // want "potential deadlock: lock-order cycle G.mu -> H.mu -> G.mu"
+}
+
+func lockH(h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+}
+
+// hThenG inverts the call-mediated order directly.
+func hThenG(g *G, h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n += h.n
+}
+
+type R struct {
+	mu sync.Mutex
+}
+
+// recurse re-locks the same instance it already holds: sync.Mutex is not
+// reentrant, so this deadlocks unconditionally.
+func recurse(r *R) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want "R.mu is locked here while already held (recursive lock deadlocks)"
+	defer r.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+}
+
+type F struct {
+	mu sync.Mutex
+}
+
+// eThenF and fThenE form a second, deliberate inversion — the suppressed
+// false positive of this package. The cycle report anchors at the first
+// edge of the witness path (E.mu -> F.mu, i.e. this acquisition), so the
+// directive lives here.
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore lockorder seeded benign inversion: exercises program-rule suppression
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}

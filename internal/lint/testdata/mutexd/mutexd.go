@@ -21,12 +21,12 @@ func (c *counter) Locked() int {
 }
 
 func (c *counter) Unlocked() int {
-	return c.n // want "n is guarded by mu, but Unlocked does not lock it"
+	return c.n // want "n is guarded by mu, but mu is not held at this access in counter.Unlocked"
 }
 
 func (c *counter) PartiallyWrong() {
 	c.free++
-	c.hits++ // want "hits is guarded by mu, but PartiallyWrong does not lock it"
+	c.hits++ // want "hits is guarded by mu, but mu is not held at this access in counter.PartiallyWrong"
 }
 
 type rwbox struct {
@@ -41,7 +41,47 @@ func (b *rwbox) Read() float64 {
 }
 
 func outside(c *counter) int {
-	return c.n // want "n is guarded by mu, but outside does not lock it"
+	return c.n // want "n is guarded by mu, but mu is not held at this access in outside"
+}
+
+// afterUnlock is the flow-sensitive upgrade: the function DOES lock mu,
+// but this access happens after the release. The old syntactic rule
+// (anywhere-in-body locking) missed this.
+func afterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "n is guarded by mu, but mu is not held at this access in afterUnlock"
+}
+
+// branchSkip locks on only one path; the access joins both, so the
+// must-held intersection is empty.
+func branchSkip(c *counter, lock bool) {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want "n is guarded by mu, but mu is not held at this access in branchSkip"
+}
+
+// iife accesses guarded state inside an immediately-invoked literal that
+// inherits the enclosing must-held facts: clean.
+func iife(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // seeded from the enclosing critical section
+	}()
+}
+
+// escaping returns a closure that runs after Unlock; it inherits
+// nothing, so its guarded access is reported.
+func escaping(c *counter) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want "n is guarded by mu, but mu is not held at this access in function literal"
+	}
 }
 
 // newCounter builds the value before it escapes to any other goroutine.

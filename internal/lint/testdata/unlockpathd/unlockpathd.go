@@ -1,0 +1,76 @@
+// Package unlockpathd seeds unlockpath violations for the golden tests:
+// locks that survive to a return or panic exit, against the clean
+// deferred / balanced-manual patterns.
+package unlockpathd
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// earlyReturn leaks the lock on the n == 0 path.
+func earlyReturn(b *box) int {
+	b.mu.Lock() // want "b.mu is locked here but not released on every return path of earlyReturn"
+	if b.n == 0 {
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+// panicLeak releases on every return, but holds across a call that may
+// panic — the unwind would leave the mutex locked forever.
+func panicLeak(b *box, f func() int) int {
+	b.mu.Lock() // want "b.mu is locked here and still held if a later call panics in panicLeak"
+	v := f()
+	b.mu.Unlock()
+	return v
+}
+
+// deferred is the canonical clean pattern.
+func deferred(b *box, f func() int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return f()
+}
+
+// deferredLit releases through a deferred function literal: clean.
+func deferredLit(b *box, f func() int) int {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	return f()
+}
+
+// release is an unlocking helper in the style of the server's
+// guardUnlock. On its own it unlocks a mutex it never locked — charged
+// to the acquirer, not reported here.
+func (b *box) release() { b.mu.Unlock() }
+
+// helperRelease defers a same-package unlocking helper: clean.
+func helperRelease(b *box, f func() int) int {
+	b.mu.Lock()
+	defer b.release()
+	return f()
+}
+
+// branchy releases manually on every path with no call in between:
+// clean without any defer.
+func branchy(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// acquire intentionally returns holding the lock — the acquire half of a
+// wrapper pair, the suppressed false positive of this package.
+//
+//lint:ignore unlockpath acquire half of a lock/release wrapper pair; callers release via release()
+func acquire(b *box) {
+	b.mu.Lock()
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// UnlockPath is the path-sensitive release check: every lock acquired in
+// a function must be released on every exit path out of it — the normal
+// returns AND the panic unwinds of any call made while the lock is held.
+// A deferred release (defer mu.Unlock(), a deferred unlocking helper like
+// guardUnlock, or a deferred literal that unlocks) satisfies both; a
+// manual Unlock satisfies only the paths that reach it.
+//
+// The rule runs on the may-held analysis: a lock counts as leaked if ANY
+// path reaches an exit still holding it. Functions that unlock a mutex
+// they never locked (release helpers running under a caller's lock) are
+// not reported — responsibility is charged to the acquiring function.
+// This rule subsumes the release half of the old syntactic
+// mutex-discipline check; mutex-discipline itself now only checks
+// guarded-field accesses.
+type UnlockPath struct{}
+
+// Name implements Rule.
+func (UnlockPath) Name() string { return "unlockpath" }
+
+// Doc implements Rule.
+func (UnlockPath) Doc() string {
+	return "a Lock is released on every exit path, including panic unwinds (prefer defer)"
+}
+
+// Check implements Rule.
+func (UnlockPath) Check(p *Package) []Diagnostic {
+	a := analyzeLocks(p)
+	var out []Diagnostic
+	for _, fa := range a.funcs {
+		out = append(out, checkReleases(p, fa)...)
+	}
+	return out
+}
+
+// leak is one lock held at an exit it should not survive to.
+type leak struct {
+	key lockKey
+	pos token.Pos // acquisition site
+}
+
+func checkReleases(p *Package, fa *funcAnalysis) []Diagnostic {
+	var out []Diagnostic
+	reported := make(map[lockKey]bool)
+
+	exit := fa.mayLeaked[fa.cfg.Exit]
+	for _, l := range sortedLeaks(exit) {
+		reported[l.key] = true
+		out = append(out, diagAt(p, l.pos, UnlockPath{}.Name(),
+			"%s is locked here but not released on every return path of %s",
+			l.key, fa.fn.name))
+	}
+
+	panicExit := fa.mayLeaked[fa.cfg.PanicExit]
+	for _, l := range sortedLeaks(panicExit) {
+		if reported[l.key] {
+			continue
+		}
+		out = append(out, diagAt(p, l.pos, UnlockPath{}.Name(),
+			"%s is locked here and still held if a later call panics in %s; release it with defer",
+			l.key, fa.fn.name))
+	}
+	return out
+}
+
+// sortedLeaks lists the locks held at an exit, ordered by acquisition
+// site for deterministic output.
+func sortedLeaks(fact lockFact) []leak {
+	var leaks []leak
+	for k, pos := range fact.held {
+		leaks = append(leaks, leak{key: k, pos: pos})
+	}
+	sort.Slice(leaks, func(i, j int) bool {
+		if leaks[i].pos != leaks[j].pos {
+			return leaks[i].pos < leaks[j].pos
+		}
+		return leaks[i].key.String() < leaks[j].key.String()
+	})
+	return leaks
+}

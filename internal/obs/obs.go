@@ -265,10 +265,10 @@ func (t *Track) Observe(v float64) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.gk.Insert(v)
 	t.n++
 	t.s += v
-	t.mu.Unlock()
 }
 
 // Start returns the timestamp ObserveSince expects, or the zero time on a

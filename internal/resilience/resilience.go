@@ -140,23 +140,25 @@ func (b *Breaker) Opens() int64 {
 // to HalfOpen until Success or Failure settles it. HalfOpen refuses
 // everyone else: only one probe is in flight at a time.
 func (b *Breaker) Allow() bool {
-	b.mu.Lock()
-	switch b.state {
-	case Closed:
-		b.mu.Unlock()
-		return true
-	case HalfOpen:
-		b.mu.Unlock()
-		return false
+	allowed, probing := func() (bool, bool) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		switch b.state {
+		case Closed:
+			return true, false
+		case HalfOpen:
+			return false, false
+		}
+		if b.cfg.Now().Before(b.until) {
+			return false, false
+		}
+		b.state = HalfOpen
+		return true, true
+	}()
+	if probing {
+		b.notify(Open, HalfOpen)
 	}
-	if b.cfg.Now().Before(b.until) {
-		b.mu.Unlock()
-		return false
-	}
-	b.state = HalfOpen
-	b.mu.Unlock()
-	b.notify(Open, HalfOpen)
-	return true
+	return allowed
 }
 
 // NextProbeIn returns how long until an Open breaker grants a probe
@@ -201,28 +203,29 @@ func (b *Breaker) Success() {
 // failed probe re-opens the breaker with a doubled interval. It returns
 // true when this call moved the breaker to Open.
 func (b *Breaker) Failure() bool {
-	b.mu.Lock()
-	switch b.state {
-	case Closed:
-		b.failures++
-		if b.failures < b.cfg.Threshold {
-			b.mu.Unlock()
-			return false
+	from, opened := func() (State, bool) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		switch b.state {
+		case Closed:
+			b.failures++
+			if b.failures < b.cfg.Threshold {
+				return Closed, false
+			}
+			b.open()
+			return Closed, true
+		case HalfOpen:
+			b.interval = min(b.interval*2, b.cfg.MaxBackoff)
+			b.open()
+			return HalfOpen, true
 		}
-		b.open()
-		b.mu.Unlock()
-		b.notify(Closed, Open)
-		return true
-	case HalfOpen:
-		b.interval = min(b.interval*2, b.cfg.MaxBackoff)
-		b.open()
-		b.mu.Unlock()
-		b.notify(HalfOpen, Open)
-		return true
+		// Already Open: nothing was allowed, nothing to record.
+		return Open, false
+	}()
+	if opened {
+		b.notify(from, Open)
 	}
-	// Already Open: nothing was allowed, nothing to record.
-	b.mu.Unlock()
-	return false
+	return opened
 }
 
 // Trip forces the breaker Open regardless of the failure count — the
@@ -230,16 +233,20 @@ func (b *Breaker) Failure() bool {
 // breaker that is already Open stays Open. Returns true when this call
 // performed the transition.
 func (b *Breaker) Trip() bool {
-	b.mu.Lock()
-	if b.state == Open {
-		b.mu.Unlock()
-		return false
+	from, tripped := func() (State, bool) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.state == Open {
+			return Open, false
+		}
+		from := b.state
+		b.open()
+		return from, true
+	}()
+	if tripped {
+		b.notify(from, Open)
 	}
-	from := b.state
-	b.open()
-	b.mu.Unlock()
-	b.notify(from, Open)
-	return true
+	return tripped
 }
 
 // open moves to Open and arms the jittered deadline. Caller holds b.mu.

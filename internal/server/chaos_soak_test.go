@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +13,7 @@ import (
 	"time"
 
 	"streamhist/internal/faults"
+	"streamhist/internal/leakcheck"
 	"streamhist/internal/obs"
 	"streamhist/internal/trace"
 )
@@ -202,7 +202,7 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		seeds = 6
 	}
-	before := runtime.NumGoroutine()
+	before := leakcheck.Take()
 	degradedSeeds := 0
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		seed := seed
@@ -221,15 +221,7 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("%d/%d seeds exercised degraded mode", degradedSeeds, seeds)
 
 	// No goroutine leaks: every soaked daemon's supervisor and
-	// checkpoint loop must have exited.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d before soak, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// checkpoint loop must have exited. The snapshot diff names the
+	// offending stack instead of reporting a bare count.
+	leakcheck.Check(t, before)
 }

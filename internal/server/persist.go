@@ -273,10 +273,12 @@ func (s *Server) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	start := s.cm.duration.Start()
-	s.mu.Lock()
-	blob, err := s.fw.MarshalBinary()
-	seen := s.fw.Seen()
-	s.mu.Unlock()
+	blob, seen, err := func() ([]byte, int64, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		blob, err := s.fw.MarshalBinary()
+		return blob, s.fw.Seen(), err
+	}()
 	if err != nil {
 		s.cm.failures.Inc()
 		return fmt.Errorf("server: %w", err)

@@ -290,11 +290,13 @@ func (s *Server) restoreFromDisk() {
 		s.logger.Error("quarantine restore failed", "err", err)
 		return
 	}
-	s.mu.Lock()
-	s.fw, s.agg, s.gk, s.sed, s.det = fw, agg, gk, sed, det
-	s.stats = st
-	seen, length := fw.Seen(), fw.Len()
-	s.mu.Unlock()
+	seen, length := func() (int64, int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.fw, s.agg, s.gk, s.sed, s.det = fw, agg, gk, sed, det
+		s.stats = st
+		return fw.Seen(), fw.Len()
+	}()
 	s.quarantined.Store(false)
 	s.logger.Info("restored from disk after quarantine", "seen", seen, "window", length)
 }

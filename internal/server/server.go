@@ -350,11 +350,13 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	s.setTraceParent(r) // a lazy flush here is this request's doing
-	res, err := s.fw.Histogram()
-	windowStart := s.fw.WindowStart()
-	s.mu.Unlock()
+	res, windowStart, err := func() (*core.Result, int64, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		s.setTraceParent(r) // a lazy flush here is this request's doing
+		res, err := s.fw.Histogram()
+		return res, s.fw.WindowStart(), err
+	}()
 	if err != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
@@ -373,16 +375,20 @@ func (s *Server) handleAgglom(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	n := s.agg.N()
+	res, endpoints, n, err := func() (*agglom.Result, int, int, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		n := s.agg.N()
+		if n == 0 {
+			return nil, 0, 0, nil
+		}
+		res, err := s.agg.Histogram()
+		return res, s.agg.StoredEndpoints(), n, err
+	}()
 	if n == 0 {
-		s.mu.Unlock()
 		writeError(w, http.StatusConflict, errConflict, "stream is empty")
 		return
 	}
-	res, err := s.agg.Histogram()
-	endpoints := s.agg.StoredEndpoints()
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
@@ -399,9 +405,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	length := s.fw.Len()
-	s.mu.Unlock()
+	length := func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.fw.Len()
+	}()
 	if length == 0 {
 		writeError(w, http.StatusConflict, errConflict, "window is empty")
 		return
@@ -412,16 +420,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be integers")
 		return
 	}
-	s.mu.Lock()
-	length = s.fw.Len()
-	if lo < 0 || hi >= length || hi < lo {
-		s.mu.Unlock()
+	res, inRange, err := func() (*core.Result, bool, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		length = s.fw.Len()
+		if lo < 0 || hi >= length || hi < lo {
+			return nil, false, nil
+		}
+		s.setTraceParent(r)
+		res, err := s.fw.Histogram()
+		return res, true, err
+	}()
+	if !inRange {
 		writeError(w, http.StatusBadRequest, errBadRequest, "range [%d,%d] outside window [0,%d]", lo, hi, length-1)
 		return
 	}
-	s.setTraceParent(r)
-	res, err := s.fw.Histogram()
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
@@ -437,10 +450,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	st := s.stats
-	length, seen := s.fw.Len(), s.fw.Seen()
-	s.mu.Unlock()
+	st, length, seen := func() (stream.Counter, int, int64) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.stats, s.fw.Len(), s.fw.Seen()
+	}()
 	writeJSON(w, map[string]any{
 		"seen":     seen,
 		"window":   length,
@@ -460,10 +474,12 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "phi must be a number in [0,1]")
 		return
 	}
-	s.mu.Lock()
-	v, qerr := s.gk.Query(phi)
-	n := s.gk.N()
-	s.mu.Unlock()
+	v, n, qerr := func() (float64, int64, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		v, qerr := s.gk.Query(phi)
+		return v, s.gk.N(), qerr
+	}()
 	if qerr != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", qerr)
 		return
@@ -481,9 +497,11 @@ func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be numbers with lo <= hi")
 		return
 	}
-	s.mu.Lock()
-	h, herr := s.sed.Histogram()
-	s.mu.Unlock()
+	h, herr := func() (*vhist.VHistogram, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		return s.sed.Histogram()
+	}()
 	if herr != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", herr)
 		return
@@ -501,9 +519,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	blob, err := s.fw.MarshalBinary()
-	s.mu.Unlock()
+	blob, err := func() ([]byte, error) {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		return s.fw.MarshalBinary()
+	}()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
 		return
@@ -592,26 +612,37 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.mu.Lock()
-	s.setTraceParent(r)
-	res, err := s.fw.Histogram()
+	var (
+		dist           float64
+		drifted        bool
+		alarms, checks int
+		derr           error
+	)
+	err := func() error {
+		s.mu.Lock()
+		defer s.guardUnlock()
+		s.setTraceParent(r)
+		res, err := s.fw.Histogram()
+		if err != nil {
+			return err
+		}
+		// While the window is still filling its span grows between calls;
+		// re-anchor rather than compare histograms of different extents.
+		if ref := s.det.Reference(); ref != nil {
+			rs, re := ref.Span()
+			cs, ce := res.Histogram.Span()
+			if rs != cs || re != ce {
+				s.det.Reset()
+			}
+		}
+		dist, drifted, derr = s.det.Observe(res.Histogram)
+		alarms, checks = s.det.Alarms(), s.det.Checks()
+		return nil
+	}()
 	if err != nil {
-		s.mu.Unlock()
 		writeError(w, http.StatusConflict, errConflict, "%v", err)
 		return
 	}
-	// While the window is still filling its span grows between calls;
-	// re-anchor rather than compare histograms of different extents.
-	if ref := s.det.Reference(); ref != nil {
-		rs, re := ref.Span()
-		cs, ce := res.Histogram.Span()
-		if rs != cs || re != ce {
-			s.det.Reset()
-		}
-	}
-	dist, drifted, derr := s.det.Observe(res.Histogram)
-	alarms, checks := s.det.Alarms(), s.det.Checks()
-	s.mu.Unlock()
 	if derr != nil {
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", derr)
 		return

@@ -70,11 +70,11 @@ func (r *Recorder) MaybeCaptureSlow(dur time.Duration, st CaptureStats) bool {
 	r.capMu.Lock()
 	defer r.capMu.Unlock()
 
-	r.mu.Lock()
-	events := r.snapshotLocked()
-	total := r.next
-	dropped := r.droppedLocked()
-	r.mu.Unlock()
+	events, total, dropped := func() ([]Event, uint64, uint64) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.snapshotLocked(), r.next, r.droppedLocked()
+	}()
 
 	c := Capture{
 		WrittenAt:     time.Now().UTC(),

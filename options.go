@@ -108,6 +108,10 @@ type lockIf struct {
 
 func (l *lockIf) enable() { l.on = true }
 
+// lock is an acquisition wrapper: like sync.Mutex.Lock itself it returns
+// holding the mutex on purpose, and lockIf.unlock is its paired release.
+//
+//lint:ignore unlockpath lock() is the acquire half of a Lock/Unlock wrapper pair; callers release via unlock()
 func (l *lockIf) lock() {
 	if l.on {
 		l.mu.Lock()
