@@ -8,9 +8,12 @@
 // The report covers the rebuild-engine configurations (cold search, probe
 // memo, warm-started CreateList, and both) at the headline configuration
 // n=4096, B=12, eps=0.1 with the default growth factor eps/(2B), plus a
-// scaling grid over window size and bucket budget and the
-// attached-overhead of the instrumentation layers (metrics registry and
-// flight-recorder tracing).
+// scaling grid over window size and bucket budget, the attached-overhead
+// of the instrumentation layers (metrics registry and flight-recorder
+// tracing), and a server shard-scaling grid: end-to-end ingest latency
+// through the keyed HTTP surface across 1/2/4/8 shard loops and
+// 1/1k/100k live streams. The report records the machine's CPU count so
+// cross-shard rows are read against the parallelism actually available.
 //
 // Methodology: all variants of a comparison are constructed up front,
 // pushed to steady state over identical value sequences, then measured in
@@ -30,21 +33,29 @@
 // allocates more per push than its committed baseline. It also holds the
 // tracing layer to its absolute budget: a detached flight recorder must
 // add zero allocations and an attached one at most -trace-tolerance
-// percent (default 5%) per push.
+// percent (default 5%) per push. Finally it gates multi-tenant routing
+// flatness: ingest p99 on a NumCPU-matched shard configuration may grow
+// at most -shard-flatness times (default 5x) from 1k to 100k live
+// streams.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"streamhist"
 	"streamhist/internal/resilience"
+	"streamhist/internal/server"
 )
 
 // benchConfig is one benchmarked maintainer configuration, recorded in
@@ -384,11 +395,93 @@ func pairedOverhead(roff, ron *runner, vals []float64, rounds, warmup, ops int) 
 	return off, on, pct
 }
 
+// shardRow is one cell of the server shard-scaling grid: end-to-end
+// /v1/streams/{key}/ingest latency through the full handler chain (parse,
+// admission, shard hand-off, apply, JSON reply) on a memory-only server
+// with the given shard-loop and live-stream counts.
+type shardRow struct {
+	Shards int     `json:"shards"`
+	Keys   int     `json:"keys"`
+	P50Ns  float64 `json:"push_p50_ns"`
+	P99Ns  float64 `json:"push_p99_ns"`
+}
+
+// measureShardCell seeds a keyed server with keys streams and samples
+// single-value ingest latency round-robin across them.
+func measureShardCell(shards, keys, samples int) (shardRow, error) {
+	row := shardRow{Shards: shards, Keys: keys}
+	// Tiny windows: the cell characterizes routing and hand-off cost as
+	// tenant count grows, not rebuild cost.
+	s, err := server.New(64, 4, 0.2, 0.2, server.WithShards(shards))
+	if err != nil {
+		return row, err
+	}
+	defer func() { _ = s.Close() }()
+	ingest := func(key, body string) error {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+			"/v1/streams/"+key+"/ingest", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("shards=%d keys=%d: ingest %s: status %d", shards, keys, key, rec.Code)
+		}
+		return nil
+	}
+	keyNames := make([]string, keys)
+	for i := range keyNames {
+		keyNames[i] = "k" + strconv.Itoa(i)
+		if err := ingest(keyNames[i], "1\n"); err != nil {
+			return row, err
+		}
+	}
+	// Seeding 100k streams leaves the heap due for a collection; take it
+	// now and warm the measured path so the samples see steady state, not
+	// the garbage of setup.
+	runtime.GC()
+	for i := 0; i < 200; i++ {
+		if err := ingest(keyNames[i%keys], "2\n"); err != nil {
+			return row, err
+		}
+	}
+	lat := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		key := keyNames[i%keys]
+		start := time.Now()
+		if err := ingest(key, "2\n"); err != nil {
+			return row, err
+		}
+		lat = append(lat, float64(time.Since(start).Nanoseconds()))
+	}
+	sort.Float64s(lat)
+	row.P50Ns = lat[len(lat)/2]
+	row.P99Ns = lat[len(lat)*99/100]
+	return row, nil
+}
+
+// shardGrid measures the shard-count x key-count grid. The interesting
+// read is down a column: per-request latency must stay flat as live
+// streams grow 1 -> 100k (hash routing is O(1)), on any machine — the
+// report records cpus so cross-shard rows are interpreted against the
+// parallelism that was actually available.
+func shardGrid(samples int) ([]shardRow, error) {
+	var rows []shardRow
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, keys := range []int{1, 1000, 100000} {
+			row, err := measureShardCell(shards, keys, samples)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // report is the full JSON document benchsmoke emits and -check consumes.
 type report struct {
 	Bench                 string                 `json:"bench"`
 	Goos                  string                 `json:"goos"`
 	Goarch                string                 `json:"goarch"`
+	Cpus                  int                    `json:"cpus"`
 	Stream                string                 `json:"stream"`
 	Aggregation           string                 `json:"aggregation"`
 	Config                benchConfig            `json:"config"`
@@ -404,6 +497,7 @@ type report struct {
 	ResilienceOn          measurement            `json:"resilience_on"`
 	ResilienceOverheadPct float64                `json:"resilience_overhead_pct"`
 	Scaling               []scalingRow           `json:"scaling"`
+	ShardScaling          []shardRow             `json:"shard_scaling"`
 }
 
 // headline measures the four rebuild variants at the configuration the
@@ -415,7 +509,7 @@ func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, err
 	return results, cfg, err
 }
 
-func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct float64) error {
+func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct, shardFlatness float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -486,6 +580,29 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 		failures = append(failures, fmt.Sprintf(
 			"resilience armed: +%.1f%% per push, budget %.0f%%", resiliencePct, resilienceTolerancePct))
 	}
+	// Multi-tenant flatness: ingest p99 must not grow with the live-stream
+	// count — routing is a hash, not a scan. The gate is NumCPU-aware: it
+	// re-measures one shard configuration matched to this machine rather
+	// than comparing against another machine's committed absolute numbers.
+	shards := runtime.NumCPU()
+	if shards > 4 {
+		shards = 4
+	}
+	small, err := measureShardCell(shards, 1000, 2000)
+	if err != nil {
+		return err
+	}
+	large, err := measureShardCell(shards, 100000, 2000)
+	if err != nil {
+		return err
+	}
+	ratio := large.P99Ns / small.P99Ns
+	fmt.Printf("benchsmoke: shard grid (shards=%d, cpus=%d): ingest p99 %0.f ns @1k keys, %.0f ns @100k keys (x%.2f, budget x%.1f)\n",
+		shards, runtime.NumCPU(), small.P99Ns, large.P99Ns, ratio, shardFlatness)
+	if ratio > shardFlatness {
+		failures = append(failures, fmt.Sprintf(
+			"shard routing: ingest p99 grew x%.2f from 1k to 100k streams (budget x%.1f)", ratio, shardFlatness))
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchsmoke: REGRESSION:", f)
@@ -517,10 +634,15 @@ func run(outPath string) error {
 	if err != nil {
 		return err
 	}
+	shardRows, err := shardGrid(2000)
+	if err != nil {
+		return err
+	}
 	rep := report{
 		Bench:                 "FixedWindow.Push",
 		Goos:                  runtime.GOOS,
 		Goarch:                runtime.GOARCH,
+		Cpus:                  runtime.NumCPU(),
 		Stream:                "utilization(seed=17,quantize)",
 		Aggregation:           "interleaved trials, min ns/op, max allocs",
 		Config:                cfg,
@@ -536,6 +658,7 @@ func run(outPath string) error {
 		ResilienceOn:          onR,
 		ResilienceOverheadPct: resiliencePct,
 		Scaling:               grid,
+		ShardScaling:          shardRows,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -560,11 +683,12 @@ func main() {
 	tolerance := flag.Float64("tolerance", 15, "allowed warm_memo ns/op regression in percent (-check mode)")
 	traceTolerance := flag.Float64("trace-tolerance", 5, "allowed per-push overhead of an attached flight recorder in percent (-check mode)")
 	resilienceTolerance := flag.Float64("resilience-tolerance", 2, "allowed per-push overhead of an armed healthy circuit breaker in percent (-check mode)")
+	shardFlatness := flag.Float64("shard-flatness", 5, "allowed ingest p99 growth factor from 1k to 100k live streams (-check mode)")
 	flag.Parse()
 
 	var err error
 	if *checkPath != "" {
-		err = check(*checkPath, *tolerance, *traceTolerance, *resilienceTolerance)
+		err = check(*checkPath, *tolerance, *traceTolerance, *resilienceTolerance, *shardFlatness)
 	} else {
 		err = run(*out)
 	}

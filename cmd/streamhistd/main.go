@@ -1,18 +1,29 @@
-// Command streamhistd serves a fixed-window stream summary over HTTP.
+// Command streamhistd serves keyed fixed-window stream summaries over
+// HTTP: every stream key owns an independent summary set, hash-
+// partitioned across -shards shard loops.
 //
 //	streamhistd -addr :8080 -window 4096 -buckets 16 -eps 0.1 \
+//	    -shards 4 -max-keys 10000 -key-inflight 8 \
 //	    -data-dir /var/lib/streamhistd -checkpoint-interval 30s -fsync
 //
-// Then:
+// Then, per stream (here "sensor-9"):
+//
+//	curl -X POST --data-binary @values.txt localhost:8080/v1/streams/sensor-9/ingest
+//	curl localhost:8080/v1/streams/sensor-9/histogram
+//	curl 'localhost:8080/v1/streams/sensor-9/query?lo=100&hi=900'
+//	curl 'localhost:8080/v1/streams/sensor-9/quantile?phi=0.99'
+//	curl 'localhost:8080/v1/streams/sensor-9/selectivity?lo=200&hi=400'
+//	curl localhost:8080/v1/streams/sensor-9/stats
+//	curl -o window.snap localhost:8080/v1/streams/sensor-9/snapshot
+//	curl -X POST --data-binary @window.snap localhost:8080/v1/streams/sensor-9/restore
+//	curl 'localhost:8080/v1/streams?limit=100'
+//	curl -X DELETE localhost:8080/v1/streams/sensor-9
+//
+// The pre-v1 routes (POST /ingest, GET /histogram, ...) still work as
+// deprecated aliases for the reserved "default" stream:
 //
 //	curl -X POST --data-binary @values.txt localhost:8080/ingest
 //	curl localhost:8080/histogram
-//	curl 'localhost:8080/query?lo=100&hi=900'
-//	curl 'localhost:8080/quantile?phi=0.99'
-//	curl 'localhost:8080/selectivity?lo=200&hi=400'
-//	curl localhost:8080/stats
-//	curl -o window.snap localhost:8080/snapshot
-//	curl -X POST --data-binary @window.snap localhost:8080/restore
 //	curl localhost:8080/healthz
 //	curl localhost:8080/readyz
 //	curl localhost:8080/metrics          # with -metrics (default on)
@@ -52,8 +63,10 @@
 //
 // Overload: at most -max-inflight ingests are admitted concurrently;
 // beyond that the daemon answers 429 with Retry-After rather than
-// queueing unboundedly. Request bodies are capped at -maxbody bytes
-// (413 beyond), and every request is bounded by -request-timeout.
+// queueing unboundedly. -key-inflight bounds admissions per stream key
+// (tenant isolation) and -max-keys caps live streams (429 quota_exceeded
+// beyond). Request bodies are capped at -maxbody bytes (413 beyond), and
+// every request is bounded by -request-timeout.
 //
 // Shutdown: SIGINT/SIGTERM flips /readyz to 503, drains in-flight
 // requests (up to -shutdown-timeout), takes a final checkpoint and seals
@@ -85,6 +98,9 @@ func main() {
 		buckets   = flag.Int("buckets", 16, "histogram bucket budget")
 		eps       = flag.Float64("eps", 0.1, "approximation precision")
 		delta     = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+		shards    = flag.Int("shards", 0, "shard loops for the keyed engine; streams are hash-partitioned across them (0: GOMAXPROCS)")
+		maxKeys   = flag.Int("max-keys", 0, "maximum live streams across all shards before 429/quota_exceeded (0: unlimited)")
+		keyInfl   = flag.Int("key-inflight", 0, "maximum concurrently admitted requests per stream key (0: unlimited)")
 		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
 		ckptIvl   = flag.Duration("checkpoint-interval", 30*time.Second, "period of automatic checkpoints (0: only at shutdown)")
 		onPersist = flag.String("on-persist-error", "degrade", "when the WAL breaker trips: degrade (accept ingests memory-only) or refuse (503 until recovery)")
@@ -145,6 +161,9 @@ func main() {
 		Buckets:            *buckets,
 		Eps:                *eps,
 		Delta:              *delta,
+		Shards:             *shards,
+		MaxKeys:            *maxKeys,
+		KeyInflight:        *keyInfl,
 		MaxBody:            *maxBody,
 		MaxInflight:        *inflight,
 		RequestTimeout:     *reqTmo,
@@ -175,8 +194,8 @@ func main() {
 	}
 	logger.Info("streamhistd listening",
 		"addr", *addr, "window", *window, "buckets", *buckets,
-		"eps", *eps, "delta", *delta, "durability", durable,
-		"tracing", tr != nil)
+		"eps", *eps, "delta", *delta, "shards", *shards,
+		"durability", durable, "tracing", tr != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -76,12 +76,20 @@ func Save(fsys faults.FS, dir string, seen int64, blob []byte) error {
 // position and the write's duration. A nil recorder makes it exactly
 // Save.
 func SaveTraced(tr *trace.Recorder, parent trace.SpanID, fsys faults.FS, dir string, seen int64, blob []byte) error {
+	return SaveTracedCode(tr, parent, 0, fsys, dir, seen, blob)
+}
+
+// SaveTracedCode is SaveTraced with an event code carried on the
+// EvCheckpoint record — the shard engine stamps the owning shard's ID
+// there so checkpoint events in a striped deployment attribute to their
+// stripe.
+func SaveTracedCode(tr *trace.Recorder, parent trace.SpanID, code uint8, fsys faults.FS, dir string, seen int64, blob []byte) error {
 	start := tr.Now()
 	if err := Save(fsys, dir, seen, blob); err != nil {
 		return err
 	}
 	if tr != nil {
-		tr.Instant(trace.EvCheckpoint, 0, parent, time.Duration(tr.Now()-start), int64(len(blob)), seen)
+		tr.Instant(trace.EvCheckpoint, code, parent, time.Duration(tr.Now()-start), int64(len(blob)), seen)
 	}
 	return nil
 }

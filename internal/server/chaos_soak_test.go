@@ -18,27 +18,48 @@ import (
 	"streamhist/internal/trace"
 )
 
-// The chaos soak runs the full daemon — ingest handlers, WAL, checkpoint
-// loop, breaker, supervisor — under a seeded, randomized fault schedule
-// with concurrent clients, and checks the acknowledged-durability
-// contract: every value acknowledged by a non-degraded 200 must survive
-// a crash. Each seed flips a random subset of fault rules on and off
+// The chaos soak runs the full daemon — ingest handlers, the sharded
+// engine's loops, striped WALs, checkpoint loops, per-shard breakers and
+// supervisors — under a seeded, randomized fault schedule with
+// concurrent tenants, and checks the acknowledged-durability contract:
+// every value acknowledged by a non-degraded 200 must survive a crash,
+// per stream. Each seed flips a random subset of fault rules on and off
 // (probabilistic WAL errors, ENOSPC at segment creation, checkpoint
-// failures, torn writes, injected latency) while clients hammer
-// /ingest; at the end the rules clear, the server must re-converge to
-// healthy durable service, and a simulated crash plus recovery must
-// land exactly on the last durably acknowledged position.
+// failures, torn writes, injected latency) while clients hammer their
+// streams — one through the legacy /ingest alias, the rest through
+// versioned /v1/streams/{key}/ingest routes; at the end the rules
+// clear, the server must re-converge to healthy durable service, and a
+// simulated crash plus parallel recovery must land at or past the last
+// durably acknowledged position of every stream.
 
 const (
 	soakClients  = 3
+	soakShards   = 3
 	soakDuration = 150 * time.Millisecond
 )
+
+// soakKey maps a client to its stream: client 0 drives the reserved
+// default stream via the legacy alias, the rest their own tenant
+// streams, so one soak covers both route families.
+func soakKey(id int) string {
+	if id == 0 {
+		return DefaultStream
+	}
+	return fmt.Sprintf("tenant-%d", id)
+}
+
+func soakPath(id int) string {
+	if id == 0 {
+		return "/ingest"
+	}
+	return "/v1/streams/" + soakKey(id) + "/ingest"
+}
 
 // soakIngest is do() without t.Fatalf, safe to call from client
 // goroutines. It returns the status code, the degraded marker, and the
 // acknowledged stream position (0 when the response is not a 200).
-func soakIngest(s *Server, body string) (code int, degraded bool, seen int64) {
-	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(body))
+func soakIngest(s *Server, path, body string) (code int, degraded bool, seen int64) {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
@@ -55,6 +76,9 @@ func soakIngest(s *Server, body string) (code int, degraded bool, seen int64) {
 }
 
 // soakRuleMenu is the pool of fault rules a seed's schedule draws from.
+// The path filters match the striped layout too: every shard's WAL
+// segment and checkpoint keeps its wal-/checkpoint- prefix under its
+// shard directory.
 func soakRuleMenu() []faults.Rule {
 	return []faults.Rule{
 		{Ops: faults.OpWrite | faults.OpSync, PathContains: "wal-", Prob: 0.7},
@@ -66,7 +90,7 @@ func soakRuleMenu() []faults.Rule {
 }
 
 // runSoakSeed soaks one daemon lifetime under seed's fault schedule and
-// returns whether the breaker degraded at least once during it.
+// returns whether any shard degraded at least once during it.
 func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
@@ -78,6 +102,7 @@ func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 		t.Fatal(err)
 	}
 	opts := resilientOptions(dir, chaos)
+	opts.Shards = soakShards
 	opts.SegmentBytes = 256 // force rotations into the schedule
 	opts.CheckpointInterval = 5 * time.Millisecond
 	opts.Metrics = reg
@@ -88,17 +113,28 @@ func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 	}
 
 	var (
-		maxDurable  atomic.Int64 // highest stream position acked by a non-degraded 200
+		// maxDurable[i]: highest position of client i's stream acked by a
+		// non-degraded 200.
+		maxDurable  [soakClients]atomic.Int64
 		degraded200 atomic.Int64
 		failed      atomic.Int64
 		clientErr   atomic.Value // first unexpected status, if any
 		wg          sync.WaitGroup
 		stopClients = make(chan struct{})
 	)
+	durableAck := func(id int, seen int64) {
+		for {
+			cur := maxDurable[id].Load()
+			if seen <= cur || maxDurable[id].CompareAndSwap(cur, seen) {
+				return
+			}
+		}
+	}
 	for c := 0; c < soakClients; c++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			path := soakPath(id)
 			body := fmt.Sprintf("%d\n%d\n%d\n", id, id+1, id+2)
 			for {
 				select {
@@ -106,15 +142,10 @@ func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 					return
 				default:
 				}
-				code, deg, seen := soakIngest(s, body)
+				code, deg, seen := soakIngest(s, path, body)
 				switch {
 				case code == http.StatusOK && !deg:
-					for {
-						cur := maxDurable.Load()
-						if seen <= cur || maxDurable.CompareAndSwap(cur, seen) {
-							break
-						}
-					}
+					durableAck(id, seen)
 				case code == http.StatusOK:
 					degraded200.Add(1)
 				case code == http.StatusInternalServerError || code == http.StatusServiceUnavailable:
@@ -150,50 +181,53 @@ func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 		t.Fatalf("seed %d: %v", seed, msg)
 	}
 
-	// Re-convergence: with the faults gone the supervisor must re-anchor
-	// and the daemon must serve durable, non-degraded acks again.
+	// Re-convergence: with the faults gone the shard supervisors must
+	// re-anchor and the daemon must serve durable, non-degraded acks on
+	// every route family again.
 	waitFor(t, fmt.Sprintf("seed %d re-convergence", seed), func() bool {
-		code, deg, seen := soakIngest(s, "42\n")
-		if code != http.StatusOK || deg {
-			return false
-		}
-		for {
-			cur := maxDurable.Load()
-			if seen <= cur || maxDurable.CompareAndSwap(cur, seen) {
-				break
+		for id := 0; id < soakClients; id++ {
+			code, deg, seen := soakIngest(s, soakPath(id), "42\n")
+			if code != http.StatusOK || deg {
+				return false
 			}
+			durableAck(id, seen)
 		}
 		return true
 	})
 	sawDegraded = s.rm.degradedEntries.Value() > 0
 
-	// Crash: stop the background loops without the graceful final
-	// checkpoint, then recover from what is on disk.
-	close(s.stop)
-	<-s.supDone
-	if s.loopDone != nil {
-		<-s.loopDone
+	// Crash: stop the shard loops, supervisors and checkpoint loops
+	// without the graceful final checkpoint, then recover from disk.
+	s.eng.Abort()
+	var final [soakClients]int64
+	for id := 0; id < soakClients; id++ {
+		final[id] = s.eng.Seen(soakKey(id))
 	}
-	final := s.Seen()
-	want := maxDurable.Load()
-	s2, err := Open(crashOptions(dir, faults.OS{}))
+	ropts := crashOptions(dir, faults.OS{})
+	ropts.Shards = soakShards
+	s2, err := Open(ropts)
 	if err != nil {
 		t.Fatalf("seed %d: recovery: %v", seed, err)
 	}
 	defer s2.Close()
-	got := s2.Seen()
-	if got < want {
-		t.Fatalf("seed %d: durability violated: recovered seen=%d < max durable ack %d (final in-memory %d, degraded acks %d, failures %d)",
-			seed, got, want, final, degraded200.Load(), failed.Load())
+	for id := 0; id < soakClients; id++ {
+		got := s2.eng.Seen(soakKey(id))
+		want := maxDurable[id].Load()
+		if got < want {
+			t.Fatalf("seed %d: durability violated for %s: recovered seen=%d < max durable ack %d (final in-memory %d, degraded acks %d, failures %d)",
+				seed, soakKey(id), got, want, final[id], degraded200.Load(), failed.Load())
+		}
+		if got > final[id] {
+			t.Fatalf("seed %d: %s recovered seen=%d exceeds everything ingested (%d)", seed, soakKey(id), got, final[id])
+		}
 	}
-	if got > final {
-		t.Fatalf("seed %d: recovered seen=%d exceeds everything ingested (%d)", seed, got, final)
+	for id := 0; id < soakClients; id++ {
+		if code, deg, _ := soakIngest(s2, soakPath(id), "7\n"); code != http.StatusOK || deg {
+			t.Fatalf("seed %d: %s ingest after recovery: code=%d degraded=%v", seed, soakKey(id), code, deg)
+		}
 	}
-	if code, deg, _ := soakIngest(s2, "7\n"); code != http.StatusOK || deg {
-		t.Fatalf("seed %d: ingest after recovery: code=%d degraded=%v", seed, code, deg)
-	}
-	t.Logf("seed %d: faults fired=%d, durable=%d, degraded acks=%d, failed=%d, recovered=%d, degraded mode=%v",
-		seed, chaos.Fired(), want, degraded200.Load(), failed.Load(), got, sawDegraded)
+	t.Logf("seed %d: faults fired=%d, degraded acks=%d, failed=%d, degraded mode=%v",
+		seed, chaos.Fired(), degraded200.Load(), failed.Load(), sawDegraded)
 	return sawDegraded
 }
 
@@ -220,8 +254,8 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("%d/%d seeds exercised degraded mode", degradedSeeds, seeds)
 
-	// No goroutine leaks: every soaked daemon's supervisor and
-	// checkpoint loop must have exited. The snapshot diff names the
+	// No goroutine leaks: every soaked daemon's shard loops, supervisors
+	// and checkpoint loops must have exited. The snapshot diff names the
 	// offending stack instead of reporting a bare count.
 	leakcheck.Check(t, before)
 }

@@ -10,9 +10,9 @@ import (
 	"strings"
 	"testing"
 
-	"streamhist/internal/checkpoint"
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
+	"streamhist/internal/shard"
 )
 
 // The crash-point workload: window smaller than the stream so recovery
@@ -51,11 +51,30 @@ func batchBody(b []float64) string {
 // targets 1.22.)
 var quietLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
+// crashOptions pins Shards to 1 so fault-op counting stays deterministic
+// regardless of GOMAXPROCS; sharded layouts get their own coverage in
+// internal/shard and the chaos soak.
 func crashOptions(dir string, fsys faults.FS) Options {
 	return Options{
 		Window: cwWindow, Buckets: cwBuckets, Eps: cwEps, Delta: cwEps,
-		DataDir: dir, FS: fsys, SyncEveryAppend: true, Logger: quietLogger,
+		Shards: 1, DataDir: dir, FS: fsys, SyncEveryAppend: true, Logger: quietLogger,
 	}
+}
+
+// openTolerant is Open for fault-matrix workloads: an injected crash can
+// land inside Open itself (the shard layout and WAL stripes are born
+// there), in which case nothing was acknowledged and the workload simply
+// ends. Any other open failure is fatal.
+func openTolerant(t *testing.T, opts Options, fsys faults.FS) *Server {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		if inj, ok := fsys.(*faults.Injector); ok && inj.Tripped() {
+			return nil
+		}
+		t.Fatalf("initial open: %v", err)
+	}
+	return s
 }
 
 // runWorkload drives one daemon lifetime: 12 ingest batches with manual
@@ -66,10 +85,13 @@ func crashOptions(dir string, fsys faults.FS) Options {
 // explicit non-durability marker — and neither kind counts.
 func runWorkload(t *testing.T, dir string, fsys faults.FS) (acked int) {
 	t.Helper()
-	s, err := Open(crashOptions(dir, fsys))
-	if err != nil {
-		t.Fatalf("initial open: %v", err)
+	s := openTolerant(t, crashOptions(dir, fsys), fsys)
+	if s == nil {
+		return 0
 	}
+	// The "crash": stop the shard loops without the graceful final
+	// checkpoint, leaving only what already reached disk.
+	defer s.eng.Abort()
 	for i, b := range crashBatches() {
 		rec := do(t, s, http.MethodPost, "/ingest", batchBody(b))
 		switch rec.Code {
@@ -105,10 +127,17 @@ func expectEqualState(t *testing.T, s *Server, prefix []float64) {
 		t.Fatal(err)
 	}
 	ref.PushBatch(prefix)
-	s.mu.Lock()
-	gotSeen := s.fw.Seen()
-	gotWin := s.fw.Window()
-	s.mu.Unlock()
+	var (
+		gotSeen int64
+		gotWin  []float64
+	)
+	if verr := s.eng.View(DefaultStream, func(st *shard.State) error {
+		gotSeen = st.FW.Seen()
+		gotWin = st.FW.Window()
+		return nil
+	}); verr != nil {
+		t.Fatalf("view default stream: %v", verr)
+	}
 	if gotSeen != int64(len(prefix)) {
 		t.Fatalf("recovered seen=%d, want %d", gotSeen, len(prefix))
 	}
@@ -122,11 +151,13 @@ func expectEqualState(t *testing.T, s *Server, prefix []float64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.mu.Lock()
-	gotRes, err := s.fw.Histogram()
-	s.mu.Unlock()
-	if err != nil {
-		t.Fatalf("recovered histogram: %v", err)
+	var gotRes *core.Result
+	if verr := s.eng.View(DefaultStream, func(st *shard.State) error {
+		var herr error
+		gotRes, herr = st.FW.Histogram()
+		return herr
+	}); verr != nil {
+		t.Fatalf("recovered histogram: %v", verr)
 	}
 	if !reflect.DeepEqual(gotRes.Histogram, refRes.Histogram) || gotRes.SSE != refRes.SSE {
 		t.Fatalf("recovered histogram %+v (sse=%g)\nwant %+v (sse=%g)",
@@ -261,10 +292,11 @@ func TestCrashRecoveryExtendedMatrix(t *testing.T) {
 		t.Helper()
 		opts := crashOptions(dir, fsys)
 		opts.SegmentBytes = 128
-		s, err := Open(opts)
-		if err != nil {
-			t.Fatalf("initial open: %v", err)
+		s := openTolerant(t, opts, fsys)
+		if s == nil {
+			return 0
 		}
+		defer s.eng.Abort()
 		for i, b := range batches {
 			rec := do(t, s, http.MethodPost, "/ingest", batchBody(b))
 			switch rec.Code {
@@ -346,7 +378,7 @@ func TestDiskFullAtRotate(t *testing.T) {
 	// the rotation — hits a full disk.
 	chaos.SetRules(faults.Rule{Ops: faults.OpCreate, PathContains: "wal-", Prob: 1, Err: faults.ErrNoSpace, After: 1})
 	sawRotateFailure := false
-	for i := 0; i < 40 && !s.degraded.Load(); i++ {
+	for i := 0; i < 40 && !s.eng.Degraded(); i++ {
 		rec := do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n4\n")
 		switch rec.Code {
 		case http.StatusOK:
@@ -359,11 +391,11 @@ func TestDiskFullAtRotate(t *testing.T) {
 	if !sawRotateFailure {
 		t.Fatal("full disk never surfaced as an append failure")
 	}
-	waitFor(t, "degraded mode after disk-full rotate", func() bool { return s.degraded.Load() })
+	waitFor(t, "degraded mode after disk-full rotate", func() bool { return s.eng.Degraded() })
 
 	// Space returns; the supervisor re-anchors and appends flow again.
 	chaos.Clear()
-	waitFor(t, "reanchor", func() bool { return !s.degraded.Load() })
+	waitFor(t, "reanchor", func() bool { return !s.eng.Degraded() })
 	if rec := do(t, s, http.MethodPost, "/ingest", "5\n"); rec.Code != http.StatusOK || ingestResp(t, rec) {
 		t.Fatalf("post-recovery ingest: %d %s", rec.Code, rec.Body)
 	}
@@ -381,14 +413,26 @@ func TestDiskFullAtRotate(t *testing.T) {
 	}
 }
 
-// TestRecoveryResetCrashPoints injects a crash at every filesystem
-// mutation of the recovery-time WAL Reset — the path taken when the
-// newest checkpoint is ahead of the log (its un-fsynced tail was lost).
-// Wherever the Reset dies, the directory must stay recoverable.
-func TestRecoveryResetCrashPoints(t *testing.T) {
-	// build constructs a dir whose checkpoint (seen=8) is ahead of the
-	// log (pinned at 4), forcing Open to Reset the WAL to 8.
-	build := func(t *testing.T) (string, []float64) {
+// TestRestoreCrashPoints injects a crash at every filesystem mutation of
+// an acknowledged /restore — the checkpoint of the restored state, the
+// prune of older checkpoints, and the WAL reset that re-anchors the
+// stripe. Wherever the crash lands, the directory must recover to either
+// the pre-restore stream (4 points) or the restored one (8 points), and
+// an acknowledged restore must never be lost.
+func TestRestoreCrashPoints(t *testing.T) {
+	eight := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ref, err := core.NewWithDelta(cwWindow, cwBuckets, cwEps, cwEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PushBatch(eight)
+	blob, err := ref.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// build seeds a directory with 4 durable points.
+	build := func(t *testing.T) string {
 		t.Helper()
 		dir := t.TempDir()
 		s, err := Open(crashOptions(dir, faults.OS{}))
@@ -401,64 +445,65 @@ func TestRecoveryResetCrashPoints(t *testing.T) {
 		if err := s.Close(); err != nil {
 			t.Fatal(err)
 		}
-		eight := []float64{1, 2, 3, 4, 5, 6, 7, 8}
-		ref, err := core.NewWithDelta(cwWindow, cwBuckets, cwEps, cwEps)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ref.PushBatch(eight)
-		blob, err := ref.MarshalBinary()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := checkpoint.Save(nil, dir, 8, blob); err != nil {
-			t.Fatal(err)
-		}
-		return dir, eight
+		return dir
 	}
 
-	// Probe pass: count the mutating ops of one recovering Open.
-	dir, eight := build(t)
+	// run reopens the seeded dir under fsys, uploads the 8-point snapshot,
+	// and crashes. It reports whether the restore was acknowledged.
+	run := func(t *testing.T, dir string, fsys faults.FS) (restored bool) {
+		t.Helper()
+		s := openTolerant(t, crashOptions(dir, fsys), fsys)
+		if s == nil {
+			return false
+		}
+		defer s.eng.Abort()
+		rec := do(t, s, http.MethodPost, "/restore", string(blob))
+		switch rec.Code {
+		case http.StatusOK:
+			return true
+		case http.StatusInternalServerError, http.StatusServiceUnavailable:
+			return false
+		default:
+			t.Fatalf("restore: unexpected status %d: %s", rec.Code, rec.Body)
+			return false
+		}
+	}
+
+	// Probe pass: no fault, count the mutating ops of open + restore.
+	dir := build(t)
 	probe := faults.NewInjector(faults.OS{}, -1)
-	s, err := Open(crashOptions(dir, probe))
-	if err != nil {
-		t.Fatalf("probe recovery: %v", err)
+	if !run(t, dir, probe) {
+		t.Fatal("probe restore not acknowledged")
 	}
 	total := probe.Ops()
-	if got := s.Seen(); got != 8 {
-		t.Fatalf("probe recovery seen=%d, want 8", got)
-	}
-	_ = s.Close()
 	if total < 3 {
-		t.Fatalf("probe counted implausibly few reset crash points: %d", total)
+		t.Fatalf("probe counted implausibly few restore crash points: %d", total)
 	}
-	t.Logf("recovery-reset matrix: %d injected fault points", total)
+	t.Logf("restore crash-point matrix: %d injected fault points", total)
 
 	for n := 1; n <= total; n++ {
 		t.Run(fmt.Sprintf("op%03d", n), func(t *testing.T) {
-			dir, _ := build(t)
+			dir := build(t)
 			inj := faults.NewInjector(faults.OS{}, n)
-			s, err := Open(crashOptions(dir, inj))
-			if err == nil {
-				// The fault landed on an op whose failure Reset tolerates
-				// (or past the whole recovery): the server must be whole.
-				if got := s.Seen(); got != 8 {
-					t.Fatalf("fault at op %d: opened with seen=%d, want 8", n, got)
-				}
-				_ = s.Close()
+			restored := run(t, dir, inj)
+			if !inj.Tripped() {
+				t.Fatal("fault never fired")
 			}
-			// Either way the directory must still recover cleanly.
 			s2, err := Open(crashOptions(dir, faults.OS{}))
 			if err != nil {
-				t.Fatalf("clean recovery after fault at op %d: %v", n, err)
+				t.Fatalf("recovery after fault at op %d: %v", n, err)
 			}
 			defer s2.Close()
-			if got := s2.Seen(); got != 8 {
-				t.Fatalf("clean recovery after fault at op %d: seen=%d, want 8", n, got)
+			got := int(s2.Seen())
+			if restored && got != 8 {
+				t.Fatalf("acknowledged restore lost: recovered seen=%d, want 8", got)
 			}
-			expectEqualState(t, s2, eight)
+			if got != 4 && got != 8 {
+				t.Fatalf("recovered seen=%d, want the pre-restore 4 or the restored 8", got)
+			}
+			expectEqualState(t, s2, eight[:got])
 			if rec := do(t, s2, http.MethodPost, "/ingest", "9\n"); rec.Code != http.StatusOK {
-				t.Fatalf("ingest after reset recovery: %d: %s", rec.Code, rec.Body)
+				t.Fatalf("ingest after restore recovery: %d: %s", rec.Code, rec.Body)
 			}
 		})
 	}

@@ -27,6 +27,12 @@ const (
 	// in-memory state is suspect and mutating requests are refused until
 	// the server restores from disk or is restarted.
 	errQuarantined = "quarantined"
+	// errUnknownStream: the request named a stream key that does not exist
+	// (or is syntactically invalid).
+	errUnknownStream = "unknown_stream"
+	// errQuotaExceeded: creating one more stream would exceed
+	// Options.MaxKeys.
+	errQuotaExceeded = "quota_exceeded"
 )
 
 // timeoutBody is the envelope http.TimeoutHandler writes when a request
@@ -48,6 +54,21 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 		"error": map[string]string{
 			"code":    code,
 			"message": fmt.Sprintf(format, args...),
+		},
+	})
+}
+
+// writeStreamError is writeError plus a "stream" field inside the
+// envelope naming the per-stream route's key, so multi-tenant clients
+// attribute errors without parsing the message.
+func writeStreamError(w http.ResponseWriter, status int, code, stream, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{
+			"code":    code,
+			"message": fmt.Sprintf(format, args...),
+			"stream":  stream,
 		},
 	})
 }

@@ -3,14 +3,17 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"streamhist/internal/obs"
+	"streamhist/internal/shard"
 )
 
-// knownPaths are the endpoints labeled individually in HTTP metrics.
-// Anything else (typo'd paths, scanners, pprof) collapses into "other" so
-// request metrics stay bounded-cardinality no matter what clients send.
+// knownPaths are the fixed endpoints labeled individually in HTTP
+// metrics. Anything else (typo'd paths, scanners, pprof) collapses into
+// "other" so request metrics stay bounded-cardinality no matter what
+// clients send.
 var knownPaths = map[string]bool{
 	"/ingest":      true,
 	"/histogram":   true,
@@ -25,6 +28,42 @@ var knownPaths = map[string]bool{
 	"/healthz":     true,
 	"/readyz":      true,
 	"/metrics":     true,
+}
+
+// v1Ops are the per-stream operations mounted under /v1/streams/{key}/.
+var v1Ops = map[string]bool{
+	"ingest":      true,
+	"histogram":   true,
+	"agglom":      true,
+	"query":       true,
+	"stats":       true,
+	"quantile":    true,
+	"selectivity": true,
+	"snapshot":    true,
+	"restore":     true,
+	"drift":       true,
+}
+
+// metricsPath collapses a request path to a bounded-cardinality label:
+// legacy paths and fixed endpoints label as themselves, versioned
+// per-stream routes label with a {key} placeholder (never the key itself
+// — tenants must not be able to grow the label space), and everything
+// else is "other".
+func metricsPath(p string) string {
+	if knownPaths[p] || p == "/v1/streams" {
+		return p
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/streams/"); ok {
+		key, op, hasOp := strings.Cut(rest, "/")
+		switch {
+		case key == "":
+		case !hasOp:
+			return "/v1/streams/{key}"
+		case v1Ops[op]:
+			return "/v1/streams/{key}/" + op
+		}
+	}
+	return "other"
 }
 
 // httpMetrics instruments every request: per-path request counters split
@@ -73,10 +112,7 @@ func (hm *httpMetrics) middleware(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		path := r.URL.Path
-		if !knownPaths[path] {
-			path = "other"
-		}
+		path := metricsPath(r.URL.Path)
 		hm.inflight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -163,37 +199,44 @@ func (rm *resilienceMetrics) transition(from, to string) {
 		"WAL circuit breaker transitions by edge.").Inc()
 }
 
-// registerGaugeFuncs publishes point-in-time state readings. Each reading
-// takes s.mu, so collection contends with requests exactly like any other
-// reader; /metrics scrapes are infrequent by design.
+// registerGaugeFuncs publishes point-in-time state readings. The
+// window gauges read the reserved default stream (the legacy dashboard
+// contract); per-stream gauges would be unbounded cardinality, so
+// everything else aggregates across shards. Each reading takes the
+// owning shard's lock, so collection contends with requests exactly
+// like any other reader; /metrics scrapes are infrequent by design.
 func (s *Server) registerGaugeFuncs(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.GaugeFunc("streamhist_window_points", "Points currently in the fixed window.", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.fw.Len())
+	defaultStat := func(read func(*shard.State) float64) func() float64 {
+		return func() float64 {
+			var v float64
+			_ = s.eng.View(DefaultStream, func(st *shard.State) error {
+				v = read(st)
+				return nil
+			})
+			return v
+		}
+	}
+	reg.GaugeFunc("streamhist_window_points", "Points currently in the default stream's fixed window.",
+		defaultStat(func(st *shard.State) float64 { return float64(st.FW.Len()) }))
+	reg.GaugeFunc("streamhist_stream_seen", "Points ingested into the default stream since it began.",
+		defaultStat(func(st *shard.State) float64 { return float64(st.FW.Seen()) }))
+	reg.GaugeFunc("streamhist_gk_tuples", "Tuples held by the default stream's GK quantile summary.",
+		defaultStat(func(st *shard.State) float64 { return float64(st.GK.Size()) }))
+	reg.GaugeFunc("streamhist_streams", "Live streams across all shards.", func() float64 {
+		return float64(s.eng.KeyCount())
 	})
-	reg.GaugeFunc("streamhist_stream_seen", "Stream points ingested since the stream began.", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.fw.Seen())
-	})
-	reg.GaugeFunc("streamhist_gk_tuples", "Tuples held by the whole-stream GK quantile summary.", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.gk.Size())
-	})
-	// Self-healing state flags are atomics: readable without s.mu.
-	reg.GaugeFunc("streamhist_degraded", "1 while ingests are accepted memory-only (durability down).", func() float64 {
-		if s.degraded.Load() {
+	// Self-healing state flags are atomics: readable without shard locks.
+	reg.GaugeFunc("streamhist_degraded", "1 while any shard accepts ingests memory-only (durability down).", func() float64 {
+		if s.eng.Degraded() {
 			return 1
 		}
 		return 0
 	})
-	reg.GaugeFunc("streamhist_quarantined", "1 while the in-memory state is quarantined after a lock-held panic.", func() float64 {
-		if s.quarantined.Load() {
+	reg.GaugeFunc("streamhist_quarantined", "1 while any shard's in-memory state is quarantined after a lock-held panic.", func() float64 {
+		if s.eng.Quarantined() {
 			return 1
 		}
 		return 0

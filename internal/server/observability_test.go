@@ -191,6 +191,7 @@ func TestPprofMounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer on.Close()
 	if rec := do(t, on, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusOK {
 		t.Errorf("pprof index status %d with EnablePprof", rec.Code)
 	}

@@ -7,45 +7,58 @@ import (
 	"net/http"
 	"time"
 
-	"streamhist/internal/agglom"
-	"streamhist/internal/checkpoint"
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
-	"streamhist/internal/quantile"
-	"streamhist/internal/resilience"
-	"streamhist/internal/stream"
+	"streamhist/internal/shard"
 	"streamhist/internal/trace"
-	"streamhist/internal/vhist"
-	"streamhist/internal/wal"
 )
 
 // Options configures Open.
 type Options struct {
-	// Window, Buckets, Eps, Delta configure the fixed-window maintainer
-	// (see core.NewWithDelta). When a checkpoint is recovered its recorded
-	// configuration supersedes these.
+	// Window, Buckets, Eps, Delta configure each stream's fixed-window
+	// maintainer (see core.NewWithDelta). When a checkpoint is recovered a
+	// stream's recorded configuration supersedes these.
 	Window  int
 	Buckets int
 	Eps     float64
 	Delta   float64
 
-	// MaxBody caps an /ingest or /restore request body; 0 means 32 MiB.
+	// Shards is the number of shard loops the keyed engine runs; stream
+	// keys are hash-partitioned across them and each shard owns its own
+	// WAL stripe and checkpoints. 0 means GOMAXPROCS. A durable data dir
+	// is laid out for a fixed shard count; reopening with a different one
+	// is refused.
+	Shards int
+	// MaxKeys caps live streams across all shards; creating one more
+	// answers 429/quota_exceeded. 0 means unlimited.
+	MaxKeys int
+	// KeyInflight bounds concurrently-admitted requests per stream key
+	// (per-tenant overload isolation); 0 means unlimited. The server-wide
+	// MaxInflight still applies.
+	KeyInflight int
+	// Factory builds the per-stream summary set for new keys; nil derives
+	// one from Window/Buckets/Eps/Delta. See MaintainerFactory.
+	Factory shard.Factory
+
+	// MaxBody caps an ingest or restore request body; 0 means 32 MiB.
 	MaxBody int64
-	// MaxInflight bounds concurrently-admitted /ingest requests; beyond it
+	// MaxInflight bounds concurrently-admitted ingest requests; beyond it
 	// the server answers 429 with Retry-After. 0 means 64.
 	MaxInflight int
 	// RequestTimeout bounds each request end to end via http.TimeoutHandler;
 	// 0 disables.
 	RequestTimeout time.Duration
 
-	// DataDir enables durability: a write-ahead log plus periodic
-	// checkpoints live here, and Open recovers from them. Empty means the
-	// server is memory-only and loses the window on exit.
+	// DataDir enables durability: per-shard write-ahead logs plus periodic
+	// checkpoints live here, and Open recovers from them (shards in
+	// parallel). Empty means the server is memory-only and loses all
+	// streams on exit.
 	DataDir string
-	// CheckpointInterval is the period of the automatic checkpoint loop;
-	// 0 disables the loop (checkpoints then happen only at Close and via
-	// explicit Checkpoint calls, and the WAL grows until one happens).
+	// CheckpointInterval is the period of each shard's automatic
+	// checkpoint loop; 0 disables the loops (checkpoints then happen only
+	// at Close and via explicit Checkpoint calls, and the WALs grow until
+	// one happens).
 	CheckpointInterval time.Duration
 	// SyncEveryAppend fsyncs the WAL on every acknowledged ingest. When
 	// false, a crash loses at most the un-fsynced suffix of acknowledged
@@ -58,18 +71,20 @@ type Options struct {
 	// the real one. Tests inject faults here.
 	FS faults.FS
 
-	// OnPersistError selects the degraded-mode policy once WAL appends
-	// trip the circuit breaker: OnPersistDegrade (the default) accepts
-	// ingests memory-only with "degraded":true in the response;
+	// OnPersistError selects the degraded-mode policy once a shard's WAL
+	// appends trip its circuit breaker: OnPersistDegrade (the default)
+	// accepts ingests memory-only with "degraded":true in the response;
 	// OnPersistRefuse fails them with 503/degraded until the log
-	// recovers. See resilience.go for the full contract.
+	// recovers. Degradation is per shard — healthy shards keep full
+	// durability. See internal/shard for the full contract.
 	OnPersistError string
-	// RestoreOnPanic, with DataDir set, rebuilds the in-memory state from
-	// the last checkpoint plus WAL replay after a panic quarantined it,
-	// instead of waiting for an orchestrator restart.
+	// RestoreOnPanic, with DataDir set, rebuilds a shard's in-memory state
+	// from its last checkpoint plus WAL replay after a panic quarantined
+	// it, instead of waiting for an orchestrator restart.
 	RestoreOnPanic bool
 	// BreakerThreshold is the consecutive WAL-append failures that trip
-	// the breaker into degraded mode; 0 means the resilience default (3).
+	// a shard's breaker into degraded mode; 0 means the resilience
+	// default (3).
 	BreakerThreshold int
 	// BreakerBackoff is the first recovery-probe interval; doubles per
 	// failed probe up to BreakerMaxBackoff. Zeros mean the resilience
@@ -80,16 +95,17 @@ type Options struct {
 	// Metrics, when non-nil, receives instrumentation from every layer the
 	// server drives (HTTP, fixed-window maintenance, agglomerative summary,
 	// WAL, checkpoints) and enables GET /metrics serving the registry in
-	// Prometheus text format. Nil disables all instrumentation at zero
-	// cost.
+	// Prometheus text format. Labels stay bounded per shard, never per
+	// stream key. Nil disables all instrumentation at zero cost.
 	Metrics *obs.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (outside the
 	// request timeout, so long profile captures survive).
 	EnablePprof bool
 	// Trace, when non-nil, attaches the flight recorder: every layer a
 	// request touches records span events into its ring (see
-	// internal/trace), and GET /debug/trace/{events,chrome} serve the
-	// ring. Nil disables tracing at zero cost.
+	// internal/trace) with shard attribution, and GET
+	// /debug/trace/{events,chrome} serve the ring. Nil disables tracing
+	// at zero cost.
 	Trace *trace.Recorder
 
 	// Logger receives operational records (recovery progress, checkpoint
@@ -116,22 +132,30 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// defaultFactory derives the per-stream summary set from the configured
+// window parameters; every new stream gets an identical fresh set.
+func defaultFactory(o Options) shard.Factory {
+	return func(string) (*shard.State, error) {
+		fw, err := core.NewWithDelta(o.Window, o.Buckets, o.Eps, o.Delta)
+		if err != nil {
+			return nil, err
+		}
+		return shard.NewState(fw)
+	}
+}
+
 // Open constructs a server and, when opts.DataDir is set, recovers its
-// state from disk: load the newest valid checkpoint, replay the WAL tail
-// past it, verify the window invariants, and only then report ready. The
-// returned server must be Closed to take the final checkpoint.
+// streams from disk: each shard loads its newest valid checkpoint
+// container, replays its WAL tail past it, verifies the window
+// invariants, and only then does the server report ready. The returned
+// server must be Closed to take the final checkpoints.
 func Open(opts Options) (*Server, error) {
 	opts.setDefaults()
 	if opts.OnPersistError != OnPersistDegrade && opts.OnPersistError != OnPersistRefuse {
 		return nil, fmt.Errorf("server: unknown OnPersistError policy %q (want %q or %q)",
 			opts.OnPersistError, OnPersistDegrade, OnPersistRefuse)
 	}
-	fw, agg, gk, sed, det, err := newState(opts)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		fw: fw, agg: agg, gk: gk, sed: sed, det: det,
 		mux:      http.NewServeMux(),
 		maxBody:  opts.MaxBody,
 		inflight: make(chan struct{}, opts.MaxInflight),
@@ -148,265 +172,75 @@ func Open(opts Options) (*Server, error) {
 	if s.tr != nil {
 		s.tr.SetRegistry(opts.Metrics)
 		s.tr.SetCodeNamer(tracePathName)
-		fw.SetTracer(s.tr)
+	}
+	factory := opts.Factory
+	if factory == nil {
+		factory = defaultFactory(opts)
+		// Validate the window parameters up front so a bad configuration
+		// fails Open, not the first ingest.
+		if _, err := factory(""); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := shard.NewEngine(shard.Config{
+		Shards:             opts.Shards,
+		MaxKeys:            opts.MaxKeys,
+		KeyInflight:        opts.KeyInflight,
+		Factory:            factory,
+		DataDir:            opts.DataDir,
+		FS:                 opts.FS,
+		SyncEveryAppend:    opts.SyncEveryAppend,
+		SegmentBytes:       opts.SegmentBytes,
+		CheckpointInterval: opts.CheckpointInterval,
+		OnPersistError:     opts.OnPersistError,
+		RestoreOnPanic:     opts.RestoreOnPanic,
+		BreakerThreshold:   opts.BreakerThreshold,
+		BreakerBackoff:     opts.BreakerBackoff,
+		BreakerMaxBackoff:  opts.BreakerMaxBackoff,
+		Metrics:            opts.Metrics,
+		Trace:              opts.Trace,
+		Logger:             opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	// The reserved default stream always exists: the legacy route aliases
+	// need a target. Creation is memory-only; an untouched default stream
+	// costs nothing on disk.
+	if err := eng.Ensure(DefaultStream); err != nil {
+		_ = eng.Close()
+		return nil, err
 	}
 	s.registerGaugeFuncs(opts.Metrics)
 	s.routes()
-	if opts.DataDir != "" {
-		if err := s.recover(); err != nil {
-			return nil, err
-		}
-		s.br = s.newBreaker()
-		s.rm.breakerState.Set(float64(resilience.Closed))
-		s.stop = make(chan struct{})
-		s.probeWake = make(chan struct{}, 1)
-		s.supDone = make(chan struct{})
-		go s.supervisor()
-		if opts.CheckpointInterval > 0 {
-			s.loopDone = make(chan struct{})
-			go s.checkpointLoop(opts.CheckpointInterval)
-		}
-	}
 	s.state.Store(stateReady)
 	return s, nil
 }
 
-// recover rebuilds the in-memory state from DataDir. The fixed window is
-// restored exactly (checkpoint + WAL replay); the whole-stream summaries
-// (quantiles, selectivity, running stats) are rebuilt from the replayed
-// WAL tail only, since their full history is bounded away by design.
-//
-//lint:ignore mutex-discipline recover runs single-threaded inside Open, before the listener or checkpoint loop exists
-func (s *Server) recover() error {
-	if err := s.fs.MkdirAll(s.opts.DataDir, 0o755); err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	w, err := wal.Open(wal.Options{
-		Dir:             s.opts.DataDir,
-		FS:              s.fs,
-		SegmentBytes:    s.opts.SegmentBytes,
-		SyncEveryAppend: s.opts.SyncEveryAppend,
-		Metrics:         s.opts.Metrics,
-		Trace:           s.tr,
-	})
-	if err != nil {
-		return err
-	}
-	stats, err := loadState(s.logger, s.fs, s.opts.DataDir, w, s.fw, s.agg, s.gk, s.sed)
-	if err != nil {
-		return err
-	}
-	s.stats = stats
-	s.wal = w
-	return nil
-}
-
-// loadState rebuilds a summary set from dir against an open WAL: load
-// the newest checkpoint into fw, replay the log tail past it into every
-// summary, verify the recovery invariants, and re-pin the log when the
-// checkpoint is ahead of it (the un-fsynced tail was lost, or the log
-// was truncated after the checkpoint). It returns the rebuilt running
-// stats. Callers own all locking: startup recovery runs single-threaded
-// and quarantine restore works on fresh state before swapping it in.
-func loadState(logger *slog.Logger, fsys faults.FS, dir string, w *wal.WAL, fw *core.FixedWindow, agg *agglom.Summary, gk *quantile.GK, sed *vhist.StreamingEqualDepth) (stream.Counter, error) {
-	var stats stream.Counter
-	blob, seen, err := checkpoint.Latest(fsys, dir)
-	if err != nil {
-		return stats, fmt.Errorf("server: %w", err)
-	}
-	if blob != nil {
-		if err := fw.UnmarshalBinary(blob); err != nil {
-			return stats, fmt.Errorf("server: checkpoint at seen=%d unusable: %w", seen, err)
-		}
-		logger.Info("recovered checkpoint", "seen", seen, "window", fw.Len())
-	}
-	var replayed int64
-	err = w.Replay(func(start int64, values []float64) error {
-		for i, v := range values {
-			switch p := start + int64(i); {
-			case p < fw.Seen():
-				// Covered by the checkpoint.
-			case p == fw.Seen():
-				fw.PushLazy(v)
-				agg.Push(v)
-				gk.Insert(v)
-				sed.Push(v)
-				stats.Push(v)
-				replayed++
-			default:
-				return fmt.Errorf("gap: record for position %d but state ends at %d", p, fw.Seen())
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return stats, fmt.Errorf("server: wal replay: %w", err)
-	}
-	if replayed > 0 {
-		logger.Info("replayed wal tail", "points", replayed, "seen", fw.Seen())
-	}
-	// Recovery invariants: the window never holds more than min(seen, n)
-	// points, and the log must be positioned to accept the next ingest.
-	if want := min(fw.Seen(), int64(fw.Capacity())); int64(fw.Len()) != want {
-		return stats, fmt.Errorf("server: recovery invariant violated: window holds %d points, want %d", fw.Len(), want)
-	}
-	if end := w.End(); end >= 0 && end < fw.Seen() {
-		if err := w.Reset(fw.Seen()); err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
-}
-
-// Checkpoint atomically persists the current fixed-window state and then
-// drops WAL segments the checkpoint covers. Safe to call concurrently
-// with ingests; concurrent Checkpoint calls are serialized.
+// Checkpoint atomically persists every dirty shard's state and then
+// drops WAL segments the checkpoints cover. Safe to call concurrently
+// with ingests; concurrent Checkpoint calls are serialized per shard.
 func (s *Server) Checkpoint() error {
 	if s.opts.DataDir == "" {
 		return fmt.Errorf("server: no data dir configured")
 	}
-	if s.quarantined.Load() {
-		// A lock-held panic left the in-memory state suspect: persisting
-		// it would overwrite the last good checkpoint with garbage.
-		return fmt.Errorf("server: state quarantined; refusing to checkpoint")
-	}
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	start := s.cm.duration.Start()
-	blob, seen, err := func() ([]byte, int64, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		blob, err := s.fw.MarshalBinary()
-		return blob, s.fw.Seen(), err
-	}()
-	if err != nil {
-		s.cm.failures.Inc()
-		return fmt.Errorf("server: %w", err)
-	}
-	if err := checkpoint.SaveTraced(s.tr, 0, s.fs, s.opts.DataDir, seen, blob); err != nil {
-		s.cm.failures.Inc()
-		return err
-	}
-	if err := checkpoint.Prune(s.fs, s.opts.DataDir, 2); err != nil {
-		// The checkpoint itself is durable; a failed prune only leaves
-		// stale files behind. Still a disk complaint worth counting — a
-		// disk that refuses deletes is often about to refuse writes.
-		s.cm.failures.Inc()
-		s.logger.Warn("checkpoint prune failed", "err", err)
-	}
-	if s.wal != nil {
-		// Only after the checkpoint is durable may covered log segments go.
-		// Rotate first so the just-covered active segment becomes deletable
-		// on the next checkpoint.
-		if err := s.wal.Rotate(); err != nil {
-			s.cm.failures.Inc()
-			return err
-		}
-		if err := s.wal.TruncateBefore(seen); err != nil {
-			s.cm.failures.Inc()
-			return err
-		}
-	}
-	s.cm.total.Inc()
-	s.cm.bytes.Set(float64(len(blob)))
-	s.cm.duration.ObserveSince(start)
-	return nil
+	return s.eng.CheckpointAll()
 }
 
-// Seen returns the number of stream points ingested (for tests and the
-// daemon's shutdown log line).
+// Seen returns the number of points ingested into the default stream
+// (for tests and the daemon's shutdown log line).
 func (s *Server) Seen() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fw.Seen()
-}
-
-// ckptWatchdogFailures is how many consecutive periodic-checkpoint
-// failures (with the WAL still growing) escalate to degraded mode.
-const ckptWatchdogFailures = 3
-
-func (s *Server) checkpointLoop(interval time.Duration) {
-	defer close(s.loopDone)
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	retry := resilience.Retry{Base: interval, Max: 8 * interval}
-	var fails int
-	var sizeAtFirstFail int64
-	for {
-		select {
-		case <-t.C:
-			if s.degraded.Load() || s.quarantined.Load() {
-				// The supervisor owns recovery; a checkpoint now would
-				// either fight the re-anchor or persist suspect state.
-				continue
-			}
-			err := s.Checkpoint()
-			if err == nil {
-				fails = 0
-				continue
-			}
-			fails++
-			if fails == 1 && s.wal != nil {
-				sizeAtFirstFail = s.wal.SizeBytes()
-			}
-			s.logger.Error("periodic checkpoint failed", "err", err, "consecutive", fails)
-			// Watchdog: checkpoints keep failing while the WAL keeps
-			// growing — replay-on-restart is getting worse without bound,
-			// so escalate: trip the breaker and let the supervisor force a
-			// re-anchor (which both checkpoints and truncates) when the
-			// disk answers again.
-			if fails >= ckptWatchdogFailures && s.wal != nil && s.wal.SizeBytes() > sizeAtFirstFail {
-				s.rm.watchdog.Inc()
-				s.br.Trip()
-				s.enterDegraded("checkpoint watchdog: repeated failures with a growing wal", err)
-				fails = 0
-				continue
-			}
-			// Backoff: a failing disk gets geometrically fewer checkpoint
-			// attempts, not one per tick.
-			if d := retry.Delay(fails); d > 0 {
-				if !s.sleep(d) {
-					return
-				}
-				select {
-				case <-t.C: // drop the tick that fired during the backoff
-				default:
-				}
-			}
-		case <-s.stop:
-			return
-		}
-	}
+	return s.eng.Seen(DefaultStream)
 }
 
 // Close drains the server: readiness flips to 503, new writes are
-// refused, the checkpoint loop stops, a final checkpoint is taken and the
-// WAL is sealed. Safe to call more than once.
+// refused, the shard loops stop, final checkpoints are taken and the
+// WAL stripes are sealed. Safe to call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.state.Store(stateDraining)
-		if s.stop != nil {
-			close(s.stop)
-			if s.loopDone != nil {
-				<-s.loopDone
-			}
-			if s.supDone != nil {
-				<-s.supDone
-			}
-		}
-		if s.opts.DataDir != "" {
-			if s.quarantined.Load() {
-				// Don't persist suspect state over the last good checkpoint.
-				s.logger.Warn("closing while quarantined; skipping final checkpoint")
-			} else if err := s.Checkpoint(); err != nil {
-				s.closeErr = fmt.Errorf("server: final checkpoint: %w", err)
-			}
-		}
-		if s.wal != nil {
-			if err := s.wal.Close(); err != nil && s.closeErr == nil {
-				s.closeErr = err
-			}
-		}
+		s.closeErr = s.eng.Close()
 	})
 	return s.closeErr
 }

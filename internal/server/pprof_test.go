@@ -56,6 +56,7 @@ func TestPprofRoutesDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	for _, path := range []string{
 		"/debug/pprof/",
 		"/debug/pprof/cmdline",

@@ -1,28 +1,30 @@
-// Self-healing: the WAL circuit breaker, degraded-mode ingestion, the
-// recovery supervisor that probes the disk and re-anchors the log, and
-// panic containment with state quarantine.
+// Self-healing glue at the HTTP layer. The durability machinery itself —
+// per-shard WAL circuit breakers, degraded-mode ingestion, recovery
+// supervisors that probe the disk and re-anchor the log, and panic
+// containment with state quarantine — lives in internal/shard; this file
+// keeps the pieces that are about HTTP: adaptive Retry-After hints and
+// the panic-recovery middleware.
 //
 // The durability contract under faults:
 //
-//   - A 200 /ingest response without "degraded":true means the batch is
+//   - A 200 ingest response without "degraded":true means the batch is
 //     durable to the configured fsync policy — a crash cannot silently
 //     lose it.
-//   - When WAL appends keep failing the breaker trips and the server
-//     enters degraded mode. Under OnPersistDegrade ingests keep flowing
-//     memory-only and every response carries "degraded":true — an
-//     explicit marker that those points are NOT yet durable. Under
-//     OnPersistRefuse ingests are refused with 503/degraded.
-//   - A supervisor goroutine probes the disk on the breaker's jittered
-//     exponential backoff. When a probe succeeds it re-anchors: a fresh
-//     checkpoint of the (possibly memory-only-advanced) state is made
-//     durable and the WAL restarts at that position, so the log never
-//     has a gap and previously-degraded points become durable the
-//     moment the server reports healthy again.
-//   - A panic that strikes while the state lock is held leaves the
-//     summaries in an unknown half-mutated state: the server quarantines
-//     (mutating requests refused, /healthz unhealthy) and, with
-//     RestoreOnPanic, rebuilds the state from the last checkpoint plus
-//     WAL replay in the background.
+//   - When a shard's WAL appends keep failing its breaker trips and that
+//     shard enters degraded mode. Under OnPersistDegrade ingests keep
+//     flowing memory-only and every response carries "degraded":true —
+//     an explicit marker that those points are NOT yet durable. Under
+//     OnPersistRefuse ingests are refused with 503/degraded. Other
+//     shards are unaffected.
+//   - A supervisor goroutine per shard probes the disk on the breaker's
+//     jittered exponential backoff and re-anchors the shard's log on the
+//     first success, so previously-degraded points become durable the
+//     moment the shard reports healthy again.
+//   - A panic that strikes while a shard's state lock is held leaves its
+//     summaries in an unknown half-mutated state: the shard quarantines
+//     (its mutating requests refused, /healthz unhealthy) and, with
+//     RestoreOnPanic, rebuilds from its checkpoint plus WAL replay in
+//     the background.
 package server
 
 import (
@@ -30,169 +32,21 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
-	"os"
-	"path/filepath"
-	"time"
 
-	"streamhist/internal/checkpoint"
-	"streamhist/internal/resilience"
+	"streamhist/internal/shard"
 	"streamhist/internal/trace"
 )
 
 // Degraded-mode policies for Options.OnPersistError.
 const (
-	// OnPersistDegrade accepts ingests memory-only while the durability
-	// layer is down, marking responses with "degraded":true.
+	// OnPersistDegrade accepts ingests memory-only while a shard's
+	// durability layer is down, marking responses with "degraded":true.
 	OnPersistDegrade = "degrade"
-	// OnPersistRefuse refuses ingests with 503 while the durability layer
-	// is down, preserving the property that every 200 is durable.
+	// OnPersistRefuse refuses ingests with 503 while the shard's
+	// durability layer is down, preserving the property that every 200 is
+	// durable.
 	OnPersistRefuse = "refuse"
 )
-
-// newBreaker builds the server's WAL circuit breaker with its transition
-// hook wired into metrics, the flight recorder and the log.
-func (s *Server) newBreaker() *resilience.Breaker {
-	return resilience.NewBreaker(resilience.BreakerConfig{
-		Threshold:  s.opts.BreakerThreshold,
-		Backoff:    s.opts.BreakerBackoff,
-		MaxBackoff: s.opts.BreakerMaxBackoff,
-		OnTransition: func(from, to resilience.State) {
-			s.rm.breakerState.Set(float64(to))
-			s.rm.transition(from.String(), to.String())
-			s.tr.Instant(trace.EvBreaker, 0, 0, 0, int64(from), int64(to))
-			s.logger.Warn("wal breaker transition", "from", from.String(), "to", to.String())
-		},
-	})
-}
-
-// enterDegraded flips the server into degraded mode (idempotent) and
-// wakes the supervisor. Callable with or without s.mu held: the flag is
-// atomic and the wake is non-blocking.
-func (s *Server) enterDegraded(reason string, err error) {
-	if s.degraded.CompareAndSwap(false, true) {
-		s.rm.degradedEntries.Inc()
-		s.logger.Error("entering degraded mode", "reason", reason, "err", err, "policy", s.opts.OnPersistError)
-	}
-	select {
-	case s.probeWake <- struct{}{}:
-	default:
-	}
-}
-
-// supervisor is the recovery loop: while the server is degraded it
-// paces disk probes on the breaker's backoff and re-anchors the WAL on
-// the first success. It sleeps on probeWake otherwise.
-func (s *Server) supervisor() {
-	defer close(s.supDone)
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-s.probeWake:
-		}
-		for s.degraded.Load() {
-			if d := s.br.NextProbeIn(); d > 0 {
-				if !s.sleep(d) {
-					return
-				}
-				continue // re-read the deadline; jitter may differ from d
-			}
-			if !s.br.Allow() {
-				// HalfOpen with the probe token already claimed (or a
-				// transition race): yield briefly and re-check.
-				if !s.sleep(5 * time.Millisecond) {
-					return
-				}
-				continue
-			}
-			s.rm.probes.Inc()
-			if err := s.probeAndReanchor(); err != nil {
-				s.rm.probeFailures.Inc()
-				s.br.Failure()
-				s.logger.Warn("recovery probe failed", "err", err, "nextProbeIn", s.br.NextProbeIn().String())
-			}
-		}
-	}
-}
-
-// sleep waits d or until shutdown; false means shutting down.
-func (s *Server) sleep(d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-s.stop:
-		return false
-	case <-t.C:
-		return true
-	}
-}
-
-// probeAndReanchor is one recovery attempt. First a cheap disk probe —
-// create, write, sync and remove a scratch file in the data dir through
-// the same filesystem the WAL uses — runs without any server lock, so a
-// still-sick disk costs no ingest latency. Only when the disk answers
-// does the expensive step run: under the state lock, checkpoint the
-// current state (which includes any memory-only degraded points) and
-// restart the WAL at that position. The stall is one checkpoint write
-// per recovery; in exchange the log is gapless by construction and
-// every previously-degraded point is durable before the server reports
-// healthy again.
-func (s *Server) probeAndReanchor() error {
-	if err := s.diskProbe(); err != nil {
-		return err
-	}
-	// Lock order matches Checkpoint: ckptMu then mu, so a concurrent
-	// explicit Checkpoint cannot deadlock against a re-anchor.
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	blob, err := s.fw.MarshalBinary()
-	if err != nil {
-		return fmt.Errorf("server: reanchor marshal: %w", err)
-	}
-	seen := s.fw.Seen()
-	if err := checkpoint.SaveTraced(s.tr, 0, s.fs, s.opts.DataDir, seen, blob); err != nil {
-		return fmt.Errorf("server: reanchor: %w", err)
-	}
-	if err := s.wal.Reset(seen); err != nil {
-		return fmt.Errorf("server: reanchor wal reset: %w", err)
-	}
-	s.br.Success()
-	s.degraded.Store(false)
-	s.rm.reanchors.Inc()
-	s.cm.total.Inc()
-	s.cm.bytes.Set(float64(len(blob)))
-	s.logger.Info("reanchored after degraded mode", "seen", seen, "checkpointBytes", len(blob))
-	return nil
-}
-
-// diskProbe exercises the write path end to end on a scratch file:
-// create, write, fsync, remove. Any inexpensive operation succeeding is
-// not enough — a disk can accept writes and fail fsync (or deletes), so
-// the probe touches all three before recovery is declared.
-func (s *Server) diskProbe() error {
-	name := filepath.Join(s.opts.DataDir, ".probe")
-	f, err := s.fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("probe create: %w", err)
-	}
-	if _, err := f.Write([]byte("probe")); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("probe write: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("probe sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("probe close: %w", err)
-	}
-	if err := s.fs.Remove(name); err != nil {
-		return fmt.Errorf("probe remove: %w", err)
-	}
-	return nil
-}
 
 // maxRetryAfterSeconds caps the adaptive Retry-After hint.
 const maxRetryAfterSeconds = 8
@@ -230,83 +84,13 @@ func (s *Server) setRetryAfter(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(len(s.inflight), cap(s.inflight), rand.Float64)))
 }
 
-// lockedPanic wraps a panic that struck while s.mu was held, so the
-// outer recovery middleware can tell a state-corrupting panic from a
-// harmless one.
-type lockedPanic struct{ val any }
-
-func (p *lockedPanic) Error() string { return fmt.Sprintf("panic while state lock held: %v", p.val) }
-
-// guardUnlock pairs with s.mu.Lock() as `defer s.guardUnlock()` inside a
-// handler's critical section. On the normal path it is just Unlock. If
-// the critical section panicked, the state behind the lock is in an
-// unknown half-mutated condition: guardUnlock releases the lock (so the
-// server cannot deadlock), quarantines the state, and re-panics wrapped
-// so recoverware still answers the request.
-func (s *Server) guardUnlock() {
-	if p := recover(); p != nil {
-		s.mu.Unlock()
-		s.quarantine(p)
-		panic(&lockedPanic{val: p})
-	}
-	s.mu.Unlock()
-}
-
-// quarantine marks the in-memory state suspect after a lock-held panic:
-// mutating requests are refused and /healthz reports unhealthy until a
-// restore (automatic with RestoreOnPanic, or an operator restart)
-// replaces the state from disk.
-func (s *Server) quarantine(p any) {
-	if !s.quarantined.CompareAndSwap(false, true) {
-		return
-	}
-	s.rm.quarantines.Inc()
-	s.tr.Instant(trace.EvPanic, 0, 0, 0, 1, 0)
-	s.logger.Error("panic while state lock held; state quarantined", "panic", fmt.Sprint(p))
-	if s.opts.RestoreOnPanic && s.opts.DataDir != "" {
-		go s.restoreFromDisk()
-	}
-}
-
-// restoreFromDisk rebuilds the summaries from the newest checkpoint plus
-// WAL replay — the same procedure as startup recovery — and swaps them
-// in, lifting the quarantine. The WAL handle itself is untouched by a
-// handler panic and stays open. Points acknowledged while degraded that
-// were never re-anchored are lost here; they were advertised as
-// non-durable when acknowledged.
-func (s *Server) restoreFromDisk() {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	fw, agg, gk, sed, det, err := newState(s.opts)
-	if err != nil {
-		s.logger.Error("quarantine restore failed", "err", err)
-		return
-	}
-	if s.tr != nil {
-		fw.SetTracer(s.tr)
-	}
-	st, err := loadState(s.logger, s.fs, s.opts.DataDir, s.wal, fw, agg, gk, sed)
-	if err != nil {
-		s.logger.Error("quarantine restore failed", "err", err)
-		return
-	}
-	seen, length := func() (int64, int) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.fw, s.agg, s.gk, s.sed, s.det = fw, agg, gk, sed, det
-		s.stats = st
-		return fw.Seen(), fw.Len()
-	}()
-	s.quarantined.Store(false)
-	s.logger.Info("restored from disk after quarantine", "seen", seen, "window", length)
-}
-
 // recoverware converts handler panics into the standard JSON error
 // envelope instead of a dropped connection. It sits outside
 // http.TimeoutHandler on purpose: TimeoutHandler re-raises its child's
 // panic in the parent goroutine, so this is the layer that finally
-// catches it. Lock-held panics arrive wrapped as *lockedPanic (the
-// quarantine already happened in guardUnlock, closer to the fault).
+// catches it. Lock-held panics arrive wrapped as *shard.LockedPanic (the
+// quarantine already happened in the shard's unlock guard, closer to the
+// fault, and was logged and traced there).
 func (s *Server) recoverware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &panicRecorder{ResponseWriter: w}
@@ -321,7 +105,7 @@ func (s *Server) recoverware(next http.Handler) http.Handler {
 				panic(p)
 			}
 			s.rm.panics.Inc()
-			if _, locked := p.(*lockedPanic); !locked {
+			if _, locked := p.(*shard.LockedPanic); !locked {
 				s.tr.Instant(trace.EvPanic, 0, 0, 0, 0, 0)
 				s.logger.Error("handler panic contained", "panic", fmt.Sprint(p), "path", r.URL.Path)
 			}
@@ -351,8 +135,9 @@ func (pr *panicRecorder) Write(b []byte) (int, error) {
 }
 
 // failAt is a test seam: tests install s.failpoint to inject a panic or
-// delay at a named point. Production servers have a nil hook and pay
-// one predictable branch.
+// delay at a named HTTP-layer point (engine-layer points install via
+// Engine.SetFailpoint). Production servers have a nil hook and pay one
+// predictable branch.
 func (s *Server) failAt(point string) {
 	if s.failpoint != nil {
 		s.failpoint(point)

@@ -81,7 +81,7 @@ func TestDegradedModeAndReanchor(t *testing.T) {
 			t.Fatalf("ingest %d while disk sick: %d %s", i, rec.Code, rec.Body)
 		}
 	}
-	waitFor(t, "degraded mode", func() bool { return s.degraded.Load() })
+	waitFor(t, "degraded mode", func() bool { return s.eng.Degraded() })
 
 	// Degraded: ingests still flow, marked non-durable.
 	rec := do(t, s, http.MethodPost, "/ingest", "4\n5\n")
@@ -97,8 +97,8 @@ func TestDegradedModeAndReanchor(t *testing.T) {
 
 	// The disk heals; the supervisor's next probe re-anchors.
 	chaos.Clear()
-	waitFor(t, "reanchor", func() bool { return !s.degraded.Load() })
-	if got := s.br.State(); got != resilience.Closed {
+	waitFor(t, "reanchor", func() bool { return !s.eng.Degraded() })
+	if got := s.eng.BreakerState(DefaultStream); got != resilience.Closed {
 		t.Errorf("breaker after recovery: %v", got)
 	}
 	if rec := do(t, s, http.MethodPost, "/ingest", "6\n"); rec.Code != http.StatusOK || ingestResp(t, rec) {
@@ -166,7 +166,7 @@ func TestRefusePolicy(t *testing.T) {
 			t.Fatalf("ingest %d while disk sick: %d %s", i, rec.Code, rec.Body)
 		}
 	}
-	waitFor(t, "degraded mode", func() bool { return s.degraded.Load() })
+	waitFor(t, "degraded mode", func() bool { return s.eng.Degraded() })
 	rec := do(t, s, http.MethodPost, "/ingest", "2\n")
 	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), errDegraded) {
 		t.Fatalf("refuse-policy ingest: %d %s", rec.Code, rec.Body)
@@ -182,7 +182,7 @@ func TestRefusePolicy(t *testing.T) {
 	}
 
 	chaos.Clear()
-	waitFor(t, "reanchor", func() bool { return !s.degraded.Load() })
+	waitFor(t, "reanchor", func() bool { return !s.eng.Degraded() })
 	if rec := do(t, s, http.MethodPost, "/ingest", "3\n"); rec.Code != http.StatusOK {
 		t.Fatalf("post-recovery ingest: %d %s", rec.Code, rec.Body)
 	}
@@ -213,7 +213,7 @@ func TestCheckpointWatchdogEscalates(t *testing.T) {
 	// Checkpoints fail; the WAL itself stays healthy and keeps growing.
 	chaos.SetRules(faults.Rule{Ops: faults.OpAll, PathContains: "checkpoint-", Prob: 1})
 	waitFor(t, "watchdog escalation", func() bool {
-		if s.degraded.Load() {
+		if s.eng.Degraded() {
 			return true
 		}
 		rec := do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n")
@@ -221,7 +221,7 @@ func TestCheckpointWatchdogEscalates(t *testing.T) {
 	})
 
 	chaos.Clear()
-	waitFor(t, "recovery", func() bool { return !s.degraded.Load() })
+	waitFor(t, "recovery", func() bool { return !s.eng.Degraded() })
 	if rec := do(t, s, http.MethodPost, "/ingest", "9\n"); rec.Code != http.StatusOK || ingestResp(t, rec) {
 		t.Fatalf("post-recovery ingest: %d %s", rec.Code, rec.Body)
 	}
@@ -296,7 +296,7 @@ func TestPanicOutsideLockContained(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), `"code":"internal"`) {
 		t.Fatalf("contained panic response: %d %s", rec.Code, rec.Body)
 	}
-	if s.quarantined.Load() {
+	if s.eng.Quarantined() {
 		t.Fatal("panic outside the lock must not quarantine")
 	}
 	s.failpoint = nil
@@ -305,27 +305,29 @@ func TestPanicOutsideLockContained(t *testing.T) {
 	}
 }
 
-// TestPanicUnderLockQuarantines: a panic mid-mutation releases the lock
-// (no deadlock), quarantines the state, refuses mutations, flips
-// /healthz unhealthy — and keeps serving reads.
+// TestPanicUnderLockQuarantines: a panic mid-apply releases the shard
+// lock (no deadlock), quarantines the shard, refuses mutations with
+// 503/quarantined, flips /healthz unhealthy — and keeps serving reads.
+// The panicking batch itself is answered, not left hanging: the shard
+// loop catches the quarantine and fails every request riding the batch.
 func TestPanicUnderLockQuarantines(t *testing.T) {
 	s := newTestServer(t)
 	if rec := do(t, s, http.MethodPost, "/ingest", "1\n2\n3\n"); rec.Code != http.StatusOK {
 		t.Fatalf("seed ingest: %d", rec.Code)
 	}
-	s.failpoint = func(p string) {
+	s.eng.SetFailpoint(func(p string) {
 		if p == "ingest.apply" {
 			panic("corrupting boom")
 		}
-	}
+	})
 	rec := do(t, s, http.MethodPost, "/ingest", "4\n")
-	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), `"code":"internal"`) {
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), errQuarantined) {
 		t.Fatalf("lock-held panic response: %d %s", rec.Code, rec.Body)
 	}
-	if !s.quarantined.Load() {
+	if !s.eng.Quarantined() {
 		t.Fatal("lock-held panic did not quarantine")
 	}
-	// The lock was released: reads that take s.mu still answer.
+	// The lock was released: reads that take the shard lock still answer.
 	if rec := do(t, s, http.MethodGet, "/stats", ""); rec.Code != http.StatusOK {
 		t.Fatalf("stats while quarantined (mutex leaked?): %d", rec.Code)
 	}
@@ -335,7 +337,7 @@ func TestPanicUnderLockQuarantines(t *testing.T) {
 	if rec := do(t, s, http.MethodGet, "/readyz", ""); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while quarantined: %d", rec.Code)
 	}
-	s.failpoint = nil
+	s.eng.SetFailpoint(nil)
 	if rec := do(t, s, http.MethodPost, "/ingest", "5\n"); rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), errQuarantined) {
 		t.Fatalf("ingest while quarantined: %d %s", rec.Code, rec.Body)
 	}
@@ -364,16 +366,16 @@ func TestPanicAutoRestore(t *testing.T) {
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	s.failpoint = func(p string) {
+	s.eng.SetFailpoint(func(p string) {
 		if p == "ingest.apply" {
 			panic("one-shot boom")
 		}
-	}
-	if rec := do(t, s, http.MethodPost, "/ingest", "4\n5\n"); rec.Code != http.StatusInternalServerError {
+	})
+	if rec := do(t, s, http.MethodPost, "/ingest", "4\n5\n"); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("lock-held panic response: %d", rec.Code)
 	}
-	s.failpoint = nil
-	waitFor(t, "auto-restore", func() bool { return !s.quarantined.Load() })
+	s.eng.SetFailpoint(nil)
+	waitFor(t, "auto-restore", func() bool { return !s.eng.Quarantined() })
 	// The panicked batch reached the WAL before the apply, so the
 	// restored state includes it.
 	if got := s.Seen(); got != 5 {

@@ -18,6 +18,7 @@ func TestIngestOversizedBodyReturns413(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	rec := do(t, s, http.MethodPost, "/ingest", strings.Repeat("1\n", 64))
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized ingest: %d, want 413: %s", rec.Code, rec.Body)
@@ -61,6 +62,7 @@ func TestIngestOverloadReturns429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	g := &gateReader{entered: make(chan struct{}), release: make(chan struct{})}
 	slow := httptest.NewRequest(http.MethodPost, "/ingest", g)
 	slowRec := httptest.NewRecorder()

@@ -1,42 +1,56 @@
-// Package server exposes a fixed-window stream summary over HTTP: ingest
-// stream points, query range sums and inspect the current histogram —
-// the "network operators commonly pose queries" scenario of the paper's
-// introduction, as a deployable component.
+// Package server exposes keyed fixed-window stream summaries over HTTP:
+// ingest stream points, query range sums and inspect the current
+// histogram — the "network operators commonly pose queries" scenario of
+// the paper's introduction, as a deployable multi-tenant component.
+// Every stream key owns an independent summary set, hash-partitioned
+// across shard loops (internal/shard) for parallelism.
 //
-// Endpoints:
+// Versioned endpoints (K is a stream key, 1-128 chars of [A-Za-z0-9._-]):
 //
-//	POST /ingest              body: one value per line (text), appended to the stream
-//	GET  /histogram           current window buckets as JSON
-//	GET  /agglom              whole-stream agglomerative histogram as JSON
-//	GET  /query?lo=&hi=       range-sum estimate over window positions
-//	GET  /quantile?phi=       whole-stream quantile (GK summary)
-//	GET  /selectivity?lo=&hi= fraction of stream values in [lo,hi]
-//	GET  /stats               stream statistics
-//	GET  /snapshot            binary fixed-window snapshot (operator download)
-//	POST /restore             replace the window from a /snapshot download
-//	GET  /drift               distribution-change check against a reference
-//	GET  /healthz             liveness (always 200 while the process runs)
-//	GET  /readyz              readiness (503 while recovering or draining)
-//	GET  /metrics             Prometheus text exposition (with Options.Metrics)
-//	GET  /debug/pprof/        runtime profiles (with Options.EnablePprof)
+//	POST /v1/streams/K/ingest       body: one value per line (text), appended to K's stream
+//	GET  /v1/streams/K/histogram    current window buckets as JSON
+//	GET  /v1/streams/K/agglom       whole-stream agglomerative histogram as JSON
+//	GET  /v1/streams/K/query?lo=&hi= range-sum estimate over window positions
+//	GET  /v1/streams/K/quantile?phi= whole-stream quantile (GK summary)
+//	GET  /v1/streams/K/selectivity?lo=&hi= fraction of stream values in [lo,hi]
+//	GET  /v1/streams/K/stats        stream statistics
+//	GET  /v1/streams/K/snapshot     binary fixed-window snapshot (operator download)
+//	POST /v1/streams/K/restore      replace K's window from a snapshot download
+//	GET  /v1/streams/K/drift        distribution-change check against a reference
+//	GET  /v1/streams?after=&limit=  page through live stream keys
+//	DELETE /v1/streams/K            drop K's stream (durably, via a WAL tombstone)
+//	GET  /healthz                   liveness (always 200 while the process runs)
+//	GET  /readyz                    readiness (503 while recovering or draining)
+//	GET  /metrics                   Prometheus text exposition (with Options.Metrics)
+//	GET  /debug/pprof/              runtime profiles (with Options.EnablePprof)
+//
+// The pre-v1 routes (POST /ingest, GET /histogram, ...) remain mounted
+// as aliases for the reserved "default" stream; they answer with a
+// Deprecation header and a Link to their successor route. The "default"
+// stream always exists.
 //
 // Error responses (all of them — bad parameters, 413s, overload 429s,
 // restore failures, timeouts) share one JSON envelope,
 //
 //	{"error":{"code":"<machine code>","message":"<human text>"}}
 //
-// emitted by a single helper; see errors.go for the code vocabulary.
+// emitted by a single helper; per-stream errors add a "stream" field
+// naming the key. See errors.go for the code vocabulary.
 //
 // With Options.DataDir set the server is crash-safe: acknowledged ingests
-// are appended to a write-ahead log (internal/wal) before being applied,
-// periodic checkpoints (internal/checkpoint) bound replay time, and Open
-// recovers the window after a crash by loading the latest checkpoint and
-// replaying the WAL tail. See persist.go.
+// are appended to the owning shard's write-ahead log (internal/wal)
+// before being applied, periodic per-shard checkpoints
+// (internal/checkpoint) bound replay time, and Open recovers every
+// stream after a crash by loading each shard's latest checkpoint and
+// replaying its WAL tail — shards recover in parallel. See
+// internal/shard.
 //
 // With Options.Metrics set every layer the request touches is
 // instrumented into the shared registry: HTTP (per-endpoint counters,
 // status classes, latency quantiles, in-flight gauge), fixed-window
-// maintenance, the agglomerative summary, the WAL and checkpoints. The
+// maintenance, the agglomerative summary, the WAL and checkpoints.
+// Per-stream labels are never emitted — labels are per shard, so
+// cardinality stays bounded no matter how many keys tenants create. The
 // latency quantiles are served by the library's own Greenwald–Khanna
 // summaries. See metrics.go.
 package server
@@ -47,21 +61,24 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"streamhist/internal/agglom"
 	"streamhist/internal/core"
-	"streamhist/internal/drift"
 	"streamhist/internal/faults"
-	"streamhist/internal/quantile"
-	"streamhist/internal/resilience"
+	"streamhist/internal/shard"
 	"streamhist/internal/stream"
 	"streamhist/internal/trace"
 	"streamhist/internal/vhist"
-	"streamhist/internal/wal"
 )
+
+// DefaultStream is the reserved stream key the legacy (pre-/v1) routes
+// alias. It always exists on a running server; deleting it durably drops
+// its data and immediately recreates it empty.
+const DefaultStream = "default"
 
 // Server states, in lifecycle order.
 const (
@@ -71,101 +88,92 @@ const (
 )
 
 // Server is the HTTP handler state. The zero value is unusable; construct
-// with New or Open.
+// with New or Open. All per-stream state lives in the shard engine; the
+// server itself holds only routing, admission control and wiring.
 type Server struct {
-	mu    sync.Mutex
-	fw    *core.FixedWindow          // guarded by mu
-	agg   *agglom.Summary            // guarded by mu
-	gk    *quantile.GK               // guarded by mu
-	sed   *vhist.StreamingEqualDepth // guarded by mu
-	det   *drift.Detector            // guarded by mu
-	stats stream.Counter             // guarded by mu
+	eng *shard.Engine
 
 	mux     *http.ServeMux
 	handler http.Handler
 	maxBody int64
 
-	// Overload protection: a slot must be free to admit an /ingest.
+	// Overload protection: a slot must be free to admit an ingest.
 	inflight chan struct{}
 	state    atomic.Int32
 
 	// Observability (zero/nil without Options.Metrics; nil tr is the
-	// disabled flight recorder).
+	// disabled flight recorder). cm and rm share registry handles with the
+	// engine's copies — same metric names resolve to the same counters.
 	om       *httpMetrics
 	cm       ckptMetrics
+	rm       resilienceMetrics
 	tr       *trace.Recorder
 	logger   *slog.Logger
 	logDebug bool // logger admits Debug records; precomputed for the request path
 
-	// Durability (nil / zero when DataDir is unset).
 	opts      Options
 	fs        faults.FS
-	wal       *wal.WAL
-	ckptMu    sync.Mutex // serializes Checkpoint and re-anchoring
-	stop      chan struct{}
-	loopDone  chan struct{}
 	closeOnce sync.Once
 	closeErr  error
 
-	// Self-healing (see resilience.go; br and the channels are nil on a
-	// memory-only server).
-	br          *resilience.Breaker
-	degraded    atomic.Bool   // ingests are memory-only; supervisor owns recovery
-	quarantined atomic.Bool   // lock-held panic; state suspect, mutations refused
-	probeWake   chan struct{} // kicks the supervisor when the breaker trips
-	supDone     chan struct{}
-	rm          resilienceMetrics
-	failpoint   func(point string) // test seam; nil in production
+	failpoint func(point string) // server-layer test seam; nil in production
 }
 
-// New creates an in-memory server (no durability) maintaining, over the
-// ingested stream, a fixed-window histogram (last n points, b buckets,
-// growth factor delta), a whole-stream agglomerative histogram, a
-// whole-stream GK quantile summary, and a streaming equi-depth value
-// histogram for selectivity queries. Crash-safe servers are constructed
-// with Open.
-func New(n, b int, eps, delta float64) (*Server, error) {
-	return Open(Options{Window: n, Buckets: b, Eps: eps, Delta: delta})
-}
+// Option tweaks Options for New; see WithShards and friends.
+type Option func(*Options)
 
-// newState builds the summary set for the configured window.
-func newState(o Options) (*core.FixedWindow, *agglom.Summary, *quantile.GK, *vhist.StreamingEqualDepth, *drift.Detector, error) {
-	fw, err := core.NewWithDelta(o.Window, o.Buckets, o.Eps, o.Delta)
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
+// WithShards sets the number of shard loops (0 means GOMAXPROCS).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithMaxKeys caps live streams across all shards (0 means unlimited).
+func WithMaxKeys(n int) Option { return func(o *Options) { o.MaxKeys = n } }
+
+// WithKeyInflight bounds concurrently-admitted requests per stream key
+// (0 means unlimited; the server-wide MaxInflight still applies).
+func WithKeyInflight(n int) Option { return func(o *Options) { o.KeyInflight = n } }
+
+// WithFactory supplies the per-key summary factory (overrides the one
+// derived from Window/Buckets/Eps/Delta). See MaintainerFactory.
+func WithFactory(f shard.Factory) Option { return func(o *Options) { o.Factory = f } }
+
+// New creates an in-memory server (no durability) maintaining, per
+// stream key, a fixed-window histogram (last n points, b buckets, growth
+// factor delta), a whole-stream agglomerative histogram, a whole-stream
+// GK quantile summary, and a streaming equi-depth value histogram for
+// selectivity queries. Crash-safe servers are constructed with Open.
+func New(n, b int, eps, delta float64, opts ...Option) (*Server, error) {
+	o := Options{Window: n, Buckets: b, Eps: eps, Delta: delta}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	agg, err := agglom.New(o.Buckets, o.Eps)
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
-	}
-	gk, err := quantile.NewGK(0.01)
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
-	}
-	sed, err := vhist.NewStreamingEqualDepth(o.Buckets, 0.25/float64(o.Buckets))
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
-	}
-	det, err := drift.NewDetector(50)
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
-	}
-	fw.SetRegistry(o.Metrics)
-	agg.SetRegistry(o.Metrics)
-	return fw, agg, gk, sed, det, nil
+	return Open(o)
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/histogram", s.handleHistogram)
-	s.mux.HandleFunc("/agglom", s.handleAgglom)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/quantile", s.handleQuantile)
-	s.mux.HandleFunc("/selectivity", s.handleSelectivity)
-	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/restore", s.handleRestore)
-	s.mux.HandleFunc("/drift", s.handleDrift)
+	// Every per-stream operation is mounted twice: under its versioned
+	// /v1/streams/{key}/ route and at its legacy pre-v1 path aliasing the
+	// reserved "default" stream.
+	ops := []struct {
+		name string
+		h    func(http.ResponseWriter, *http.Request, string)
+	}{
+		{"ingest", s.handleIngest},
+		{"histogram", s.handleHistogram},
+		{"agglom", s.handleAgglom},
+		{"query", s.handleQuery},
+		{"stats", s.handleStats},
+		{"quantile", s.handleQuantile},
+		{"selectivity", s.handleSelectivity},
+		{"snapshot", s.handleSnapshot},
+		{"restore", s.handleRestore},
+		{"drift", s.handleDrift},
+	}
+	for _, op := range ops {
+		s.mux.HandleFunc("/v1/streams/{key}/"+op.name, s.keyed(op.h))
+		s.mux.HandleFunc("/"+op.name, s.legacy(op.name, op.h))
+	}
+	s.mux.HandleFunc("/v1/streams", s.handleStreams)
+	s.mux.HandleFunc("/v1/streams/{key}", s.keyed(s.handleStreamRoot))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.opts.Metrics != nil {
@@ -200,7 +208,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// ingestScratch holds the reusable parse buffers of one /ingest request:
+// validStreamKey bounds stream keys: 1-128 chars of [A-Za-z0-9._-].
+// Keys are WAL record fields and map keys, so the bound also caps
+// per-record overhead.
+func validStreamKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// keyed adapts a per-stream handler to a /v1 route carrying {key}.
+// Syntactically invalid keys answer 404 in the stream error envelope —
+// they can never name an existing stream.
+func (s *Server) keyed(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !validStreamKey(key) {
+			writeStreamError(w, http.StatusNotFound, errUnknownStream, key,
+				"unknown stream %q (keys are 1-128 chars of [A-Za-z0-9._-])", key)
+			return
+		}
+		h(w, r, key)
+	}
+}
+
+// legacy mounts a pre-v1 route as an alias for the reserved "default"
+// stream, advertising its successor via Deprecation and Link headers.
+func (s *Server) legacy(op string, h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	successor := "/v1/streams/" + DefaultStream + "/" + op
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r, DefaultStream)
+	}
+}
+
+// ingestScratch holds the reusable parse buffers of one ingest request:
 // the scanner's line buffer and the destination value slice.
 type ingestScratch struct {
 	buf  []byte
@@ -211,21 +264,62 @@ var ingestPool = sync.Pool{New: func() any {
 	return &ingestScratch{buf: make([]byte, 64*1024)}
 }}
 
-// requireMethod answers 405 in the error envelope unless the request uses
-// the given method.
-func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "%s required", method)
+// requireMethod answers 405 in the error envelope — with the Allow
+// header listing what would have worked — unless the request uses one of
+// the given methods.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	allow := methods[0]
+	for _, m := range methods[1:] {
+		allow += ", " + m
+	}
+	w.Header().Set("Allow", allow)
+	if len(methods) == 1 {
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "%s required", methods[0])
+	} else {
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "one of %s required", allow)
+	}
+	return false
+}
+
+// writeEngineError maps the shard engine's sentinel errors onto the HTTP
+// envelope, reporting whether it wrote a response. Unmapped errors are
+// left to the caller, whose context decides the 500 message.
+func (s *Server) writeEngineError(w http.ResponseWriter, key string, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, shard.ErrUnknownStream):
+		writeStreamError(w, http.StatusNotFound, errUnknownStream, key, "unknown stream %q", key)
+	case errors.Is(err, shard.ErrQuotaKeys):
+		writeStreamError(w, http.StatusTooManyRequests, errQuotaExceeded, key,
+			"stream quota exceeded (max %d streams)", s.opts.MaxKeys)
+	case errors.Is(err, shard.ErrKeyBusy):
+		s.setRetryAfter(w)
+		writeStreamError(w, http.StatusTooManyRequests, errOverloaded, key,
+			"too many in-flight requests for stream %q", key)
+	case errors.Is(err, shard.ErrQuarantined):
+		w.Header().Set("Retry-After", "1")
+		writeStreamError(w, http.StatusServiceUnavailable, errQuarantined, key,
+			"state quarantined after a panic; restore or restart pending")
+	case errors.Is(err, shard.ErrDegraded):
+		s.setRetryAfter(w)
+		writeStreamError(w, http.StatusServiceUnavailable, errDegraded, key,
+			"durability degraded; ingests refused by policy")
+	case errors.Is(err, shard.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		writeStreamError(w, http.StatusServiceUnavailable, errNotReady, key, "not ready")
+	default:
 		return false
 	}
 	return true
 }
 
-// errRefusedDegraded marks an ingest refused because the durability
-// layer is down and the policy is OnPersistRefuse.
-var errRefusedDegraded = errors.New("degraded")
-
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
@@ -234,9 +328,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
-	if s.quarantined.Load() {
+	if s.eng.QuarantinedFor(key) {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, errQuarantined, "state quarantined after a panic; restore or restart pending")
+		writeStreamError(w, http.StatusServiceUnavailable, errQuarantined, key,
+			"state quarantined after a panic; restore or restart pending")
 		return
 	}
 	// Admission control: refuse rather than queue when every in-flight
@@ -271,94 +366,48 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
-	ispan := s.tr.StartSpan(spanFromContext(r.Context()), trace.EvIngest, 0, 0, int64(len(values)))
+	// The span code attributes the work to the owning shard; the WAL
+	// append and fsync events land under this span via the engine.
+	ispan := s.tr.StartSpan(spanFromContext(r.Context()), trace.EvIngest,
+		uint8(s.eng.ShardFor(key)), 0, int64(len(values)))
 	s.failAt("ingest.before-lock")
-	// The critical section runs as a closure so a panic mid-mutation is
-	// caught by guardUnlock while the fault is still attributable to the
-	// held lock: the state is quarantined instead of deadlocking every
-	// later request on a mutex nobody will release.
-	var (
-		seen        int64
-		werr        error
-		degradedAck bool
-	)
-	func() {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		if s.wal != nil {
-			if s.degraded.Load() {
-				// Durability is down; the supervisor owns recovery. Appending
-				// here is futile (the log position already diverged from the
-				// memory-only state) and would hammer a sick disk.
-				if s.opts.OnPersistError == OnPersistRefuse {
-					werr = errRefusedDegraded
-					return
-				}
-				degradedAck = true
-			} else if err := s.wal.AppendCtx(ispan.ID(), s.fw.Seen(), values); err != nil {
-				// Write-ahead failed: count it toward the breaker. Crossing
-				// the threshold enters degraded mode, and under the degrade
-				// policy this very batch rides into it memory-only.
-				s.rm.appendFailures.Inc()
-				if s.br.Failure() {
-					s.enterDegraded("wal append failures reached breaker threshold", err)
-				}
-				if s.degraded.Load() && s.opts.OnPersistError != OnPersistRefuse {
-					degradedAck = true
-				} else {
-					werr = err
-					return
-				}
-			} else {
-				// Write-ahead: the batch is durable (to the configured fsync
-				// policy) before it is applied or acknowledged, so an
-				// acknowledged batch is never silently lost by a crash.
-				s.br.Success()
-			}
-		}
-		s.failAt("ingest.apply")
-		for _, v := range values {
-			s.fw.PushLazy(v)
-			s.agg.Push(v)
-			s.gk.Insert(v)
-			s.sed.Push(v)
-			s.stats.Push(v)
-		}
-		seen = s.fw.Seen()
-	}()
-	if werr != nil {
+	seen, degradedAck, ierr := s.eng.Ingest(key, ispan.ID(), values)
+	if ierr != nil {
 		ispan.End(0, 0)
-		if errors.Is(werr, errRefusedDegraded) {
-			s.setRetryAfter(w)
-			writeError(w, http.StatusServiceUnavailable, errDegraded, "durability degraded; ingests refused by policy")
+		if s.writeEngineError(w, key, ierr) {
 			return
 		}
-		writeError(w, http.StatusInternalServerError, errInternal, "wal append: %v", werr)
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", ierr)
 		return
 	}
 	ispan.End(0, int64(len(values)))
 	if degradedAck {
-		s.rm.degradedBatches.Inc()
-		s.rm.degradedPoints.Add(int64(len(values)))
 		writeJSON(w, map[string]any{"ingested": len(values), "seen": seen, "degraded": true})
 		return
 	}
 	writeJSON(w, map[string]any{"ingested": len(values), "seen": seen})
 }
 
-func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	res, windowStart, err := func() (*core.Result, int64, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		s.setTraceParent(r) // a lazy flush here is this request's doing
-		res, err := s.fw.Histogram()
-		return res, s.fw.WindowStart(), err
-	}()
-	if err != nil {
-		writeError(w, http.StatusConflict, errConflict, "%v", err)
+	var (
+		res         *core.Result
+		windowStart int64
+	)
+	verr := s.eng.View(key, func(st *shard.State) error {
+		s.setTraceParent(r, st.FW) // a lazy flush here is this request's doing
+		var err error
+		res, err = st.FW.Histogram()
+		windowStart = st.FW.WindowStart()
+		return err
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
+	if verr != nil {
+		writeError(w, http.StatusConflict, errConflict, "%v", verr)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -371,26 +420,33 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 // handleAgglom serves the whole-stream agglomerative histogram: bucket
 // boundaries are stream positions since the start of the stream, not
 // window positions.
-func (s *Server) handleAgglom(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAgglom(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	res, endpoints, n, err := func() (*agglom.Result, int, int, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		n := s.agg.N()
+	var (
+		res          *agglom.Result
+		endpoints, n int
+	)
+	verr := s.eng.View(key, func(st *shard.State) error {
+		n = st.Agg.N()
 		if n == 0 {
-			return nil, 0, 0, nil
+			return nil
 		}
-		res, err := s.agg.Histogram()
-		return res, s.agg.StoredEndpoints(), n, err
-	}()
-	if n == 0 {
+		var err error
+		res, err = st.Agg.Histogram()
+		endpoints = st.Agg.StoredEndpoints()
+		return err
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
+	if verr == nil && n == 0 {
 		writeError(w, http.StatusConflict, errConflict, "stream is empty")
 		return
 	}
-	if err != nil {
-		writeError(w, http.StatusConflict, errConflict, "%v", err)
+	if verr != nil {
+		writeError(w, http.StatusConflict, errConflict, "%v", verr)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -401,15 +457,18 @@ func (s *Server) handleAgglom(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	length := func() int {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.fw.Len()
-	}()
+	length := 0
+	verr := s.eng.View(key, func(st *shard.State) error {
+		length = st.FW.Len()
+		return nil
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
 	if length == 0 {
 		writeError(w, http.StatusConflict, errConflict, "window is empty")
 		return
@@ -420,23 +479,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be integers")
 		return
 	}
-	res, inRange, err := func() (*core.Result, bool, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		length = s.fw.Len()
+	var (
+		res     *core.Result
+		inRange bool
+	)
+	verr = s.eng.View(key, func(st *shard.State) error {
+		length = st.FW.Len()
 		if lo < 0 || hi >= length || hi < lo {
-			return nil, false, nil
+			return nil
 		}
-		s.setTraceParent(r)
-		res, err := s.fw.Histogram()
-		return res, true, err
-	}()
-	if !inRange {
+		inRange = true
+		s.setTraceParent(r, st.FW)
+		var err error
+		res, err = st.FW.Histogram()
+		return err
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
+	if verr == nil && !inRange {
 		writeError(w, http.StatusBadRequest, errBadRequest, "range [%d,%d] outside window [0,%d]", lo, hi, length-1)
 		return
 	}
-	if err != nil {
-		writeError(w, http.StatusConflict, errConflict, "%v", err)
+	if verr != nil {
+		writeError(w, http.StatusConflict, errConflict, "%v", verr)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -446,15 +512,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	st, length, seen := func() (stream.Counter, int, int64) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.stats, s.fw.Len(), s.fw.Seen()
-	}()
+	var (
+		st     stream.Counter
+		length int
+		seen   int64
+	)
+	verr := s.eng.View(key, func(state *shard.State) error {
+		st, length, seen = state.Stats, state.FW.Len(), state.FW.Seen()
+		return nil
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
 	writeJSON(w, map[string]any{
 		"seen":     seen,
 		"window":   length,
@@ -465,7 +538,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
@@ -474,12 +547,19 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "phi must be a number in [0,1]")
 		return
 	}
-	v, n, qerr := func() (float64, int64, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		v, qerr := s.gk.Query(phi)
-		return v, s.gk.N(), qerr
-	}()
+	var (
+		v    float64
+		n    int64
+		qerr error
+	)
+	verr := s.eng.View(key, func(st *shard.State) error {
+		v, qerr = st.GK.Query(phi)
+		n = st.GK.N()
+		return nil
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
 	if qerr != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", qerr)
 		return
@@ -487,7 +567,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"phi": phi, "value": v, "n": n})
 }
 
-func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
@@ -497,11 +577,17 @@ func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadRequest, "lo and hi must be numbers with lo <= hi")
 		return
 	}
-	h, herr := func() (*vhist.VHistogram, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		return s.sed.Histogram()
-	}()
+	var (
+		h    *vhist.VHistogram
+		herr error
+	)
+	verr := s.eng.View(key, func(st *shard.State) error {
+		h, herr = st.Sed.Histogram()
+		return nil
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
 	if herr != nil {
 		writeError(w, http.StatusConflict, errConflict, "%v", herr)
 		return
@@ -514,18 +600,22 @@ func (s *Server) handleSelectivity(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot serves the fixed-window snapshot as a binary download so
-// an operator can archive the window or seed another daemon via /restore.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+// an operator can archive the window or seed another stream via restore.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	blob, err := func() ([]byte, error) {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		return s.fw.MarshalBinary()
-	}()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+	var blob []byte
+	verr := s.eng.View(key, func(st *shard.State) error {
+		var err error
+		blob, err = st.FW.MarshalBinary()
+		return err
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
+	if verr != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", verr)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -534,13 +624,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleRestore is the inverse of /snapshot: it replaces the window with
-// an uploaded snapshot so an operator can seed a fresh daemon. The
-// whole-stream summaries (agglomerative histogram, quantiles,
-// selectivity, stats, drift reference) are not part of a window snapshot
-// and restart empty. On a durable server the restored state is
-// checkpointed and the WAL reset before the request is acknowledged.
-func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+// handleRestore is the inverse of snapshot: it replaces the stream's
+// window with an uploaded snapshot so an operator can seed a fresh
+// stream. The whole-stream summaries (agglomerative histogram,
+// quantiles, selectivity, stats, drift reference) are not part of a
+// window snapshot and restart empty. On a durable server the restored
+// state is checkpointed and the shard's WAL reset before the request is
+// acknowledged.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
@@ -549,9 +640,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
 		return
 	}
-	if s.quarantined.Load() {
+	if s.eng.QuarantinedFor(key) {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, errQuarantined, "state quarantined after a panic; restore or restart pending")
+		writeStreamError(w, http.StatusServiceUnavailable, errQuarantined, key,
+			"state quarantined after a panic; restore or restart pending")
 		return
 	}
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
@@ -569,37 +661,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errBadSnapshot, "invalid snapshot: %v", err)
 		return
 	}
-	restored.SetRegistry(s.opts.Metrics)
-	restored.SetTracer(s.tr)
-	o := s.opts
-	o.Window, o.Buckets = restored.Capacity(), restored.Buckets()
-	o.Eps, o.Delta = restored.Epsilon(), restored.Delta()
-	_, agg, gk, sed, det, err := newState(o)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+	seen, length, rerr := s.eng.Restore(key, restored)
+	if rerr != nil {
+		if s.writeEngineError(w, key, rerr) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", rerr)
 		return
-	}
-	var seen int64
-	var length int
-	func() {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		s.failAt("restore.apply")
-		s.fw, s.agg, s.gk, s.sed, s.det = restored, agg, gk, sed, det
-		s.stats = stream.Counter{}
-		seen, length = restored.Seen(), restored.Len()
-	}()
-	if s.wal != nil {
-		// Make the replacement durable before acknowledging: checkpoint the
-		// new state, then restart the log at its stream position.
-		if err := s.Checkpoint(); err != nil {
-			writeError(w, http.StatusInternalServerError, errInternal, "checkpointing restored state: %v", err)
-			return
-		}
-		if err := s.wal.Reset(seen); err != nil {
-			writeError(w, http.StatusInternalServerError, errInternal, "resetting wal: %v", err)
-			return
-		}
 	}
 	writeJSON(w, map[string]any{"restored": true, "seen": seen, "window": length})
 }
@@ -608,7 +676,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 // reference (installed on the first call), returning the normalized L2
 // distance and whether the distribution drifted; on drift the reference
 // re-anchors to the current window.
-func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request, key string) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
@@ -618,29 +686,30 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		alarms, checks int
 		derr           error
 	)
-	err := func() error {
-		s.mu.Lock()
-		defer s.guardUnlock()
-		s.setTraceParent(r)
-		res, err := s.fw.Histogram()
+	verr := s.eng.View(key, func(st *shard.State) error {
+		s.setTraceParent(r, st.FW)
+		res, err := st.FW.Histogram()
 		if err != nil {
 			return err
 		}
 		// While the window is still filling its span grows between calls;
 		// re-anchor rather than compare histograms of different extents.
-		if ref := s.det.Reference(); ref != nil {
+		if ref := st.Det.Reference(); ref != nil {
 			rs, re := ref.Span()
 			cs, ce := res.Histogram.Span()
 			if rs != cs || re != ce {
-				s.det.Reset()
+				st.Det.Reset()
 			}
 		}
-		dist, drifted, derr = s.det.Observe(res.Histogram)
-		alarms, checks = s.det.Alarms(), s.det.Checks()
+		dist, drifted, derr = st.Det.Observe(res.Histogram)
+		alarms, checks = st.Det.Alarms(), st.Det.Checks()
 		return nil
-	}()
-	if err != nil {
-		writeError(w, http.StatusConflict, errConflict, "%v", err)
+	})
+	if s.writeEngineError(w, key, verr) {
+		return
+	}
+	if verr != nil {
+		writeError(w, http.StatusConflict, errConflict, "%v", verr)
 		return
 	}
 	if derr != nil {
@@ -655,25 +724,97 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleStreams pages through live stream keys in lexicographic order:
+// ?after= resumes past a key, ?limit= caps the page (default 100, max
+// 1000), and a "next" cursor appears whenever more keys remain.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, errBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	keys := s.eng.Keys()
+	if after := r.URL.Query().Get("after"); after != "" {
+		idx := sort.SearchStrings(keys, after)
+		if idx < len(keys) && keys[idx] == after {
+			idx++
+		}
+		keys = keys[idx:]
+	}
+	next := ""
+	if len(keys) > limit {
+		keys = keys[:limit]
+		next = keys[len(keys)-1]
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	resp := map[string]any{"streams": keys, "count": len(keys)}
+	if next != "" {
+		resp["next"] = next
+	}
+	writeJSON(w, resp)
+}
+
+// handleStreamRoot serves /v1/streams/{key} itself: DELETE durably drops
+// the stream (a WAL tombstone makes the deletion crash-safe). Deleting
+// the reserved default stream recreates it empty, so the legacy aliases
+// always have a target.
+func (s *Server) handleStreamRoot(w http.ResponseWriter, r *http.Request, key string) {
+	if !requireMethod(w, r, http.MethodDelete) {
+		return
+	}
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errNotReady, "not ready")
+		return
+	}
+	err := s.eng.Delete(key, spanFromContext(r.Context()))
+	if err != nil {
+		if s.writeEngineError(w, key, err) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, errInternal, "%v", err)
+		return
+	}
+	if key == DefaultStream {
+		if err := s.eng.Ensure(DefaultStream); err != nil {
+			writeError(w, http.StatusInternalServerError, errInternal, "recreating default stream: %v", err)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"deleted": true, "stream": key})
+}
+
 // handleHealthz is liveness: the process is up and serving. The one
-// exception is quarantine — after a lock-held panic the in-memory state
-// is suspect, and reporting unhealthy lets an orchestrator restart the
+// exception is quarantine — after a lock-held panic a shard's state is
+// suspect, and reporting unhealthy lets an orchestrator restart the
 // process (the durable state on disk recovers it) when RestoreOnPanic
 // is not doing so in-process.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.quarantined.Load() {
+	if s.eng.Quarantined() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]any{"status": "unhealthy", "reason": "quarantined"})
 		return
 	}
-	writeJSON(w, map[string]any{"status": "ok", "degraded": s.degraded.Load()})
+	writeJSON(w, map[string]any{"status": "ok", "degraded": s.eng.Degraded()})
 }
 
 // handleReadyz is readiness: 503 while the server recovers state at
-// startup, drains at shutdown, is quarantined, or is degraded under the
-// refuse policy (writes would 503 anyway) — so load balancers stop
-// routing before writes start failing. A degraded server under the
+// startup, drains at shutdown, has a quarantined shard, or is degraded
+// under the refuse policy (writes would 503 anyway) — so load balancers
+// stop routing before writes start failing. A degraded server under the
 // degrade policy stays ready and advertises "degraded":true.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	var status string
@@ -685,10 +826,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	default:
 		status = "starting"
 	}
-	degraded := s.degraded.Load()
+	degraded := s.eng.Degraded()
 	if status == "ready" {
 		switch {
-		case s.quarantined.Load():
+		case s.eng.Quarantined():
 			status = "quarantined"
 		case degraded && s.opts.OnPersistError == OnPersistRefuse:
 			status = "degraded"

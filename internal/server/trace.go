@@ -4,28 +4,43 @@ import (
 	"context"
 	"net/http"
 
+	"streamhist/internal/core"
 	"streamhist/internal/trace"
 )
 
 // pathCodes compresses known request paths into the one-byte Code slot
-// of an EvHTTP event; 0 is "other". codePaths is the inverse, used by
-// the exports to render codes back to paths.
+// of an EvHTTP event; 0 is "other". Versioned per-stream routes are
+// recorded under their {key} placeholder (via metricsPath), keeping the
+// code space bounded. codePaths is the inverse, used by the exports to
+// render codes back to paths.
 var pathCodes = map[string]uint8{
-	"/ingest":             1,
-	"/histogram":          2,
-	"/agglom":             3,
-	"/query":              4,
-	"/stats":              5,
-	"/quantile":           6,
-	"/selectivity":        7,
-	"/snapshot":           8,
-	"/restore":            9,
-	"/drift":              10,
-	"/healthz":            11,
-	"/readyz":             12,
-	"/metrics":            13,
-	"/debug/trace/events": 14,
-	"/debug/trace/chrome": 15,
+	"/ingest":                       1,
+	"/histogram":                    2,
+	"/agglom":                       3,
+	"/query":                        4,
+	"/stats":                        5,
+	"/quantile":                     6,
+	"/selectivity":                  7,
+	"/snapshot":                     8,
+	"/restore":                      9,
+	"/drift":                        10,
+	"/healthz":                      11,
+	"/readyz":                       12,
+	"/metrics":                      13,
+	"/debug/trace/events":           14,
+	"/debug/trace/chrome":           15,
+	"/v1/streams":                   16,
+	"/v1/streams/{key}":             17,
+	"/v1/streams/{key}/ingest":      18,
+	"/v1/streams/{key}/histogram":   19,
+	"/v1/streams/{key}/agglom":      20,
+	"/v1/streams/{key}/query":       21,
+	"/v1/streams/{key}/stats":       22,
+	"/v1/streams/{key}/quantile":    23,
+	"/v1/streams/{key}/selectivity": 24,
+	"/v1/streams/{key}/snapshot":    25,
+	"/v1/streams/{key}/restore":     26,
+	"/v1/streams/{key}/drift":       27,
 }
 
 var codePaths = func() map[uint8]string {
@@ -70,7 +85,7 @@ func (s *Server) traceware(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		code := pathCodes[r.URL.Path] // 0 = other
+		code := pathCodes[metricsPath(r.URL.Path)] // 0 = other
 		hi, lo := s.tr.TraceID()
 		var parent trace.SpanID
 		if phi, plo, pspan, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
@@ -94,14 +109,14 @@ func (s *Server) traceware(next http.Handler) http.Handler {
 	})
 }
 
-// setTraceParent threads the active request's span into the fixed-window
-// maintainer so a rebuild the request forces (lazy ingest flushes at the
-// next query) is attributed to this request.
+// setTraceParent threads the active request's span into a stream's
+// fixed-window maintainer so a rebuild the request forces (lazy ingest
+// flushes at the next query) is attributed to this request.
 //
-//lint:ignore mutex-discipline runs with s.mu held by the handler
-func (s *Server) setTraceParent(r *http.Request) {
+//lint:ignore mutex-discipline runs with the owning shard's lock held (inside Engine.View)
+func (s *Server) setTraceParent(r *http.Request, fw *core.FixedWindow) {
 	if s.tr != nil {
-		s.fw.SetTraceParent(spanFromContext(r.Context()))
+		fw.SetTraceParent(spanFromContext(r.Context()))
 	}
 }
 

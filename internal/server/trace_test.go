@@ -280,6 +280,7 @@ func TestTraceEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer plain.Close()
 	if rec := doTrace(t, plain, http.MethodGet, "/debug/trace/events", "", nil); rec.Code != http.StatusNotFound {
 		t.Fatalf("disabled /debug/trace/events = %d, want 404", rec.Code)
 	}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"streamhist/internal/agglom"
+	"streamhist/internal/core"
+	"streamhist/internal/drift"
+	"streamhist/internal/obs"
+	"streamhist/internal/quantile"
+	"streamhist/internal/stream"
+	"streamhist/internal/trace"
+	"streamhist/internal/vhist"
+)
+
+// State is the full summary set of one stream: the durable fixed-window
+// histogram plus the whole-stream auxiliaries (agglomerative histogram,
+// GK quantiles, equi-depth value histogram, drift detector, running
+// stats). Only the fixed window is checkpointed; the auxiliaries are
+// rebuilt from the replayed WAL tail on recovery, exactly like the
+// single-stream daemon before it.
+type State struct {
+	FW    *core.FixedWindow
+	Agg   *agglom.Summary
+	GK    *quantile.GK
+	Sed   *vhist.StreamingEqualDepth
+	Det   *drift.Detector
+	Stats stream.Counter
+}
+
+// Factory builds the State for a newly created stream key. The engine
+// normalizes instrumentation afterward (registry and tracer attachment),
+// so factories only decide the summary parameters.
+type Factory func(key string) (*State, error)
+
+// NewState builds the standard auxiliary summary set around an existing
+// fixed window, deriving their parameters from it (bucket budget and
+// epsilon follow the window's own configuration). It is the one state
+// builder shared by the default per-key factory, snapshot restore, and
+// crash recovery, so all three produce identical summaries for identical
+// windows.
+func NewState(fw *core.FixedWindow) (*State, error) {
+	b, eps := fw.Buckets(), fw.Epsilon()
+	agg, err := agglom.New(b, eps)
+	if err != nil {
+		return nil, err
+	}
+	gk, err := quantile.NewGK(0.01)
+	if err != nil {
+		return nil, err
+	}
+	sed, err := vhist.NewStreamingEqualDepth(b, 0.25/float64(b))
+	if err != nil {
+		return nil, err
+	}
+	det, err := drift.NewDetector(50)
+	if err != nil {
+		return nil, err
+	}
+	return &State{FW: fw, Agg: agg, GK: gk, Sed: sed, Det: det}, nil
+}
+
+// attach wires the state's instrumentation into the engine's registry
+// and flight recorder. Metric names are shared across keys, so the
+// registry's dedup index aggregates all streams into one bounded set of
+// series instead of one per key.
+func (st *State) attach(reg *obs.Registry, tr *trace.Recorder) {
+	st.FW.SetRegistry(reg)
+	st.Agg.SetRegistry(reg)
+	if tr != nil {
+		st.FW.SetTracer(tr)
+	}
+}
+
+// Checkpoint container format: one file per shard holding every stream's
+// fixed-window snapshot plus the WAL sequence number the container
+// covers.
+//
+//	byte   version (1)
+//	uint64 coveredSeq — replay skips WAL segments with seq < coveredSeq
+//	uint32 numKeys
+//	per key: uint32 keyLen | key | uint32 blobLen | fixed-window blob
+const containerVersion = 1
+
+// encodeContainer serializes every stream's fixed window. Keys are
+// sorted so identical state always produces identical bytes.
+func encodeContainer(coveredSeq uint64, streams map[string]*State) ([]byte, error) {
+	keys := make([]string, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]byte, 0, 64*len(streams))
+	out = append(out, containerVersion)
+	out = binary.LittleEndian.AppendUint64(out, coveredSeq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		blob, err := streams[k].FW.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("shard: marshaling stream %q: %w", k, err)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// decodeContainer parses a checkpoint container into per-key window
+// blobs. The container arrives CRC-validated by the checkpoint layer, so
+// structural damage here means a version mismatch or a bug, not disk
+// corruption — both are errors, never silently skipped.
+func decodeContainer(data []byte) (coveredSeq uint64, blobs map[string][]byte, err error) {
+	if len(data) < 1+8+4 {
+		return 0, nil, fmt.Errorf("shard: checkpoint container truncated")
+	}
+	if data[0] != containerVersion {
+		return 0, nil, fmt.Errorf("shard: unknown checkpoint container version %d", data[0])
+	}
+	coveredSeq = binary.LittleEndian.Uint64(data[1:])
+	n := int(binary.LittleEndian.Uint32(data[9:]))
+	off := 13
+	blobs = make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(data)-off < 4 {
+			return 0, nil, fmt.Errorf("shard: checkpoint container truncated at key %d", i)
+		}
+		kl := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if kl <= 0 || len(data)-off < kl+4 {
+			return 0, nil, fmt.Errorf("shard: checkpoint container truncated at key %d", i)
+		}
+		key := string(data[off : off+kl])
+		off += kl
+		bl := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if bl < 0 || len(data)-off < bl {
+			return 0, nil, fmt.Errorf("shard: checkpoint container truncated at stream %q", key)
+		}
+		blobs[key] = data[off : off+bl]
+		off += bl
+	}
+	return coveredSeq, blobs, nil
+}

@@ -1,0 +1,277 @@
+package wal
+
+// Keyed mode: the multi-stream record format behind the shard engine.
+//
+// A keyed log shares the segment machinery of the single-stream log —
+// files, rotation, torn-tail repair, fsync policy — but its records carry
+// a stream key and a per-key position instead of one globally contiguous
+// position:
+//
+//	uint32 payload length | uint32 CRC-32C(payload) | payload
+//	payload = uint8 flags | uint16 keyLen | key |
+//	          int64 per-key start | float64 values...
+//
+// flags bit 0 marks a tombstone (stream deleted; no values follow the
+// start). Because positions are per-key, segment filenames all carry
+// start 0 and garbage collection works by sequence number instead of
+// position arithmetic: a checkpoint records the first sequence number it
+// does NOT cover (coveredSeq), replay skips wholly-covered segments, and
+// DropSealedBefore deletes them.
+//
+// The keyed magic "SWK1" is distinct from the single-stream "SWL1" so a
+// directory opened in the wrong mode fails loudly instead of misparsing.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"time"
+
+	"streamhist/internal/trace"
+)
+
+const (
+	keyedMagic = "SWK1"
+	// keyedRecFixed is the fixed payload overhead: flags, keyLen, start.
+	keyedRecFixed = 1 + 2 + 8
+	// MaxKeyLen bounds stream keys so a record's key length prefix cannot
+	// be abused and segment scans stay cheap.
+	MaxKeyLen = 256
+	// maxKeyedPayload mirrors maxPayload for the keyed format.
+	maxKeyedPayload = keyedRecFixed + MaxKeyLen + 8*(1<<20)
+)
+
+// errKeyedMode rejects single-stream calls on a keyed log and vice versa.
+var errKeyedMode = errors.New("wal: method does not match the log's keyed mode")
+
+// KeyedRecord is one durable batch (or tombstone) for one stream.
+type KeyedRecord struct {
+	// Key names the stream. Must be non-empty and at most MaxKeyLen bytes.
+	Key string
+	// Start is the stream's per-key position (points seen before this
+	// batch). Zero for tombstones.
+	Start int64
+	// Values is the batch; nil for tombstones.
+	Values []float64
+	// Delete marks a tombstone: the stream was deleted at this point in
+	// the log. Replay must drop the stream's accumulated state.
+	Delete bool
+	// Parent is the trace span the record's append event is attributed
+	// to; not serialized.
+	Parent trace.SpanID
+}
+
+// AppendBatch appends a group of records as one write and (when
+// configured) one fsync — the shard loop's group commit. Either the whole
+// batch becomes durable or none of it does: any write or sync error
+// poisons the active segment back to its pre-batch size, so no record of
+// a failed batch survives recovery.
+func (w *WAL) AppendBatch(recs []KeyedRecord) error {
+	if !w.keyed {
+		return errKeyedMode
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	tstart := w.tr.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var buf []byte
+	for _, r := range recs {
+		if r.Key == "" || len(r.Key) > MaxKeyLen {
+			return fmt.Errorf("wal: bad stream key %q", r.Key)
+		}
+		buf = appendKeyedRecord(buf, r)
+	}
+	if w.cur == nil {
+		if err := w.reopenOrCreate(0); err != nil {
+			return err
+		}
+	}
+	if _, err := w.cur.Write(buf); err != nil {
+		w.poison(w.curSize)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if w.syncEvery {
+		fsyncStart := w.m.fsync.Start()
+		trSyncStart := w.tr.Now()
+		if err := w.cur.Sync(); err != nil {
+			w.poison(w.curSize)
+			return fmt.Errorf("wal: %w", err)
+		}
+		w.m.fsync.ObserveSince(fsyncStart)
+		if w.tr != nil {
+			w.tr.Instant(trace.EvWALSync, 0, recs[0].Parent, time.Duration(w.tr.Now()-trSyncStart), 0, 0)
+		}
+	}
+	w.curSize += int64(len(buf))
+	for _, r := range recs {
+		w.m.appends.Inc()
+		if w.tr != nil {
+			recLen := int64(recHdrLen + keyedRecFixed + len(r.Key) + 8*len(r.Values))
+			w.tr.Instant(trace.EvWALAppend, 0, r.Parent, time.Duration(w.tr.Now()-tstart), recLen, int64(len(r.Values)))
+		}
+	}
+	w.m.bytes.Add(int64(len(buf)))
+	if w.curSize >= w.segBytes {
+		return w.rotate(0)
+	}
+	return nil
+}
+
+// ReplayKeyed streams every durable record in log order to fn, wholesale
+// skipping segments whose sequence number is below coveredSeq (those a
+// checkpoint already covers — their files are not even read). Call it
+// after Open and before the first AppendBatch.
+func (w *WAL) ReplayKeyed(coveredSeq uint64, fn func(KeyedRecord) error) error {
+	if !w.keyed {
+		return errKeyedMode
+	}
+	w.mu.Lock()
+	segs := append([]segment(nil), w.segs...)
+	w.mu.Unlock()
+	for i, seg := range segs {
+		if seg.seq < coveredSeq {
+			continue
+		}
+		data, err := w.fs.ReadFile(filepath.Join(w.dir, seg.name))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		valid, err := scanKeyedSegment(data, fn)
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", seg.name, err)
+		}
+		if valid < int64(len(data)) && i != len(segs)-1 {
+			return fmt.Errorf("wal: sealed segment %s corrupt at offset %d", seg.name, valid)
+		}
+	}
+	return nil
+}
+
+// ActiveSeq returns the active segment's sequence number, or the next
+// sequence number to be assigned when the log has no segments yet. A
+// checkpoint taken now covers every sealed segment below this value; the
+// active segment may still gain records after the checkpoint, so replay
+// must not skip it.
+func (w *WAL) ActiveSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.segs); n > 0 {
+		return w.segs[n-1].seq
+	}
+	return w.nextSeq
+}
+
+// NextSeq returns the sequence number the NEXT segment will get: every
+// existing segment, active one included, is below it. A restore that is
+// about to Reset the log records this as its covered sequence so replay
+// skips everything predating the reset.
+func (w *WAL) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// DropSealedBefore deletes sealed segments with sequence numbers below
+// seq — those fully covered by a durable checkpoint. The active (last)
+// segment is never deleted. Removal failures keep the segment: a leftover
+// only costs disk, since replay skips covered sequence numbers anyway.
+func (w *WAL) DropSealedBefore(seq uint64) error {
+	if !w.keyed {
+		return errKeyedMode
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.segs[:0]
+	for i, seg := range w.segs {
+		if i+1 < len(w.segs) && seg.seq < seq {
+			if err := w.fs.Remove(filepath.Join(w.dir, seg.name)); err == nil {
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = kept
+	w.m.segments.Set(float64(len(w.segs)))
+	return nil
+}
+
+// appendKeyedRecord frames one record onto buf.
+func appendKeyedRecord(buf []byte, r KeyedRecord) []byte {
+	payloadLen := keyedRecFixed + len(r.Key) + 8*len(r.Values)
+	off := len(buf)
+	buf = append(buf, make([]byte, recHdrLen+payloadLen)...)
+	payload := buf[off+recHdrLen:]
+	flags := byte(0)
+	if r.Delete {
+		flags |= 1
+	}
+	payload[0] = flags
+	binary.LittleEndian.PutUint16(payload[1:], uint16(len(r.Key)))
+	copy(payload[3:], r.Key)
+	binary.LittleEndian.PutUint64(payload[3+len(r.Key):], uint64(r.Start))
+	vals := payload[keyedRecFixed+len(r.Key):]
+	for i, v := range r.Values {
+		binary.LittleEndian.PutUint64(vals[8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[off+4:], crc32.Checksum(payload[:payloadLen], castagnoli))
+	return buf
+}
+
+// scanKeyedSegment parses a keyed segment image, invoking fn (when
+// non-nil) per record. It returns the length of the valid prefix. A
+// malformed header is an error; a short or checksum-failing tail merely
+// ends the valid prefix (the torn-tail case).
+func scanKeyedSegment(data []byte, fn func(KeyedRecord) error) (valid int64, err error) {
+	if len(data) < headerLen || string(data[:len(keyedMagic)]) != keyedMagic {
+		return 0, errBadHeader
+	}
+	off := headerLen
+	for {
+		if len(data)-off < recHdrLen {
+			break // torn record header (or clean EOF)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if payloadLen < keyedRecFixed+1 || payloadLen > maxKeyedPayload {
+			break // corrupt length: treat as tear
+		}
+		if len(data)-off-recHdrLen < payloadLen {
+			break // torn payload
+		}
+		payload := data[off+recHdrLen : off+recHdrLen+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // torn or corrupt payload
+		}
+		keyLen := int(binary.LittleEndian.Uint16(payload[1:]))
+		if keyLen == 0 || keyLen > MaxKeyLen ||
+			payloadLen < keyedRecFixed+keyLen ||
+			(payloadLen-keyedRecFixed-keyLen)%8 != 0 {
+			break // structurally corrupt record: treat as tear
+		}
+		if fn != nil {
+			rec := KeyedRecord{
+				Key:    string(payload[3 : 3+keyLen]),
+				Start:  int64(binary.LittleEndian.Uint64(payload[3+keyLen:])),
+				Delete: payload[0]&1 != 0,
+			}
+			if n := (payloadLen - keyedRecFixed - keyLen) / 8; n > 0 && !rec.Delete {
+				rec.Values = make([]float64, n)
+				vals := payload[keyedRecFixed+keyLen:]
+				for i := range rec.Values {
+					rec.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(vals[8*i:]))
+				}
+			}
+			if err := fn(rec); err != nil {
+				return int64(off), err
+			}
+		}
+		off += recHdrLen + payloadLen
+	}
+	return int64(off), nil
+}

@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamhist/internal/faults"
+)
+
+func replayKeyedAll(t *testing.T, w *WAL, coveredSeq uint64) []KeyedRecord {
+	t.Helper()
+	var out []KeyedRecord
+	if err := w.ReplayKeyed(coveredSeq, func(r KeyedRecord) error {
+		r.Values = append([]float64(nil), r.Values...)
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay keyed: %v", err)
+	}
+	return out
+}
+
+func TestKeyedAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Keyed: true, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []KeyedRecord{
+		{Key: "alpha", Start: 0, Values: []float64{1, 2, 3}},
+		{Key: "beta", Start: 0, Values: []float64{4.5}},
+		{Key: "alpha", Start: 3, Values: []float64{-1, 0.25, 1e9}},
+		{Key: "beta", Start: 1, Delete: true},
+	}
+	// Two records in one batch (group commit), then two single appends.
+	if err := w.AppendBatch(batches[:2]); err != nil {
+		t.Fatalf("append batch: %v", err)
+	}
+	for _, r := range batches[2:] {
+		if err := w.AppendBatch([]KeyedRecord{r}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir, Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayKeyedAll(t, w2, 0); !reflect.DeepEqual(got, batches) {
+		t.Errorf("replay = %+v, want %+v", got, batches)
+	}
+}
+
+func TestKeyedModeGuards(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir(), Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []float64{1}); !errors.Is(err, errKeyedMode) {
+		t.Errorf("Append on keyed log: err = %v, want errKeyedMode", err)
+	}
+	if err := w.Replay(func(int64, []float64) error { return nil }); !errors.Is(err, errKeyedMode) {
+		t.Errorf("Replay on keyed log: err = %v, want errKeyedMode", err)
+	}
+	if err := w.TruncateBefore(10); !errors.Is(err, errKeyedMode) {
+		t.Errorf("TruncateBefore on keyed log: err = %v, want errKeyedMode", err)
+	}
+
+	lw, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.AppendBatch([]KeyedRecord{{Key: "k", Values: []float64{1}}}); !errors.Is(err, errKeyedMode) {
+		t.Errorf("AppendBatch on legacy log: err = %v, want errKeyedMode", err)
+	}
+	if err := lw.ReplayKeyed(0, nil); !errors.Is(err, errKeyedMode) {
+		t.Errorf("ReplayKeyed on legacy log: err = %v, want errKeyedMode", err)
+	}
+	if err := lw.DropSealedBefore(1); !errors.Is(err, errKeyedMode) {
+		t.Errorf("DropSealedBefore on legacy log: err = %v, want errKeyedMode", err)
+	}
+}
+
+func TestKeyedBadKeys(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir(), Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]KeyedRecord{{Key: "", Values: []float64{1}}}); err == nil {
+		t.Error("empty key accepted")
+	}
+	long := strings.Repeat("k", MaxKeyLen+1)
+	if err := w.AppendBatch([]KeyedRecord{{Key: long, Values: []float64{1}}}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestKeyedWrongMagicRejected(t *testing.T) {
+	// A legacy log opened in keyed mode must not misparse: its segments
+	// fail the magic check and are swept as garbage rather than replayed.
+	dir := t.TempDir()
+	lw, err := Open(Options{Dir: dir, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Append(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(Options{Dir: dir, Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayKeyedAll(t, w, 0); len(got) != 0 {
+		t.Errorf("replayed %d records from a legacy-format directory, want 0", len(got))
+	}
+}
+
+func TestKeyedTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Keyed: true, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []KeyedRecord{
+		{Key: "a", Start: 0, Values: []float64{1, 2}},
+		{Key: "b", Start: 0, Values: []float64{3}},
+	}
+	for _, r := range recs {
+		if err := w.AppendBatch([]KeyedRecord{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear bytes off the tail of the only segment.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("segments: %v, err=%v", entries, err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir, Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayKeyedAll(t, w2, 0)
+	if len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("after tear, replay = %+v, want just the first record", got)
+	}
+	// The log stays appendable after the repair.
+	if err := w2.AppendBatch([]KeyedRecord{{Key: "c", Start: 0, Values: []float64{9}}}); err != nil {
+		t.Fatalf("append after torn-tail repair: %v", err)
+	}
+	if got := replayKeyedAll(t, w2, 0); len(got) != 2 {
+		t.Fatalf("replay after repair+append = %+v, want 2 records", got)
+	}
+}
+
+func TestKeyedCoveredSeqSkipsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Keyed: true, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]KeyedRecord{{Key: "a", Start: 0, Values: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	sealedSeq := w.ActiveSeq() // the new active segment's seq; sealed ones are below it
+	if err := w.AppendBatch([]KeyedRecord{{Key: "a", Start: 1, Values: []float64{2}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayKeyedAll(t, w, sealedSeq)
+	if len(got) != 1 || got[0].Start != 1 {
+		t.Fatalf("covered replay = %+v, want only the post-rotation record", got)
+	}
+	// DropSealedBefore removes the covered segment; full replay then sees
+	// only the survivor too.
+	if err := w.DropSealedBefore(sealedSeq); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d segments after drop, want 1", len(entries))
+	}
+	if got := replayKeyedAll(t, w, 0); len(got) != 1 || got[0].Start != 1 {
+		t.Fatalf("replay after drop = %+v, want only the post-rotation record", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyedBatchPoisonOnSyncFailure(t *testing.T) {
+	// A failed group fsync must discard the WHOLE batch: recovery may not
+	// surface any record of it, even though the write itself succeeded.
+	dir := t.TempDir()
+	chaos := faults.NewChaos(faults.OS{}, 1)
+	w, err := Open(Options{Dir: dir, FS: chaos, Keyed: true, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]KeyedRecord{{Key: "a", Start: 0, Values: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	chaos.SetRules(faults.Rule{Ops: faults.OpSync, PathContains: "wal-", Prob: 1})
+	batch := []KeyedRecord{
+		{Key: "a", Start: 1, Values: []float64{2}},
+		{Key: "b", Start: 0, Values: []float64{3}},
+	}
+	if err := w.AppendBatch(batch); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	chaos.Clear()
+	// Next append repairs the tail and lands after the surviving record.
+	if err := w.AppendBatch([]KeyedRecord{{Key: "c", Start: 0, Values: []float64{4}}}); err != nil {
+		t.Fatalf("append after poison: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir, Keyed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayKeyedAll(t, w2, 0)
+	keys := make([]string, len(got))
+	for i, r := range got {
+		keys[i] = r.Key
+	}
+	if !reflect.DeepEqual(keys, []string{"a", "c"}) {
+		t.Fatalf("recovered keys = %v, want [a c] (failed batch fully discarded)", keys)
+	}
+}
+
+func TestKeyedResetStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Keyed: true, SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]KeyedRecord{{Key: "a", Start: 0, Values: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	covered := w.NextSeq() // a restore records this before Reset
+	if err := w.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]KeyedRecord{{Key: "b", Start: 0, Values: []float64{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	// The post-Reset segment's seq is >= covered, so a covered replay
+	// still sees the new record while skipping everything pre-reset.
+	got := replayKeyedAll(t, w, covered)
+	if len(got) != 1 || got[0].Key != "b" {
+		t.Fatalf("replay after reset = %+v, want only the post-reset record", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

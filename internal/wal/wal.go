@@ -77,6 +77,13 @@ type Options struct {
 	// Trace receives per-append and per-fsync flight-recorder events;
 	// nil disables it.
 	Trace *trace.Recorder
+	// Keyed selects the multi-stream record format (see keyed.go): records
+	// carry a stream key and per-key positions instead of one global
+	// contiguous position. A keyed log accepts AppendBatch/ReplayKeyed and
+	// rejects the single-stream Append/Replay, and vice versa; the two
+	// formats use distinct magics so opening a directory in the wrong mode
+	// fails loudly instead of misparsing.
+	Keyed bool
 }
 
 // WAL is an open write-ahead log. Methods are safe for concurrent use;
@@ -89,6 +96,7 @@ type WAL struct {
 	fs        faults.FS
 	segBytes  int64
 	syncEvery bool
+	keyed     bool
 
 	segs    []segment // sorted by seq; last is the active one (if any)
 	cur     faults.File
@@ -156,13 +164,17 @@ func Open(opts Options) (*WAL, error) {
 	// full disk mid-create. It may even share a sequence number with a
 	// real segment (creation failures don't consume sequence numbers),
 	// which would scramble replay order if it were kept.
+	wantMagic := magic
+	if opts.Keyed {
+		wantMagic = keyedMagic
+	}
 	kept := segs[:0]
 	for _, seg := range segs {
 		data, err := fsys.ReadFile(filepath.Join(opts.Dir, seg.name))
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
-		if len(data) >= headerLen && string(data[:len(magic)]) == magic {
+		if len(data) >= headerLen && string(data[:len(magic)]) == wantMagic {
 			kept = append(kept, seg)
 			continue
 		}
@@ -171,7 +183,7 @@ func Open(opts Options) (*WAL, error) {
 		}
 	}
 	segs = kept
-	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics), tr: opts.Trace}
+	w := &WAL{dir: opts.Dir, fs: fsys, segBytes: segBytes, syncEvery: opts.SyncEveryAppend, keyed: opts.Keyed, segs: segs, lastEnd: -1, repair: -1, m: newWALMetrics(opts.Metrics), tr: opts.Trace}
 	w.m.segments.Set(float64(len(segs)))
 	if n := len(segs); n > 0 {
 		w.nextSeq = segs[n-1].seq + 1
@@ -208,7 +220,12 @@ func (w *WAL) openLast() error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	valid, end, err := scanSegment(data, last.start, nil)
+	var valid, end int64
+	if w.keyed {
+		valid, err = scanKeyedSegment(data, nil)
+	} else {
+		valid, end, err = scanSegment(data, last.start, nil)
+	}
 	if err != nil {
 		return fmt.Errorf("wal: segment %s: %w", last.name, err)
 	}
@@ -269,6 +286,9 @@ func (w *WAL) Append(start int64, values []float64) error {
 // events are parented to the given span (0 = root). With no recorder
 // attached it is exactly Append.
 func (w *WAL) AppendCtx(parent trace.SpanID, start int64, values []float64) error {
+	if w.keyed {
+		return errKeyedMode
+	}
 	if len(values) == 0 {
 		return nil
 	}
@@ -435,7 +455,11 @@ func (w *WAL) newSegment(start int64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	hdr := make([]byte, headerLen)
-	copy(hdr, magic)
+	if w.keyed {
+		copy(hdr, keyedMagic)
+	} else {
+		copy(hdr, magic)
+	}
 	binary.LittleEndian.PutUint64(hdr[len(magic):], uint64(start))
 	if _, err := f.Write(hdr); err != nil {
 		_ = f.Close()
@@ -468,6 +492,9 @@ func (w *WAL) newSegment(start int64) error {
 // segment (Open already removed it); corruption in a sealed segment is an
 // error.
 func (w *WAL) Replay(fn func(start int64, values []float64) error) error {
+	if w.keyed {
+		return errKeyedMode
+	}
 	w.mu.Lock()
 	segs := append([]segment(nil), w.segs...)
 	w.mu.Unlock()
@@ -491,6 +518,11 @@ func (w *WAL) Replay(fn func(start int64, values []float64) error) error {
 // stream position seen — those fully covered by a durable checkpoint. The
 // active segment is never deleted.
 func (w *WAL) TruncateBefore(seen int64) error {
+	if w.keyed {
+		// Keyed segments all carry start 0; the filename arithmetic below
+		// would delete live data. Keyed logs truncate by sequence number.
+		return errKeyedMode
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	// Segment i spans [segs[i].start, segs[i+1].start); the active (last)
