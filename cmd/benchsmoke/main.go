@@ -7,7 +7,9 @@
 //
 // The report covers the rebuild-engine configurations (cold search, probe
 // memo, warm-started CreateList, and both) at the headline configuration
-// n=4096, B=12, eps=0.1 with the default growth factor eps/(2B), plus a
+// n=4096, B=12, eps=0.1 with the default growth factor eps/(2B), the
+// amortized cost of the incremental cover-repair engine over trials
+// spanning whole fallback periods, plus a
 // scaling grid over window size and bucket budget, the attached-overhead
 // of the instrumentation layers (metrics registry and flight-recorder
 // tracing), and a server shard-scaling grid: end-to-end ingest latency
@@ -33,7 +35,11 @@
 // allocates more per push than its committed baseline. It also holds the
 // tracing layer to its absolute budget: a detached flight recorder must
 // add zero allocations and an attached one at most -trace-tolerance
-// percent (default 5%) per push. Finally it gates multi-tenant routing
+// percent (default 5%) per push. It also holds the incremental engine to
+// its machine-independent ratio: amortized incremental pushes must stay
+// at least -incr-floor times (default 3x) faster than the warm+memo
+// exact rebuild at the headline configuration, with zero steady-state
+// allocations. Finally it gates multi-tenant routing
 // flatness: ingest p99 on a NumCPU-matched shard configuration may grow
 // at most -shard-flatness times (default 5x) from 1k to 100k live
 // streams.
@@ -208,6 +214,37 @@ func measureRebuildVariants(cfg benchConfig, delta float64, trials, warmup, ops 
 		out[v.name] = ms[i]
 	}
 	return out, resolved, nil
+}
+
+// measureIncremental measures the incremental cover-repair engine at the
+// headline configuration against the warm+memo exact-rebuild baseline it
+// falls back to. Unlike the variant table, trials span whole fallback
+// periods: the incremental engine's cost is bimodal — cheap repair passes
+// punctuated by a scheduled exact rebuild every K pushes — so each trial
+// pushes 2K continuous points (always exactly two scheduled rebuilds, at
+// any phase) and min-of-trials stays an honest amortized number, where
+// the variant table's short trials would systematically dodge the
+// scheduled rebuilds and flatter the engine.
+func measureIncremental(trials int) (wm, incr measurement, fullEvery int, err error) {
+	cfg := benchConfig{Window: 4096, Buckets: 12, Eps: 0.1}
+	// The derived fallback period at the default growth factor:
+	// K = 1/(2*delta) with delta = eps/(2B), i.e. K = B/eps. Pinned
+	// explicitly so the trial length provably covers whole periods.
+	fullEvery = int(float64(cfg.Buckets) / cfg.Eps)
+	ops := 2 * fullEvery
+	vals := utilValues(cfg.Window + (trials+1)*ops)
+	rw, err := newRunner(cfg, 0, true, true, nil, vals)
+	if err != nil {
+		return wm, incr, 0, err
+	}
+	ri, err := newRunner(cfg, 0, true, true, nil, vals,
+		streamhist.WithIncrementalRebuild(true),
+		streamhist.WithIncrementalBudget(fullEvery, 0))
+	if err != nil {
+		return wm, incr, 0, err
+	}
+	ms := measureInterleaved([]*runner{rw, ri}, vals, trials, ops, ops)
+	return ms[0], ms[1], fullEvery, nil
 }
 
 // scalingRow is one cell of the window-size x bucket-budget grid: the
@@ -487,6 +524,13 @@ type report struct {
 	Config                benchConfig            `json:"config"`
 	Results               map[string]measurement `json:"results"`
 	SpeedupWarmMemo       float64                `json:"speedup_warm_memo_vs_cold"`
+	// The incremental section uses its own long-trial methodology (see
+	// measureIncremental), so its warm+memo reference is re-measured under
+	// the same trials rather than copied from Results.
+	Incremental          measurement `json:"incremental"`
+	IncrementalBaseline  measurement `json:"incremental_warm_memo_baseline"`
+	SpeedupIncremental   float64     `json:"speedup_incremental_vs_warm_memo"`
+	IncrementalFullEvery int         `json:"incremental_full_every"`
 	MetricsOff            measurement            `json:"metrics_off"`
 	MetricsOn             measurement            `json:"metrics_on"`
 	MetricsOverheadPct    float64                `json:"metrics_overhead_pct"`
@@ -509,7 +553,7 @@ func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, err
 	return results, cfg, err
 }
 
-func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct, shardFlatness float64) error {
+func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct, shardFlatness, incrFloor float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -545,6 +589,25 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 				"warm_memo: %.0f ns/op is %.1f%% over baseline %.0f (tolerance %.0f%%)",
 				now.NsPerOp, pct, was.NsPerOp, tolerancePct))
 		}
+	}
+	// The incremental gate is a machine-independent ratio, re-measured
+	// whole: amortized incremental pushes must stay at least -incr-floor
+	// times faster than the warm+memo exact rebuild at the headline
+	// configuration, with zero steady-state allocations.
+	wmRef, incr, fullEvery, err := measureIncremental(3)
+	if err != nil {
+		return err
+	}
+	incrSpeedup := wmRef.NsPerOp / incr.NsPerOp
+	fmt.Printf("benchsmoke: incremental %12.0f ns/push amortized (warm+memo %12.0f, x%.1f, floor x%.1f, K=%d), %d allocs/op\n",
+		incr.NsPerOp, wmRef.NsPerOp, incrSpeedup, incrFloor, fullEvery, incr.AllocsPerOp)
+	if incrSpeedup < incrFloor {
+		failures = append(failures, fmt.Sprintf(
+			"incremental: x%.2f amortized speedup over warm+memo, floor x%.1f", incrSpeedup, incrFloor))
+	}
+	if incr.AllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"incremental: %d allocs/op steady state, budget 0", incr.AllocsPerOp))
 	}
 	// The tracing budget is absolute, not relative to the baseline file:
 	// a detached flight recorder must add zero allocations, and an
@@ -618,6 +681,10 @@ func run(outPath string) error {
 	if err != nil {
 		return err
 	}
+	wmRef, incr, fullEvery, err := measureIncremental(4)
+	if err != nil {
+		return err
+	}
 	offM, onM, overheadPct, err := metricsOverhead(10, 10, 100)
 	if err != nil {
 		return err
@@ -648,6 +715,10 @@ func run(outPath string) error {
 		Config:                cfg,
 		Results:               results,
 		SpeedupWarmMemo:       results["cold"].NsPerOp / results["warm_memo"].NsPerOp,
+		Incremental:           incr,
+		IncrementalBaseline:   wmRef,
+		SpeedupIncremental:    wmRef.NsPerOp / incr.NsPerOp,
+		IncrementalFullEvery:  fullEvery,
 		MetricsOff:            offM,
 		MetricsOn:             onM,
 		MetricsOverheadPct:    overheadPct,
@@ -672,8 +743,9 @@ func run(outPath string) error {
 	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchsmoke: wrote %s (cold %.0f ns/op, warm+memo %.0f ns/op, speedup %.2fx)\n",
-		outPath, rep.Results["cold"].NsPerOp, rep.Results["warm_memo"].NsPerOp, rep.SpeedupWarmMemo)
+	fmt.Printf("benchsmoke: wrote %s (cold %.0f ns/op, warm+memo %.0f ns/op, speedup %.2fx; incremental %.0f ns/push amortized, %.2fx over warm+memo)\n",
+		outPath, rep.Results["cold"].NsPerOp, rep.Results["warm_memo"].NsPerOp, rep.SpeedupWarmMemo,
+		rep.Incremental.NsPerOp, rep.SpeedupIncremental)
 	return nil
 }
 
@@ -684,11 +756,12 @@ func main() {
 	traceTolerance := flag.Float64("trace-tolerance", 5, "allowed per-push overhead of an attached flight recorder in percent (-check mode)")
 	resilienceTolerance := flag.Float64("resilience-tolerance", 2, "allowed per-push overhead of an armed healthy circuit breaker in percent (-check mode)")
 	shardFlatness := flag.Float64("shard-flatness", 5, "allowed ingest p99 growth factor from 1k to 100k live streams (-check mode)")
+	incrFloor := flag.Float64("incr-floor", 3, "required amortized speedup of incremental cover repair over warm+memo at the headline configuration (-check mode)")
 	flag.Parse()
 
 	var err error
 	if *checkPath != "" {
-		err = check(*checkPath, *tolerance, *traceTolerance, *resilienceTolerance, *shardFlatness)
+		err = check(*checkPath, *tolerance, *traceTolerance, *resilienceTolerance, *shardFlatness, *incrFloor)
 	} else {
 		err = run(*out)
 	}

@@ -98,6 +98,7 @@ func main() {
 		buckets   = flag.Int("buckets", 16, "histogram bucket budget")
 		eps       = flag.Float64("eps", 0.1, "approximation precision")
 		delta     = flag.Float64("delta", 0, "per-level growth factor (default: eps)")
+		incr      = flag.Bool("incremental", false, "incremental cover repair: amortized sub-millisecond pushes inside a (1+delta)-staleness envelope instead of bit-exact per-point rebuilds")
 		shards    = flag.Int("shards", 0, "shard loops for the keyed engine; streams are hash-partitioned across them (0: GOMAXPROCS)")
 		maxKeys   = flag.Int("max-keys", 0, "maximum live streams across all shards before 429/quota_exceeded (0: unlimited)")
 		keyInfl   = flag.Int("key-inflight", 0, "maximum concurrently admitted requests per stream key (0: unlimited)")
@@ -161,6 +162,7 @@ func main() {
 		Buckets:            *buckets,
 		Eps:                *eps,
 		Delta:              *delta,
+		Incremental:        *incr,
 		Shards:             *shards,
 		MaxKeys:            *maxKeys,
 		KeyInflight:        *keyInfl,
@@ -195,6 +197,7 @@ func main() {
 	logger.Info("streamhistd listening",
 		"addr", *addr, "window", *window, "buckets", *buckets,
 		"eps", *eps, "delta", *delta, "shards", *shards,
+		"incremental", *incr,
 		"durability", durable, "tracing", tr != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -9,7 +9,7 @@ import (
 // so every push slides and rebuilds) under one rebuild-engine
 // configuration. Modest sizes keep `go test -bench` quick; the scaling
 // curves over larger windows live in cmd/benchsmoke.
-func benchPushVariant(b *testing.B, warm, memo bool) {
+func benchPushVariant(b *testing.B, warm, memo, incr bool) {
 	const (
 		n     = 1024
 		bkts  = 8
@@ -22,6 +22,7 @@ func benchPushVariant(b *testing.B, warm, memo bool) {
 	}
 	fw.SetWarmStart(warm)
 	fw.SetProbeMemo(memo)
+	fw.SetIncrementalRebuild(incr)
 	rng := rand.New(rand.NewSource(17))
 	vals := make([]float64, 4*n)
 	for i := range vals {
@@ -39,7 +40,51 @@ func benchPushVariant(b *testing.B, warm, memo bool) {
 	}
 }
 
-func BenchmarkPushCold(b *testing.B)     { benchPushVariant(b, false, false) }
-func BenchmarkPushMemo(b *testing.B)     { benchPushVariant(b, false, true) }
-func BenchmarkPushWarm(b *testing.B)     { benchPushVariant(b, true, false) }
-func BenchmarkPushWarmMemo(b *testing.B) { benchPushVariant(b, true, true) }
+func BenchmarkPushCold(b *testing.B)     { benchPushVariant(b, false, false, false) }
+func BenchmarkPushMemo(b *testing.B)     { benchPushVariant(b, false, true, false) }
+func BenchmarkPushWarm(b *testing.B)     { benchPushVariant(b, true, false, false) }
+func BenchmarkPushWarmMemo(b *testing.B) { benchPushVariant(b, true, true, false) }
+
+// BenchmarkPushIncremental measures the incremental cover-repair path at
+// the same sizes as the exact-rebuild variants above. Scheduled exact
+// rebuilds (every K passes) are inside the measured loop, so the number
+// reported is the honest amortized per-push cost, not the cost of a
+// repair-only pass.
+func BenchmarkPushIncremental(b *testing.B) { benchPushVariant(b, true, true, true) }
+
+// BenchmarkPushIncrementalAmortized streams a long, continuous sequence
+// (64k points by default — always a multiple of the full-rebuild period
+// times several, so the K-schedule is fairly represented) through a full
+// window and reports the amortized per-push cost explicitly. Unlike the
+// op-at-a-time variants, one benchmark iteration is the WHOLE stream:
+// trajectory comparisons across engines read the ns/push metric.
+func BenchmarkPushIncrementalAmortized(b *testing.B) {
+	const (
+		n      = 4096
+		bkts   = 12
+		eps    = 0.1
+		stream = 64 * 1024
+	)
+	fw, err := New(n, bkts, eps) // default delta = eps/(2B), as the headline gate uses
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw.SetIncrementalRebuild(true)
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]float64, stream)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100))
+	}
+	for i := 0; i < n; i++ {
+		fw.Push(vals[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vals {
+			fw.Push(v)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*stream), "ns/push")
+}

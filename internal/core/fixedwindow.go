@@ -76,6 +76,19 @@ type FixedWindow struct {
 	epoch uint64
 	shift int // window slide between the prev queues and this rebuild
 
+	// Incremental cover repair (see incremental.go). incrValid marks the
+	// queues as a maintainable cover of a window of lastW points starting
+	// at lastWS; rebuild establishes it, and the incremental pass keeps it
+	// true while re-validating, repairing and extending the cover in
+	// place.
+	incrOn     bool
+	incrEvery  int   // exact rebuild at least every this many passes (0 = derived)
+	incrBudget int   // endpoint repairs per pass before falling back (0 = derived)
+	incrValid  bool  // queues hold a maintainable cover
+	incrSince  int   // incremental passes since the last exact rebuild
+	incrCursor []int // per-level rotating re-validation cursors
+	lastW      int   // window length the current cover spans
+
 	// Instrumentation for the ablation experiments.
 	evals      int64 // HERROR evaluations since creation
 	candidates int64 // candidate endpoints inspected across evaluations
@@ -83,6 +96,10 @@ type FixedWindow struct {
 	memoMisses int64 // probes computed and stored (memo enabled only)
 	warmHits   int64 // intervals whose endpoint was seeded from prev
 	warmMisses int64 // intervals that fell back to searchEndpoint
+
+	incrHits      int64 // maintenance passes completed incrementally
+	incrRepairs   int64 // interval endpoints repaired by re-search
+	incrFallbacks int64 // passes that fell back to the exact rebuild
 
 	// Flight recorder (nil = disabled, the obs contract). traceParent is
 	// the span the next rebuild attributes itself to — the Push span on
@@ -99,6 +116,9 @@ type FixedWindow struct {
 	expMemoMiss int64 // memoMisses already exported to m.memoMisses
 	expWarmHit  int64 // warmHits already exported to m.warmHits
 	expWarmMiss int64 // warmMisses already exported to m.warmFallbacks
+	expIncrHit  int64 // incrHits already exported to m.incrHits
+	expIncrRep  int64 // incrRepairs already exported to m.incrRepairs
+	expIncrFall int64 // incrFallbacks already exported to m.incrFallbacks
 }
 
 // memoEnt is one probe-memo slot: the HERROR value computed at this
@@ -124,6 +144,9 @@ type fwMetrics struct {
 	memoMisses    *obs.Counter // probe-memo misses
 	warmHits      *obs.Counter // warm-started interval endpoints accepted
 	warmFallbacks *obs.Counter // warm-start guesses that fell back to search
+	incrHits      *obs.Counter // incremental maintenance passes
+	incrRepairs   *obs.Counter // incremental endpoint repairs
+	incrFallbacks *obs.Counter // incremental passes that fell back to rebuild
 }
 
 // SetRegistry attaches the maintainer to a metrics registry, registering
@@ -142,7 +165,24 @@ func (f *FixedWindow) SetRegistry(reg *obs.Registry) {
 		memoMisses:    reg.Counter("streamhist_core_memo_misses_total", "HERROR probes computed and stored in the per-rebuild memo."),
 		warmHits:      reg.Counter("streamhist_core_warm_hits_total", "CreateList intervals whose endpoint was seeded from the previous rebuild's cover."),
 		warmFallbacks: reg.Counter("streamhist_core_warm_fallbacks_total", "CreateList intervals whose warm-start guess failed verification and fell back to search."),
+		incrHits:      reg.Counter("streamhist_core_incr_hits_total", "Maintenance passes completed by incremental cover repair."),
+		incrRepairs:   reg.Counter("streamhist_core_incr_repairs_total", "Interval endpoints repaired by incremental re-search."),
+		incrFallbacks: reg.Counter("streamhist_core_incr_fallbacks_total", "Incremental-mode passes that fell back to the exact rebuild (schedule, budget overrun, or an unmaintainable cover)."),
 	}
+	// Counter handles dedup by name, so the ratio reads the aggregate
+	// across every maintainer on the registry; the schedule alone puts its
+	// baseline at 1/K, and a workload that defeats the incremental path
+	// drives it toward 1.
+	hits, falls := f.m.incrHits, f.m.incrFallbacks
+	reg.GaugeFunc("streamhist_core_incr_fallback_ratio",
+		"Fraction of incremental-mode maintenance passes that fell back to the exact rebuild.",
+		func() float64 {
+			h, fb := hits.Value(), falls.Value()
+			if h+fb == 0 {
+				return 0
+			}
+			return float64(fb) / float64(h+fb)
+		})
 }
 
 // SetTracer attaches the maintainer to a flight recorder: every rebuild
@@ -262,7 +302,7 @@ func (f *FixedWindow) Push(v float64) {
 	}
 	f.sums.Push(v)
 	f.pending++
-	f.rebuild()
+	f.maintain()
 	f.traceParent = saved
 	psp.End(0, 0)
 	f.m.push.ObserveSince(start)
@@ -280,13 +320,14 @@ func (f *FixedWindow) PushLazy(v float64) {
 // PushBatch consumes a batch of points and performs a single maintenance
 // pass at the end — the batched-arrivals model footnote 2 of the paper
 // notes the framework incorporates. It is equivalent to PushLazy for each
-// point followed by one rebuild.
+// point followed by one maintenance pass: exactly one rebuild (or one
+// incremental repair pass) per batch, never one per element.
 func (f *FixedWindow) PushBatch(vs []float64) {
 	for _, v := range vs {
 		f.sums.Push(v)
 	}
 	f.pending += int64(len(vs))
-	f.rebuild()
+	f.maintain()
 }
 
 // ApproxError returns the approximate HERROR[n-1, B] over the current
@@ -310,7 +351,7 @@ func (f *FixedWindow) WindowStart() int64 { return f.sums.WindowStart() }
 
 func (f *FixedWindow) ensureFresh() {
 	if f.dirty {
-		f.rebuild()
+		f.maintain()
 	}
 }
 
@@ -324,6 +365,8 @@ func (f *FixedWindow) rebuild() {
 	if w == 0 {
 		f.herrTop = 0
 		f.pending = 0
+		f.incrValid = false
+		f.lastW = 0
 		return
 	}
 	pending := f.pending // f.pending is zeroed below; the trace span reports it
@@ -378,6 +421,9 @@ func (f *FixedWindow) rebuild() {
 	f.epoch++
 	f.herrTop = f.evalHErr(w-1, f.b)
 	f.lastWS = ws
+	f.lastW = w
+	f.incrValid = f.b > 1
+	f.incrSince = 0
 	f.m.rebuilds.Inc()
 	f.m.createLists.Add(int64(f.b - 1))
 	if lazy || f.pending > 1 {
@@ -392,15 +438,7 @@ func (f *FixedWindow) rebuild() {
 		f.tr.Instant(trace.EvMemo, 0, rspan.ID(), 0, f.memoHits-f.expMemoHit, f.memoMisses-f.expMemoMiss)
 		f.tr.Instant(trace.EvWarm, 0, rspan.ID(), 0, f.warmHits-f.expWarmHit, f.warmMisses-f.expWarmMiss)
 	}
-	f.m.evals.Add(f.evals - f.expEvals)
-	f.m.candidates.Add(f.candidates - f.expCands)
-	f.expEvals, f.expCands = f.evals, f.candidates
-	f.m.memoHits.Add(f.memoHits - f.expMemoHit)
-	f.m.memoMisses.Add(f.memoMisses - f.expMemoMiss)
-	f.m.warmHits.Add(f.warmHits - f.expWarmHit)
-	f.m.warmFallbacks.Add(f.warmMisses - f.expWarmMiss)
-	f.expMemoHit, f.expMemoMiss = f.memoHits, f.memoMisses
-	f.expWarmHit, f.expWarmMiss = f.warmHits, f.warmMisses
+	f.exportCounters()
 	if traced {
 		if region != nil {
 			region.End()
@@ -420,6 +458,26 @@ func (f *FixedWindow) rebuild() {
 			WarmFallbacks: f.warmMisses,
 		})
 	}
+	f.checkCover(w)
+}
+
+// exportCounters publishes the deltas of the cumulative instrumentation
+// counters to the attached registry. Both maintenance paths end with it;
+// the exp* cursors make repeated calls idempotent.
+func (f *FixedWindow) exportCounters() {
+	f.m.evals.Add(f.evals - f.expEvals)
+	f.m.candidates.Add(f.candidates - f.expCands)
+	f.expEvals, f.expCands = f.evals, f.candidates
+	f.m.memoHits.Add(f.memoHits - f.expMemoHit)
+	f.m.memoMisses.Add(f.memoMisses - f.expMemoMiss)
+	f.m.warmHits.Add(f.warmHits - f.expWarmHit)
+	f.m.warmFallbacks.Add(f.warmMisses - f.expWarmMiss)
+	f.expMemoHit, f.expMemoMiss = f.memoHits, f.memoMisses
+	f.expWarmHit, f.expWarmMiss = f.warmHits, f.warmMisses
+	f.m.incrHits.Add(f.incrHits - f.expIncrHit)
+	f.m.incrRepairs.Add(f.incrRepairs - f.expIncrRep)
+	f.m.incrFallbacks.Add(f.incrFallbacks - f.expIncrFall)
+	f.expIncrHit, f.expIncrRep, f.expIncrFall = f.incrHits, f.incrRepairs, f.incrFallbacks
 }
 
 // createList builds the interval cover of [a..b] for level k (Figure 5's
@@ -496,25 +554,12 @@ func (f *FixedWindow) warmEndpoint(lo, hi, k int, t float64, g int) (int, float6
 	if g > lo {
 		v := f.evalHErr(g, k)
 		if v > thr {
-			// Endpoint lies left of the guess: gallop backward from g,
-			// probing aligned positions (see gallopEndpoint) so the memo
-			// can reuse them across searches.
+			// Endpoint lies left of the guess: gallop backward from g over
+			// aligned positions (see gallopEndpoint) so the memo can reuse
+			// them across searches — the same backward search an
+			// incremental endpoint repair performs.
 			f.warmMisses++
-			l, lval := lo, t
-			h, p := g-1, g
-			for t := 0; ; t++ {
-				np := ((p - 1) >> t) << t // largest multiple of 2^t below p
-				if np <= lo {
-					break
-				}
-				p = np
-				if v := f.evalHErr(p, k); v <= thr {
-					l, lval = p, v
-					break
-				}
-				h = p - 1
-			}
-			return f.bisectEndpoint(l, h, k, thr, lval)
+			return f.repairEndpoint(lo, g, k, thr, t)
 		}
 		val = v
 	}

@@ -1,0 +1,7 @@
+//go:build !streamhist_invariants
+
+package core
+
+// checkCover is a no-op without the streamhist_invariants build tag; see
+// invariants_on.go for the checked build.
+func (f *FixedWindow) checkCover(int) {}

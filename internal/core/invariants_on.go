@@ -1,0 +1,40 @@
+//go:build streamhist_invariants
+
+package core
+
+import "fmt"
+
+// checkCover asserts the structural validity invariant every maintenance
+// path (exact rebuild and incremental repair alike) must re-establish:
+// each level's interval queue partitions [0, w-1] contiguously — the head
+// starts at 0, intervals abut with no gap or overlap, and the tail ends
+// at the right edge — with non-negative stored error bounds. The HERROR
+// values themselves are allowed to be stale under the incremental engine
+// (over-estimates within the staleness budget), so only their sign and
+// the partition structure are checked here; the approximation-bound
+// equivalence suite pins the values' drift.
+func (f *FixedWindow) checkCover(w int) {
+	for k := 1; k <= f.b-1; k++ {
+		q := f.queues[k-1]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("core: invariant violation: level %d cover empty over window of %d", k, w))
+		}
+		if q[0].A != 0 {
+			panic(fmt.Sprintf("core: invariant violation: level %d cover starts at %d, not 0", k, q[0].A))
+		}
+		if q[len(q)-1].B != w-1 {
+			panic(fmt.Sprintf("core: invariant violation: level %d cover ends at %d, window edge %d", k, q[len(q)-1].B, w-1))
+		}
+		for i := range q {
+			if q[i].A > q[i].B {
+				panic(fmt.Sprintf("core: invariant violation: level %d interval %d inverted: [%d,%d]", k, i, q[i].A, q[i].B))
+			}
+			if i > 0 && q[i].A != q[i-1].B+1 {
+				panic(fmt.Sprintf("core: invariant violation: level %d intervals %d,%d not contiguous: ..%d then %d..", k, i-1, i, q[i-1].B, q[i].A))
+			}
+			if q[i].HErrA < 0 || q[i].HErrB < 0 {
+				panic(fmt.Sprintf("core: invariant violation: level %d interval %d negative error bound: %+v", k, i, q[i]))
+			}
+		}
+	}
+}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
+	"time"
+
+	"streamhist/internal/vopt"
 )
 
 // rebuildVariants enumerates the rebuild-engine configurations whose
@@ -167,6 +171,353 @@ func TestRebuildEquivalenceBatched(t *testing.T) {
 			opt.PushBatch(vs)
 		}
 		requireSameState(t, "batched", ref, opt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cover repair. Unlike warm start and the probe memo, the
+// incremental engine is NOT bit-identical to the cold path: stored HERROR
+// bounds may be stale by up to one fallback period K. Staleness has two
+// consequences the tests below pin. Within a window, the per-level
+// containment factor widens from (1+delta) to (1+delta)^2 between exact
+// rebuilds, so the analogue of the matrix sweep's loose (1+delta)^(2B)
+// bound is (1+delta)^(4B). Across windows, a stale stored bound is a
+// valid over-estimate of a window up to K slides OLD (eviction only
+// decreases prefix errors — the monotone-decrease fact), so when the
+// true error collapses suddenly (a spike leaving the window) the
+// incremental estimate may lag the collapse by up to one fallback
+// period. The resulting envelope is time-lagged on the high side:
+//
+//	cold_t / factor  <=  incr_t  <=  factor * max(cold_{t-K} .. cold_t)
+//
+// with factor = (1+delta)^(4B). The extracted histogram needs no lag: its
+// reported SSE is the exact SSE of the chosen bucketization, so it is
+// bounded below by the true optimum on the CURRENT window.
+
+// newIncrVariant builds a maintainer running the incremental cover-repair
+// engine over the default warm+memo fallback path.
+func newIncrVariant(t *testing.T, n, b int, eps, delta float64) *FixedWindow {
+	t.Helper()
+	fw := newVariant(t, n, b, eps, delta, true, true)
+	fw.SetIncrementalRebuild(true)
+	return fw
+}
+
+// coldTrail is the trailing window of cold-reference errors the staleness
+// budget lets the incremental estimate lag behind: one slot per slide of
+// the last K+1 windows.
+type coldTrail struct {
+	ring []float64
+	i    int
+}
+
+func newColdTrail(k int) *coldTrail { return &coldTrail{ring: make([]float64, k+1)} }
+
+func (c *coldTrail) push(v float64) { c.ring[c.i%len(c.ring)] = v; c.i++ }
+
+func (c *coldTrail) max() float64 {
+	n := c.i
+	if n > len(c.ring) {
+		n = len(c.ring)
+	}
+	m := 0.0
+	for j := 0; j < n; j++ {
+		if c.ring[j] > m {
+			m = c.ring[j]
+		}
+	}
+	return m
+}
+
+// requireIncrEnvelope asserts the incremental engine's reported error
+// sits inside the staleness envelope: at most factor times the worst
+// cold-reference error of the trailing fallback period, and at least the
+// current cold-reference error over factor.
+func requireIncrEnvelope(t *testing.T, ctx string, step int, trail *coldTrail, cold, incr, factor float64) {
+	t.Helper()
+	if incr > factor*trail.max()+1e-9 {
+		t.Fatalf("%s step %d: incremental ApproxError %v exceeds %v * trailing cold max %v",
+			ctx, step, incr, factor, trail.max())
+	}
+	if cold > factor*incr+1e-9 {
+		t.Fatalf("%s step %d: incremental ApproxError %v below cold %v / factor %v",
+			ctx, step, incr, cold, factor)
+	}
+}
+
+// TestIncrementalApproxBoundRandom drives the incremental engine and the
+// cold reference through randomized streams long enough to wrap the
+// prefix arrays and cross several scheduled exact rebuilds, checking the
+// staleness envelope after every push. It also pins the accounting
+// invariant: once a cover exists, every maintenance pass either completes
+// incrementally or is counted as a fallback — passes cannot vanish.
+func TestIncrementalApproxBoundRandom(t *testing.T) {
+	const n, b = 96, 6
+	for _, eps := range []float64{0.1, 0.5} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cold := newVariant(t, n, b, eps, 0, false, false)
+			incr := newIncrVariant(t, n, b, eps, 0)
+			factor := math.Pow(1+incr.Delta(), 4*float64(b))
+			trail := newColdTrail(incr.incrEveryEff())
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3*n; i++ {
+				x := rng.NormFloat64()*10 + float64(i%7)
+				cold.Push(x)
+				trail.push(cold.ApproxError())
+				incr.Push(x)
+				requireIncrEnvelope(t, "random", i, trail, cold.ApproxError(), incr.ApproxError(), factor)
+			}
+			hits, _, falls := incr.IncrementalStats()
+			if hits == 0 {
+				t.Fatalf("eps=%g seed=%d: no pass completed incrementally", eps, seed)
+			}
+			// The first push finds no cover (not a fallback: there was
+			// nothing to maintain); each of the remaining 3n-1 passes must
+			// be a hit or a fallback.
+			if got := hits + falls; got != int64(3*n-1) {
+				t.Fatalf("eps=%g seed=%d: %d hits + %d fallbacks = %d passes, want %d",
+					eps, seed, hits, falls, got, 3*n-1)
+			}
+		}
+	}
+}
+
+// TestIncrementalApproxBoundShapes replays the adversarial window shapes
+// against the incremental engine across the (B, delta) grid, checking the
+// ApproxError envelope on every slide and, periodically, the extracted
+// histogram's exact SSE against the true V-optimal error: at most
+// (1+delta)^(4B) times optimal, never below it.
+func TestIncrementalApproxBoundShapes(t *testing.T) {
+	const n = 48
+	for name, gen := range adversarialShapes {
+		for _, b := range []int{2, 5} {
+			for _, delta := range []float64{0.1, 0.5} {
+				cold := newVariant(t, n, b, delta, delta, false, false)
+				incr := newIncrVariant(t, n, b, delta, delta)
+				factor := math.Pow(1+delta, 4*float64(b))
+				trail := newColdTrail(incr.incrEveryEff())
+				rngC := rand.New(rand.NewSource(220))
+				rngI := rand.New(rand.NewSource(220))
+				for i := 0; i < n+64; i++ {
+					cold.Push(gen(i, rngC))
+					trail.push(cold.ApproxError())
+					incr.Push(gen(i, rngI))
+					requireIncrEnvelope(t, name, i, trail, cold.ApproxError(), incr.ApproxError(), factor)
+					if incr.Len() < 2 || i%7 != 0 {
+						continue
+					}
+					res, err := incr.Histogram()
+					if err != nil {
+						t.Fatalf("%s b=%d delta=%g step=%d: %v", name, b, delta, i, err)
+					}
+					opt, err := vopt.Error(incr.Window(), b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// The histogram's lag allowance: its boundaries come from
+					// queues up to K slides stale, so its SSE is enveloped by
+					// the trailing cold max like ApproxError is — but never
+					// below the current optimum, because the reported SSE is
+					// exact for the extracted bucketization.
+					if lim := factor * (trail.max() + opt); res.SSE > lim+1e-5 {
+						t.Fatalf("%s b=%d delta=%g step=%d: SSE %v > envelope %v (opt %v)",
+							name, b, delta, i, res.SSE, lim, opt)
+					}
+					if res.SSE < opt-1e-5*(1+opt) {
+						t.Fatalf("%s step=%d: SSE %v below optimal %v", name, i, res.SSE, opt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalTogglesMidStream flips the incremental engine off and on
+// while a stream is in flight. While on, the ApproxError envelope holds;
+// the moment it is toggled off, the very next maintenance pass is an
+// exact rebuild, so the state must re-converge to the cold reference bit
+// for bit after a single push — the incrementally-maintained cover is a
+// safe warm-start seed because every seed is predicate-verified.
+func TestIncrementalTogglesMidStream(t *testing.T) {
+	const n, b = 80, 6
+	ref := newVariant(t, n, b, 0.2, 0, false, false)
+	opt := newIncrVariant(t, n, b, 0.2, 0)
+	factor := math.Pow(1+opt.Delta(), 4*float64(b))
+	trail := newColdTrail(opt.incrEveryEff())
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4*n; i++ {
+		x := rng.Float64() * 100
+		ref.Push(x)
+		trail.push(ref.ApproxError())
+		opt.Push(x)
+		requireIncrEnvelope(t, "incr-toggle", i, trail, ref.ApproxError(), opt.ApproxError(), factor)
+		if i%(n/2) == n/4 {
+			opt.SetIncrementalRebuild(false)
+			y := rng.Float64() * 100
+			ref.Push(y)
+			trail.push(ref.ApproxError())
+			opt.Push(y)
+			requireSameState(t, "incr-toggle-off", ref, opt)
+			opt.SetIncrementalRebuild(true)
+		}
+	}
+}
+
+// TestIncrementalBudgetKnobs sweeps explicit staleness budgets — from
+// "exact rebuild every other pass" down to "one repair per pass" — and
+// checks the envelope holds for each: the budget trades work for
+// staleness inside the bound, never correctness.
+func TestIncrementalBudgetKnobs(t *testing.T) {
+	const n, b = 64, 5
+	for _, budget := range []struct{ every, repairs int }{
+		{2, 0}, {16, 0}, {1024, 1}, {0, 1},
+	} {
+		cold := newVariant(t, n, b, 0.2, 0, false, false)
+		incr := newIncrVariant(t, n, b, 0.2, 0)
+		incr.SetIncrementalBudget(budget.every, budget.repairs)
+		factor := math.Pow(1+incr.Delta(), 4*float64(b))
+		trail := newColdTrail(incr.incrEveryEff())
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 3*n; i++ {
+			x := rng.NormFloat64() * 25
+			cold.Push(x)
+			trail.push(cold.ApproxError())
+			incr.Push(x)
+			requireIncrEnvelope(t, "budget", i, trail, cold.ApproxError(), incr.ApproxError(), factor)
+		}
+	}
+}
+
+// TestIncrementalSnapshotRoundTrip pins two restore properties: the
+// incremental engine's configuration survives UnmarshalBinary as an
+// attachment (like the instrumentation), and the restored state is the
+// exact rebuild of the snapshotted window — indistinguishable from a cold
+// maintainer fed the same window — after which incremental maintenance
+// resumes.
+func TestIncrementalSnapshotRoundTrip(t *testing.T) {
+	const n, b = 64, 5
+	src := newIncrVariant(t, n, b, 0.1, 0)
+	src.SetIncrementalBudget(16, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2*n; i++ {
+		src.Push(rng.NormFloat64() * 40)
+	}
+	blob, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newIncrVariant(t, n, b, 0.1, 0)
+	dst.SetIncrementalBudget(16, 8)
+	if err := dst.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.incrOn || dst.incrEvery != 16 || dst.incrBudget != 8 {
+		t.Fatalf("incremental config lost in restore: on=%v every=%d budget=%d",
+			dst.incrOn, dst.incrEvery, dst.incrBudget)
+	}
+	cold := newVariant(t, n, b, 0.1, 0, false, false)
+	for _, v := range src.Window() {
+		cold.PushLazy(v)
+	}
+	requireSameState(t, "restored", cold, dst)
+	// Maintenance after the restore runs incrementally again.
+	h0, _, _ := dst.IncrementalStats()
+	factor := math.Pow(1+dst.Delta(), 4*float64(b))
+	trail := newColdTrail(dst.incrEveryEff())
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * 40
+		cold.Push(x)
+		trail.push(cold.ApproxError())
+		dst.Push(x)
+		requireIncrEnvelope(t, "post-restore", i, trail, cold.ApproxError(), dst.ApproxError(), factor)
+	}
+	if h1, _, _ := dst.IncrementalStats(); h1 == h0 {
+		t.Fatal("no incremental pass completed after restore")
+	}
+}
+
+// TestIncrementalPushBatchSinglePass pins the batching contract under the
+// incremental engine: one PushBatch call performs exactly one maintenance
+// pass (incremental or fallback, never one per element), and its result
+// is bit-identical to PushLazy per element followed by one flush.
+func TestIncrementalPushBatchSinglePass(t *testing.T) {
+	const n, b = 64, 5
+	batch := newIncrVariant(t, n, b, 0.1, 0)
+	lazy := newIncrVariant(t, n, b, 0.1, 0)
+	rng := rand.New(rand.NewSource(9))
+	batch.Push(1) // establish a cover so every later pass is hit-or-fallback
+	lazy.Push(1)
+	for round := 0; round < 40; round++ {
+		k := 1 + round%9
+		if round%11 == 10 {
+			k = n + 5 // burst exceeding the window
+		}
+		vs := make([]float64, k)
+		for i := range vs {
+			vs[i] = rng.NormFloat64() * 50
+		}
+		h0, _, f0 := batch.IncrementalStats()
+		batch.PushBatch(vs)
+		h1, _, f1 := batch.IncrementalStats()
+		if passes := (h1 - h0) + (f1 - f0); passes != 1 {
+			t.Fatalf("round %d (batch %d): %d maintenance passes, want 1", round, k, passes)
+		}
+		for _, v := range vs {
+			lazy.PushLazy(v)
+		}
+		requireSameState(t, "batch-vs-lazy", batch, lazy)
+	}
+}
+
+// TestTimeWindowPushBatchEquivalence checks the TimeWindow batching fix:
+// a batch at one timestamp leaves the identical window — and, since the
+// exact rebuild is a pure function of the window, identical state — as a
+// loop of per-point pushes, while performing a single maintenance pass.
+func TestTimeWindowPushBatchEquivalence(t *testing.T) {
+	const n, b = 48, 4
+	span := time.Minute
+	mk := func() *TimeWindow {
+		tw, err := NewTimeWindow(n, b, 0.2, 0.05, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tw
+	}
+	batch, loop := mk(), mk()
+	rng := rand.New(rand.NewSource(21))
+	ts := time.Unix(1000, 0)
+	for round := 0; round < 25; round++ {
+		ts = ts.Add(time.Duration(1+round%7) * time.Second)
+		vs := make([]float64, 1+round%6)
+		for i := range vs {
+			vs[i] = rng.NormFloat64() * 30
+		}
+		if err := batch.PushBatch(ts, vs); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			if err := loop.Push(ts, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireSameState(t, "timewindow-batch", loop.fw, batch.fw)
+		if got, want := batch.Len(), loop.Len(); got != want {
+			t.Fatalf("round %d: batch window %d points vs loop %d", round, got, want)
+		}
+	}
+	// Under the incremental engine the batch still costs one pass.
+	itw := mk()
+	itw.SetIncrementalRebuild(true)
+	if err := itw.Push(ts, 1); err != nil {
+		t.Fatal(err)
+	}
+	h0, _, f0 := itw.fw.IncrementalStats()
+	if err := itw.PushBatch(ts.Add(time.Second), []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	h1, _, f1 := itw.fw.IncrementalStats()
+	if passes := (h1 - h0) + (f1 - f0); passes != 1 {
+		t.Fatalf("time-window batch: %d maintenance passes, want 1", passes)
 	}
 }
 

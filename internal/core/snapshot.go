@@ -68,6 +68,11 @@ func (f *FixedWindow) UnmarshalBinary(data []byte) error {
 	restored.sums = sums
 	restored.m = f.m // the metrics attachment survives a restore
 	restored.tr, restored.traceParent = f.tr, f.traceParent // so does the flight recorder
+	// The incremental-engine configuration is an attachment like the
+	// instrumentation, not window state: it survives the restore, and the
+	// exact rebuild below re-establishes a fresh cover for it to maintain.
+	restored.incrOn = f.incrOn
+	restored.incrEvery, restored.incrBudget = f.incrEvery, f.incrBudget
 	restored.rebuild()
 	*f = *restored
 	return nil

@@ -83,6 +83,18 @@ func (tw *TimeWindow) SetWarmStart(on bool) { tw.fw.SetWarmStart(on) }
 // underlying maintainer (see FixedWindow.SetProbeMemo).
 func (tw *TimeWindow) SetProbeMemo(on bool) { tw.fw.SetProbeMemo(on) }
 
+// SetIncrementalRebuild toggles incremental cover repair on the
+// underlying maintainer (see FixedWindow.SetIncrementalRebuild). Age
+// evictions are window slides like any other, so the incremental pass
+// covers them too.
+func (tw *TimeWindow) SetIncrementalRebuild(on bool) { tw.fw.SetIncrementalRebuild(on) }
+
+// SetIncrementalBudget configures the incremental engine's staleness
+// budget (see FixedWindow.SetIncrementalBudget).
+func (tw *TimeWindow) SetIncrementalBudget(fullEvery, repairs int) {
+	tw.fw.SetIncrementalBudget(fullEvery, repairs)
+}
+
 // Len returns the number of points currently inside the window.
 func (tw *TimeWindow) Len() int { return tw.size }
 
@@ -90,9 +102,43 @@ func (tw *TimeWindow) Len() int { return tw.size }
 // out-of-order arrivals are rejected. Points older than span relative to
 // the new timestamp are evicted, then the histogram queues are rebuilt.
 func (tw *TimeWindow) Push(ts time.Time, v float64) error {
+	nano, err := tw.admit(ts)
+	if err != nil {
+		return err
+	}
+	tw.append(nano, v)
+	tw.fw.pending++
+	tw.fw.maintain()
+	return nil
+}
+
+// PushBatch consumes a batch of points sharing one timestamp with a
+// single maintenance pass at the end — the batched-arrivals model, and
+// the fix for the per-element rebuild a loop of Push pays. Age evictions
+// happen once against ts; the final window, and therefore the rebuilt
+// state, is identical to pushing the values one by one.
+func (tw *TimeWindow) PushBatch(ts time.Time, vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	nano, err := tw.admit(ts)
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		tw.append(nano, v)
+	}
+	tw.fw.pending += int64(len(vs))
+	tw.fw.maintain()
+	return nil
+}
+
+// admit validates ts against the ordering contract and expires points
+// older than span, returning the admitted unix-nano stamp.
+func (tw *TimeWindow) admit(ts time.Time) (int64, error) {
 	nano := ts.UnixNano()
 	if tw.size > 0 && nano < tw.last {
-		return fmt.Errorf("core: out-of-order timestamp %v (last %v)", ts, time.Unix(0, tw.last))
+		return 0, fmt.Errorf("core: out-of-order timestamp %v (last %v)", ts, time.Unix(0, tw.last))
 	}
 	tw.last = nano
 	cutoff := nano - tw.span.Nanoseconds()
@@ -102,8 +148,13 @@ func (tw *TimeWindow) Push(ts time.Time, v float64) error {
 		tw.head = (tw.head + 1) % len(tw.stamps)
 		tw.size--
 	}
+	return nano, nil
+}
+
+// append adds one stamped point, dropping the oldest under capacity
+// pressure — exactly what a standalone Push does after its evictions.
+func (tw *TimeWindow) append(nano int64, v float64) {
 	if tw.size == len(tw.stamps) {
-		// Capacity pressure: drop the oldest point early.
 		tw.fw.sums.EvictOldest()
 		tw.head = (tw.head + 1) % len(tw.stamps)
 		tw.size--
@@ -111,8 +162,6 @@ func (tw *TimeWindow) Push(ts time.Time, v float64) error {
 	tw.stamps[(tw.head+tw.size)%len(tw.stamps)] = nano
 	tw.size++
 	tw.fw.sums.Push(v)
-	tw.fw.rebuild()
-	return nil
 }
 
 // Histogram extracts the current histogram over the in-window points

@@ -6,19 +6,23 @@ import (
 	"strings"
 )
 
-// hotpathPragma marks a package whose non-error paths must stay
-// allocation-lean. The comment may appear in any non-test file of the
-// package, conventionally at the top of the package's main file:
+// hotpathPragma marks code whose non-error paths must stay
+// allocation-lean. Placed in any comment not attached to a function
+// declaration — conventionally the top of the package's main file — it
+// covers the whole package:
 //
 //	//streamhist:hotpath
+//
+// Placed in a function's doc comment it covers just that function, so a
+// mostly-cold package can still gate its few hot entry points.
 const hotpathPragma = "streamhist:hotpath"
 
 // HotpathAlloc forbids fmt.Sprintf, fmt.Errorf and any reflect call in
-// packages tagged //streamhist:hotpath, except on error paths. A call
-// counts as being on an error path when it is part of a return statement
-// of a function whose results include an error, or part of a panic
-// argument — i.e. formatting is fine while constructing an error or a
-// panic message, and nowhere else.
+// code tagged //streamhist:hotpath (package-wide or per function), except
+// on error paths. A call counts as being on an error path when it is part
+// of a return statement of a function whose results include an error, or
+// part of a panic argument — i.e. formatting is fine while constructing
+// an error or a panic message, and nowhere else.
 type HotpathAlloc struct{}
 
 // Name implements Rule.
@@ -26,14 +30,12 @@ func (HotpathAlloc) Name() string { return "hotpath-alloc" }
 
 // Doc implements Rule.
 func (HotpathAlloc) Doc() string {
-	return "//streamhist:hotpath packages avoid fmt.Sprintf/fmt.Errorf/reflect outside error paths"
+	return "//streamhist:hotpath packages and functions avoid fmt.Sprintf/fmt.Errorf/reflect outside error paths"
 }
 
 // Check implements Rule.
 func (HotpathAlloc) Check(p *Package) []Diagnostic {
-	if !isHotpath(p) {
-		return nil
-	}
+	pkgHot := isHotpathPkg(p)
 	var out []Diagnostic
 	for _, file := range p.Files {
 		var stack []ast.Node
@@ -48,25 +50,75 @@ func (HotpathAlloc) Check(p *Package) []Diagnostic {
 				return true
 			}
 			label, banned := bannedHotpathCall(p, call)
-			if banned && !onErrorPath(p, stack) {
-				out = append(out, diag(p, call, HotpathAlloc{}.Name(),
-					"%s in hot-path package %s outside an error path", label, p.Types.Name()))
+			if !banned || (!pkgHot && !inHotpathFunc(stack)) || onErrorPath(p, stack) {
+				return true
 			}
+			scope := "package " + p.Types.Name()
+			if !pkgHot {
+				scope = "function " + hotpathFuncName(stack)
+			}
+			out = append(out, diag(p, call, HotpathAlloc{}.Name(),
+				"%s in hot-path %s outside an error path", label, scope))
 			return true
 		})
 	}
 	return out
 }
 
-// isHotpath reports whether any file of the package carries the pragma.
-func isHotpath(p *Package) bool {
+// isHotpathPkg reports whether any file of the package carries the pragma
+// at package scope — i.e. in a comment that is not a function's doc
+// comment. Doc-attached pragmas scope the rule to that function only.
+func isHotpathPkg(p *Package) bool {
 	for _, file := range p.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				if strings.TrimPrefix(c.Text, "//") == hotpathPragma {
-					return true
-				}
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
 			}
+		}
+		for _, cg := range file.Comments {
+			if funcDocs[cg] {
+				continue
+			}
+			if hasHotpathPragma(cg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inHotpathFunc reports whether the ancestor stack passes through a
+// function declaration whose doc comment carries the pragma.
+func inHotpathFunc(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && hasHotpathPragma(fd.Doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncName names the pragma-tagged declaration the stack passes
+// through, for the diagnostic.
+func hotpathFuncName(stack []ast.Node) string {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && hasHotpathPragma(fd.Doc) {
+			return fd.Name.Name
+		}
+	}
+	return "?"
+}
+
+// hasHotpathPragma reports whether the comment group contains the pragma
+// on a line of its own. Nil groups are fine.
+func hasHotpathPragma(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimPrefix(c.Text, "//") == hotpathPragma {
+			return true
 		}
 	}
 	return false

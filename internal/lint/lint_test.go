@@ -102,6 +102,10 @@ func TestHotpathAllocGolden(t *testing.T) {
 	runGolden(t, "hotpathd", []lint.Rule{lint.HotpathAlloc{}})
 }
 
+func TestHotpathAllocFuncGolden(t *testing.T) {
+	runGolden(t, "hotpathfn", []lint.Rule{lint.HotpathAlloc{}})
+}
+
 func TestInvariantCoverageGolden(t *testing.T) {
 	runGolden(t, "invcov", []lint.Rule{lint.InvariantCoverage{}})
 }

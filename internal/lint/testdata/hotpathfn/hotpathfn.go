@@ -1,0 +1,47 @@
+// Package hotpathfn seeds function-level hotpath-alloc pragmas for the
+// golden tests: the package itself is NOT tagged, so only the annotated
+// functions are checked.
+package hotpathfn
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// push is the annotated hot entry point: formatting and reflection inside
+// it are violations.
+//
+//streamhist:hotpath
+func push(v float64) string {
+	return fmt.Sprintf("%g", v) // want "call to fmt.Sprintf in hot-path function push"
+}
+
+// maintain nests the banned call inside a closure; the enclosing tagged
+// declaration still governs it.
+//
+//streamhist:hotpath
+func maintain(v any) bool {
+	probe := func() bool {
+		return reflect.DeepEqual(v, nil) // want "reflection via reflect.DeepEqual"
+	}
+	return probe()
+}
+
+// repair shows error paths stay exempt inside a tagged function.
+//
+//streamhist:hotpath
+func repair(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // error path: allowed
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("absurd count %d", n)) // panic argument: allowed
+	}
+	return nil
+}
+
+// describe carries no pragma, so its formatting is fine — the package is
+// cold by default.
+func describe(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -107,9 +107,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, err := Open(Options{
 		Window: 64, Buckets: 4, Eps: 0.2, Delta: 0.2,
-		DataDir: t.TempDir(),
-		Metrics: reg,
-		Logger:  quietLogger,
+		DataDir:     t.TempDir(),
+		Metrics:     reg,
+		Incremental: true,
+		Logger:      quietLogger,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +158,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"streamhist_core_memo_misses_total",
 		"streamhist_core_warm_hits_total",
 		"streamhist_core_warm_fallbacks_total",
+		// rebuild engine: incremental cover repair
+		"streamhist_core_incr_hits_total",
+		"streamhist_core_incr_repairs_total",
+		"streamhist_core_incr_fallbacks_total",
+		"streamhist_core_incr_fallback_ratio",
 		// agglomerative layer
 		"streamhist_agglom_points_total 8",
 		"streamhist_agglom_endpoints",

@@ -40,6 +40,12 @@ type Options struct {
 	// Factory builds the per-stream summary set for new keys; nil derives
 	// one from Window/Buckets/Eps/Delta. See MaintainerFactory.
 	Factory shard.Factory
+	// Incremental enables incremental cover repair on every stream the
+	// default factory creates: shard loops ingest lazily and flush at
+	// query time, so the amortized repair path replaces the full rebuild
+	// those flushes pay. Ignored when Factory is set (configure the
+	// maintainer there instead).
+	Incremental bool
 
 	// MaxBody caps an ingest or restore request body; 0 means 32 MiB.
 	MaxBody int64
@@ -140,6 +146,7 @@ func defaultFactory(o Options) shard.Factory {
 		if err != nil {
 			return nil, err
 		}
+		fw.SetIncrementalRebuild(o.Incremental)
 		return shard.NewState(fw)
 	}
 }

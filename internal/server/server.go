@@ -136,6 +136,10 @@ func WithKeyInflight(n int) Option { return func(o *Options) { o.KeyInflight = n
 // derived from Window/Buckets/Eps/Delta). See MaintainerFactory.
 func WithFactory(f shard.Factory) Option { return func(o *Options) { o.Factory = f } }
 
+// WithIncremental enables incremental cover repair on every stream the
+// default factory creates (see Options.Incremental).
+func WithIncremental() Option { return func(o *Options) { o.Incremental = true } }
+
 // New creates an in-memory server (no durability) maintaining, per
 // stream key, a fixed-window histogram (last n points, b buckets, growth
 // factor delta), a whole-stream agglomerative histogram, a whole-stream

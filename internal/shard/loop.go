@@ -212,8 +212,19 @@ func (sh *shard) process(batch []*request) {
 			}
 		}
 		st := p.st
+		if st.FW.IncrementalRebuild() {
+			// Incremental cover repair makes per-batch maintenance
+			// amortized sub-millisecond, so maintain eagerly — one repair
+			// pass per drained request — and keep read latency flat.
+			// Exact engines stay lazy: maintenance defers to the next
+			// query's flush rather than paying a full rebuild per ingest.
+			st.FW.PushBatch(p.req.values)
+		} else {
+			for _, v := range p.req.values {
+				st.FW.PushLazy(v)
+			}
+		}
 		for _, v := range p.req.values {
-			st.FW.PushLazy(v)
 			st.Agg.Push(v)
 			st.GK.Insert(v)
 			st.Sed.Push(v)

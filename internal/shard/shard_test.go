@@ -176,6 +176,43 @@ func TestEngineBasicOps(t *testing.T) {
 	}
 }
 
+// TestEngineIncrementalEagerMaintain pins the shard loop's batching
+// contract for incremental streams: when the factory enables incremental
+// cover repair, the apply phase maintains eagerly — exactly one
+// maintenance pass per drained ingest batch, never one per value — while
+// the very first batch's cover-establishing rebuild stays uncounted (it
+// is neither a hit nor a fallback).
+func TestEngineIncrementalEagerMaintain(t *testing.T) {
+	e := testEngine(t, Config{Factory: func(key string) (*State, error) {
+		fw, err := core.New(32, 4, 0.1)
+		if err != nil {
+			return nil, err
+		}
+		fw.SetIncrementalRebuild(true)
+		return NewState(fw)
+	}})
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		vals := []float64{float64(i), float64(i * 3 % 7), float64(i * 5 % 11)}
+		if _, _, err := e.Ingest("a", 0, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.View("a", func(st *State) error {
+		hits, _, falls := st.FW.IncrementalStats()
+		if hits+falls != batches-1 {
+			t.Errorf("maintenance passes = %d (hits %d, fallbacks %d), want %d: one per drained batch after the cover-establishing first",
+				hits+falls, hits, falls, batches-1)
+		}
+		if st.FW.Seen() != 3*batches {
+			t.Errorf("seen = %d, want %d", st.FW.Seen(), 3*batches)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEngineKeyQuota(t *testing.T) {
 	e := testEngine(t, Config{MaxKeys: 2})
 	for _, key := range []string{"a", "b"} {

@@ -67,6 +67,7 @@ const (
 	EvCapture              // instant: a slow-rebuild capture was written. A = events captured.
 	EvBreaker              // instant: a circuit-breaker transition. A = from state; N = to state.
 	EvPanic                // instant: a contained handler panic. A = 1 when the state lock was held.
+	EvIncrRepair           // instant: incremental cover-maintenance summary. A = endpoints repaired; N = levels maintained. Its parent EvRebuild span carries Code 1 to mark the incremental path.
 
 	numEventTypes // sentinel; keep last
 )
@@ -100,6 +101,8 @@ func (t EventType) String() string {
 		return "breaker"
 	case EvPanic:
 		return "panic"
+	case EvIncrRepair:
+		return "incr_repair"
 	}
 	return "unknown"
 }

@@ -23,6 +23,10 @@ type config struct {
 	warm       bool
 	memoSet    bool // WithProbeMemo given
 	memo       bool
+	incrSet    bool // WithIncrementalRebuild given
+	incr       bool
+	incrEvery  int // WithIncrementalBudget: exact rebuild at least every K passes
+	incrRepair int // WithIncrementalBudget: endpoint repairs per pass
 }
 
 // WithDelta sets an explicit per-level growth factor instead of the
@@ -57,6 +61,30 @@ func WithWarmStart(on bool) Option {
 // ablation.
 func WithProbeMemo(on bool) Option {
 	return func(c *config) { c.memoSet, c.memo = true, on }
+}
+
+// WithIncrementalRebuild toggles the incremental cover-repair engine
+// (default off): per-point maintenance re-validates and repairs the
+// previous interval queues against their HERROR bounds instead of
+// rebuilding them, falling back to the exact warm/memo rebuild on a
+// repair-budget overrun and at least every K passes. The maintained
+// cover is approximation-bound rather than bit-identical: ApproxError
+// stays within the staleness budget of the exact engine's (see
+// DESIGN.md section 11) while amortized push cost drops by an order of
+// magnitude.
+func WithIncrementalRebuild(on bool) Option {
+	return func(c *config) { c.incrSet, c.incr = true, on }
+}
+
+// WithIncrementalBudget sets the incremental engine's staleness budget:
+// an exact rebuild at least every fullEvery passes and at most repairs
+// endpoint re-searches per pass before falling back. Zeros keep the
+// derived defaults (fullEvery = 1/(2*delta) clamped to [8, 4096];
+// repairs = a quarter of the cover). Implies nothing about
+// WithIncrementalRebuild — the budget only takes effect while the
+// engine is on.
+func WithIncrementalBudget(fullEvery, repairs int) Option {
+	return func(c *config) { c.incrEvery, c.incrRepair = fullEvery, repairs }
 }
 
 // WithConcurrency makes every method of the returned maintainer safe for
@@ -194,6 +222,20 @@ func NewFixedWindow(n, b int, eps float64, opts ...Option) (*Maintainer, error) 
 			m.fw.SetProbeMemo(cfg.memo)
 		}
 	}
+	if cfg.incrSet {
+		if m.tw != nil {
+			m.tw.SetIncrementalRebuild(cfg.incr)
+		} else {
+			m.fw.SetIncrementalRebuild(cfg.incr)
+		}
+	}
+	if cfg.incrEvery != 0 || cfg.incrRepair != 0 {
+		if m.tw != nil {
+			m.tw.SetIncrementalBudget(cfg.incrEvery, cfg.incrRepair)
+		} else {
+			m.fw.SetIncrementalBudget(cfg.incrEvery, cfg.incrRepair)
+		}
+	}
 	return m, nil
 }
 
@@ -248,14 +290,16 @@ func (m *Maintainer) PushLazy(v float64) {
 	m.mu.unlock()
 }
 
-// PushBatch consumes a batch of points with a single maintenance pass.
+// PushBatch consumes a batch of points with a single maintenance pass —
+// on both window kinds. A time-based maintainer stamps the whole batch
+// with the wall clock and expires by age once, instead of re-entering
+// per-element maintenance for each value.
 func (m *Maintainer) PushBatch(vs []float64) {
 	if m.tw != nil {
 		now := time.Now()
 		m.mu.lock()
-		for _, v := range vs {
-			_ = m.tw.Push(now, v)
-		}
+		// The wall clock is monotonic in-process, so ordering holds.
+		_ = m.tw.PushBatch(now, vs)
 		m.mu.unlock()
 		return
 	}

@@ -21,7 +21,11 @@ type Histogram = histogram.Histogram
 // FixedWindow incrementally maintains an epsilon-approximate B-bucket
 // V-optimal histogram over the most recent n stream points — Algorithm
 // FixedWindowHistogram, the paper's primary contribution. Push consumes
-// points; Histogram and ApproxError query the current window.
+// points; Histogram and ApproxError query the current window. The rebuild
+// engine offers three gears: the exact cold path, the bit-identical
+// warm+memo path (WithWarmStart, WithProbeMemo; both on by default), and
+// the approximation-bound incremental cover-repair path
+// (WithIncrementalRebuild) that amortizes the per-push full rebuild away.
 type FixedWindow = core.FixedWindow
 
 // FixedWindowResult is the histogram extracted from a FixedWindow together
