@@ -515,33 +515,33 @@ func shardGrid(samples int) ([]shardRow, error) {
 
 // report is the full JSON document benchsmoke emits and -check consumes.
 type report struct {
-	Bench                 string                 `json:"bench"`
-	Goos                  string                 `json:"goos"`
-	Goarch                string                 `json:"goarch"`
-	Cpus                  int                    `json:"cpus"`
-	Stream                string                 `json:"stream"`
-	Aggregation           string                 `json:"aggregation"`
-	Config                benchConfig            `json:"config"`
-	Results               map[string]measurement `json:"results"`
-	SpeedupWarmMemo       float64                `json:"speedup_warm_memo_vs_cold"`
+	Bench           string                 `json:"bench"`
+	Goos            string                 `json:"goos"`
+	Goarch          string                 `json:"goarch"`
+	Cpus            int                    `json:"cpus"`
+	Stream          string                 `json:"stream"`
+	Aggregation     string                 `json:"aggregation"`
+	Config          benchConfig            `json:"config"`
+	Results         map[string]measurement `json:"results"`
+	SpeedupWarmMemo float64                `json:"speedup_warm_memo_vs_cold"`
 	// The incremental section uses its own long-trial methodology (see
 	// measureIncremental), so its warm+memo reference is re-measured under
 	// the same trials rather than copied from Results.
-	Incremental          measurement `json:"incremental"`
-	IncrementalBaseline  measurement `json:"incremental_warm_memo_baseline"`
-	SpeedupIncremental   float64     `json:"speedup_incremental_vs_warm_memo"`
-	IncrementalFullEvery int         `json:"incremental_full_every"`
-	MetricsOff            measurement            `json:"metrics_off"`
-	MetricsOn             measurement            `json:"metrics_on"`
-	MetricsOverheadPct    float64                `json:"metrics_overhead_pct"`
-	TraceOff              measurement            `json:"trace_off"`
-	TraceOn               measurement            `json:"trace_on"`
-	TraceOverheadPct      float64                `json:"trace_overhead_pct"`
-	ResilienceOff         measurement            `json:"resilience_off"`
-	ResilienceOn          measurement            `json:"resilience_on"`
-	ResilienceOverheadPct float64                `json:"resilience_overhead_pct"`
-	Scaling               []scalingRow           `json:"scaling"`
-	ShardScaling          []shardRow             `json:"shard_scaling"`
+	Incremental           measurement  `json:"incremental"`
+	IncrementalBaseline   measurement  `json:"incremental_warm_memo_baseline"`
+	SpeedupIncremental    float64      `json:"speedup_incremental_vs_warm_memo"`
+	IncrementalFullEvery  int          `json:"incremental_full_every"`
+	MetricsOff            measurement  `json:"metrics_off"`
+	MetricsOn             measurement  `json:"metrics_on"`
+	MetricsOverheadPct    float64      `json:"metrics_overhead_pct"`
+	TraceOff              measurement  `json:"trace_off"`
+	TraceOn               measurement  `json:"trace_on"`
+	TraceOverheadPct      float64      `json:"trace_overhead_pct"`
+	ResilienceOff         measurement  `json:"resilience_off"`
+	ResilienceOn          measurement  `json:"resilience_on"`
+	ResilienceOverheadPct float64      `json:"resilience_overhead_pct"`
+	Scaling               []scalingRow `json:"scaling"`
+	ShardScaling          []shardRow   `json:"shard_scaling"`
 }
 
 // headline measures the four rebuild variants at the configuration the
@@ -551,6 +551,14 @@ func headline(trials, warmup, ops int) (map[string]measurement, benchConfig, err
 	results, delta, err := measureRebuildVariants(cfg, 0, trials, warmup, ops)
 	cfg.Delta = delta
 	return results, cfg, err
+}
+
+// gateFailure is one tripped -check gate, named so a CI log grep for
+// the gate identifier lands on the exact budget that failed with its
+// measured-vs-floor values, instead of a needle-in-haystack scan.
+type gateFailure struct {
+	gate   string // stable identifier, e.g. "incr_speedup_floor"
+	detail string // measured value against its floor/budget
 }
 
 func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceTolerancePct, shardFlatness, incrFloor float64) error {
@@ -566,15 +574,15 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	if err != nil {
 		return err
 	}
-	var failures []string
+	var failures []gateFailure
 	for name, now := range results {
 		was, ok := base.Results[name]
 		if !ok {
 			continue
 		}
 		if now.AllocsPerOp > was.AllocsPerOp {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %d allocs/op, baseline %d", name, now.AllocsPerOp, was.AllocsPerOp))
+			failures = append(failures, gateFailure{"alloc_budget/" + name, fmt.Sprintf(
+				"measured %d allocs/op, baseline %d", now.AllocsPerOp, was.AllocsPerOp)})
 		}
 		fmt.Printf("benchsmoke: %-10s %12.0f ns/op (baseline %12.0f, %+.1f%%), %d allocs/op\n",
 			name, now.NsPerOp, was.NsPerOp, 100*(now.NsPerOp-was.NsPerOp)/was.NsPerOp, now.AllocsPerOp)
@@ -585,9 +593,9 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	now, was := results["warm_memo"], base.Results["warm_memo"]
 	if was.NsPerOp > 0 {
 		if pct := 100 * (now.NsPerOp - was.NsPerOp) / was.NsPerOp; pct > tolerancePct {
-			failures = append(failures, fmt.Sprintf(
-				"warm_memo: %.0f ns/op is %.1f%% over baseline %.0f (tolerance %.0f%%)",
-				now.NsPerOp, pct, was.NsPerOp, tolerancePct))
+			failures = append(failures, gateFailure{"warm_memo_latency", fmt.Sprintf(
+				"measured %.0f ns/op, %.1f%% over baseline %.0f (tolerance %.0f%%)",
+				now.NsPerOp, pct, was.NsPerOp, tolerancePct)})
 		}
 	}
 	// The incremental gate is a machine-independent ratio, re-measured
@@ -602,12 +610,12 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	fmt.Printf("benchsmoke: incremental %12.0f ns/push amortized (warm+memo %12.0f, x%.1f, floor x%.1f, K=%d), %d allocs/op\n",
 		incr.NsPerOp, wmRef.NsPerOp, incrSpeedup, incrFloor, fullEvery, incr.AllocsPerOp)
 	if incrSpeedup < incrFloor {
-		failures = append(failures, fmt.Sprintf(
-			"incremental: x%.2f amortized speedup over warm+memo, floor x%.1f", incrSpeedup, incrFloor))
+		failures = append(failures, gateFailure{"incr_speedup_floor", fmt.Sprintf(
+			"measured x%.2f amortized speedup over warm+memo, floor x%.1f", incrSpeedup, incrFloor)})
 	}
 	if incr.AllocsPerOp > 0 {
-		failures = append(failures, fmt.Sprintf(
-			"incremental: %d allocs/op steady state, budget 0", incr.AllocsPerOp))
+		failures = append(failures, gateFailure{"incr_alloc_budget", fmt.Sprintf(
+			"measured %d allocs/op steady state, budget 0", incr.AllocsPerOp)})
 	}
 	// The tracing budget is absolute, not relative to the baseline file:
 	// a detached flight recorder must add zero allocations, and an
@@ -619,12 +627,12 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	fmt.Printf("benchsmoke: trace overhead %+.1f%% (budget %.0f%%), trace-off %d allocs/op\n",
 		tracePct, traceTolerancePct, offT.AllocsPerOp)
 	if offT.AllocsPerOp > 0 {
-		failures = append(failures, fmt.Sprintf(
-			"tracing off: %d allocs/op, budget 0", offT.AllocsPerOp))
+		failures = append(failures, gateFailure{"trace_detached_alloc_budget", fmt.Sprintf(
+			"measured %d allocs/op with tracing off, budget 0", offT.AllocsPerOp)})
 	}
 	if tracePct > traceTolerancePct {
-		failures = append(failures, fmt.Sprintf(
-			"tracing on: +%.1f%% per push, budget %.0f%%", tracePct, traceTolerancePct))
+		failures = append(failures, gateFailure{"trace_overhead_budget", fmt.Sprintf(
+			"measured +%.1f%% per push with tracing on, budget %.0f%%", tracePct, traceTolerancePct)})
 	}
 	// The resilience budget is likewise absolute: an armed healthy
 	// breaker may cost at most -resilience-tolerance percent per push
@@ -636,12 +644,12 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	fmt.Printf("benchsmoke: resilience overhead %+.1f%% (budget %.0f%%), armed adds %d allocs/op\n",
 		resiliencePct, resilienceTolerancePct, onR.AllocsPerOp-min(onR.AllocsPerOp, offR.AllocsPerOp))
 	if onR.AllocsPerOp > offR.AllocsPerOp {
-		failures = append(failures, fmt.Sprintf(
-			"resilience armed: %d allocs/op over bare %d, budget 0", onR.AllocsPerOp, offR.AllocsPerOp))
+		failures = append(failures, gateFailure{"resilience_alloc_budget", fmt.Sprintf(
+			"measured %d allocs/op armed over bare %d, budget 0", onR.AllocsPerOp, offR.AllocsPerOp)})
 	}
 	if resiliencePct > resilienceTolerancePct {
-		failures = append(failures, fmt.Sprintf(
-			"resilience armed: +%.1f%% per push, budget %.0f%%", resiliencePct, resilienceTolerancePct))
+		failures = append(failures, gateFailure{"resilience_overhead_budget", fmt.Sprintf(
+			"measured +%.1f%% per push armed, budget %.0f%%", resiliencePct, resilienceTolerancePct)})
 	}
 	// Multi-tenant flatness: ingest p99 must not grow with the live-stream
 	// count — routing is a hash, not a scan. The gate is NumCPU-aware: it
@@ -663,14 +671,17 @@ func check(baselinePath string, tolerancePct, traceTolerancePct, resilienceToler
 	fmt.Printf("benchsmoke: shard grid (shards=%d, cpus=%d): ingest p99 %0.f ns @1k keys, %.0f ns @100k keys (x%.2f, budget x%.1f)\n",
 		shards, runtime.NumCPU(), small.P99Ns, large.P99Ns, ratio, shardFlatness)
 	if ratio > shardFlatness {
-		failures = append(failures, fmt.Sprintf(
-			"shard routing: ingest p99 grew x%.2f from 1k to 100k streams (budget x%.1f)", ratio, shardFlatness))
+		failures = append(failures, gateFailure{"shard_flatness_budget", fmt.Sprintf(
+			"measured ingest p99 growth x%.2f from 1k to 100k streams, budget x%.1f", ratio, shardFlatness)})
 	}
 	if len(failures) > 0 {
-		for _, f := range failures {
-			fmt.Fprintln(os.Stderr, "benchsmoke: REGRESSION:", f)
+		names := make([]string, len(failures))
+		for i, f := range failures {
+			names[i] = f.gate
+			fmt.Fprintf(os.Stderr, "benchsmoke: REGRESSION [%s]: %s\n", f.gate, f.detail)
 		}
-		return fmt.Errorf("%d regression(s) against %s", len(failures), baselinePath)
+		return fmt.Errorf("%d gate(s) failed against %s: %s",
+			len(failures), baselinePath, strings.Join(names, ", "))
 	}
 	fmt.Printf("benchsmoke: no regressions against %s\n", baselinePath)
 	return nil

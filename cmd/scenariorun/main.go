@@ -1,0 +1,332 @@
+// Command scenariorun replays the declarative scenario matrix — named,
+// seeded workloads (diurnal, bursty, adversarial sawtooth, regime
+// drift, support skew, and the incremental engine under the diurnal
+// trace) — through the full daemon with the shadow auditor on, and
+// writes each scenario's measured-accuracy trajectory as JSON. CI runs
+// it on every change and commits the result as BENCH_pr10.json, so the
+// repository carries measured error against the ε contract alongside
+// the code:
+//
+//	go run ./cmd/scenariorun -o BENCH_pr10.json
+//
+// Every scenario is fully seeded: a rerun reproduces the same streams,
+// the same audit panels, and therefore bit-identical measured errors.
+// The report also carries the audit layer's cost: the same batch
+// sequence is pushed through two shard engines, auditor attached and
+// detached, in paired rounds with alternating order, and the median
+// per-round overhead percentage is recorded (the allocation side of
+// the budget — zero added allocations on the unaudited push path — is
+// enforced by AllocsPerRun tests in internal/quality).
+//
+// CI accuracy gate:
+//
+//	go run ./cmd/scenariorun -check BENCH_pr10.json
+//
+// re-runs the matrix and fails (exit 1) naming the scenario if any
+// measured max relative error exceeds its calibrated budget, any final
+// SLO compliance falls below its calibrated floor, or the measured
+// audit overhead exceeds -overhead-budget percent (default 5). The
+// baseline file is read back so the failure output shows measured
+// against committed values.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"streamhist/internal/core"
+	"streamhist/internal/quality"
+	"streamhist/internal/quality/scenario"
+	"streamhist/internal/shard"
+)
+
+// measurement is one side of the paired audit-overhead comparison.
+type measurement struct {
+	NsPerPoint float64 `json:"ns_per_point"`
+	Rounds     int     `json:"rounds"`
+	PointsPer  int     `json:"points_per_round"`
+}
+
+// report is the JSON document scenariorun emits and -check consumes.
+type report struct {
+	Bench            string            `json:"bench"`
+	Goos             string            `json:"goos"`
+	Goarch           string            `json:"goarch"`
+	Cpus             int               `json:"cpus"`
+	EvalEvery        int               `json:"eval_every"`
+	AuditInterval    int               `json:"audit_interval"`
+	SLOTarget        float64           `json:"slo_target"`
+	Scenarios        []scenario.Result `json:"scenarios"`
+	AuditOff         measurement       `json:"audit_off"`
+	AuditOn          measurement       `json:"audit_on"`
+	AuditOverheadPct float64           `json:"audit_overhead_pct"`
+}
+
+// newEngine builds a memory-only shard engine for the overhead
+// comparison, auditor optionally attached.
+func newEngine(audited bool) (*shard.Engine, error) {
+	cfg := shard.Config{
+		Shards: 1,
+		Factory: func(key string) (*shard.State, error) {
+			fw, err := core.New(1024, 12, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			return shard.NewState(fw)
+		},
+	}
+	if audited {
+		cfg.Audit = &quality.Config{Interval: 256, Shadow: 1024}
+	}
+	return shard.NewEngine(cfg)
+}
+
+// auditOverhead pushes the identical batch sequence through an audited
+// and an unaudited engine in paired rounds with alternating order and
+// returns both timings plus the median per-round overhead percentage —
+// the same methodology benchsmoke uses for the metrics and tracing
+// layers, because the overhead is a ratio of two nearly equal costs
+// and min-of-trials would measure luck.
+//
+// Both engines serve an identical periodic histogram query (one per
+// audit interval): window pushes are lazy and any query forces the
+// deferred rebuild, so on a serving daemon that refresh is paid with
+// or without auditing. Holding the query workload equal on both sides
+// makes the measured number the audit's marginal cost — the shadow
+// feed plus the panel replay — rather than re-billing the rebuild
+// that queries force anyway. (On a write-only stream that nobody
+// queries, an audit pass does force refreshes the engine would have
+// skipped; that is the price of having any accuracy signal at all,
+// and the audit interval bounds it.)
+func auditOverhead(rounds, batches, batch int) (off, on measurement, pct float64, err error) {
+	eoff, err := newEngine(false)
+	if err != nil {
+		return off, on, 0, err
+	}
+	defer func() { _ = eoff.Close() }()
+	eon, err := newEngine(true)
+	if err != nil {
+		return off, on, 0, err
+	}
+	defer func() { _ = eon.Close() }()
+
+	points := batches * batch
+	vals := make([][]float64, batches*(rounds+1))
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		b := make([]float64, batch)
+		for j := range b {
+			b[j] = 100 + 800*rng.Float64()
+		}
+		vals[i] = b
+	}
+	// One histogram query per audit interval's worth of batches, on
+	// both engines (see the function comment).
+	queryEvery := 256 / batch
+	if queryEvery < 1 {
+		queryEvery = 1
+	}
+	push := func(e *shard.Engine, round int) (float64, error) {
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			if _, _, err := e.Ingest("bench", 0, vals[round*batches+i]); err != nil {
+				return 0, err
+			}
+			if (i+1)%queryEvery == 0 {
+				verr := e.View("bench", func(st *shard.State) error {
+					_, err := st.FW.Histogram()
+					return err
+				})
+				if verr != nil {
+					return 0, verr
+				}
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(points), nil
+	}
+	// Warmup round 0: fill windows, reach audit steady state.
+	if _, err := push(eoff, 0); err != nil {
+		return off, on, 0, err
+	}
+	if _, err := push(eon, 0); err != nil {
+		return off, on, 0, err
+	}
+	off = measurement{Rounds: rounds, PointsPer: points}
+	on = measurement{Rounds: rounds, PointsPer: points}
+	pcts := make([]float64, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		var offNs, onNs float64
+		run := func(e *shard.Engine, dst *measurement) (float64, error) {
+			ns, err := push(e, r)
+			if err != nil {
+				return 0, err
+			}
+			if dst.NsPerPoint == 0 || ns < dst.NsPerPoint {
+				dst.NsPerPoint = ns
+			}
+			return ns, nil
+		}
+		if r%2 == 1 {
+			if offNs, err = run(eoff, &off); err != nil {
+				return off, on, 0, err
+			}
+			if onNs, err = run(eon, &on); err != nil {
+				return off, on, 0, err
+			}
+		} else {
+			if onNs, err = run(eon, &on); err != nil {
+				return off, on, 0, err
+			}
+			if offNs, err = run(eoff, &off); err != nil {
+				return off, on, 0, err
+			}
+		}
+		pcts = append(pcts, 100*(onNs-offNs)/offNs)
+	}
+	sort.Float64s(pcts)
+	pct = pcts[len(pcts)/2]
+	if len(pcts)%2 == 0 {
+		pct = (pcts[len(pcts)/2-1] + pcts[len(pcts)/2]) / 2
+	}
+	return off, on, pct, nil
+}
+
+// buildReport runs the full matrix plus the overhead comparison.
+func buildReport(cfg scenario.RunConfig, rounds int) (report, error) {
+	rep := report{
+		Bench:         "scenario-matrix",
+		Goos:          runtime.GOOS,
+		Goarch:        runtime.GOARCH,
+		Cpus:          runtime.NumCPU(),
+		EvalEvery:     1024,
+		AuditInterval: 256,
+		SLOTarget:     0.9,
+	}
+	results, err := scenario.RunMatrix(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Scenarios = results
+	rep.AuditOff, rep.AuditOn, rep.AuditOverheadPct, err = auditOverhead(rounds, 64, 64)
+	return rep, err
+}
+
+func run(outPath string, rounds int) error {
+	rep, err := buildReport(scenario.RunConfig{}, rounds)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	worst := 0.0
+	for _, sc := range rep.Scenarios {
+		if sc.WorstRelErr > worst {
+			worst = sc.WorstRelErr
+		}
+	}
+	fmt.Printf("scenariorun: wrote %s (%d scenarios, worst rel err %.4f, audit overhead %+.1f%%)\n",
+		outPath, len(rep.Scenarios), worst, rep.AuditOverheadPct)
+	return nil
+}
+
+func check(baselinePath, diagDir string, overheadBudgetPct float64, rounds int) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	committed := make(map[string]scenario.Result, len(base.Scenarios))
+	for _, sc := range base.Scenarios {
+		committed[sc.Name] = sc
+	}
+	rep, err := buildReport(scenario.RunConfig{DiagDir: diagDir}, rounds)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, sc := range rep.Scenarios {
+		was, ok := committed[sc.Name]
+		drift := ""
+		if ok {
+			drift = fmt.Sprintf(", committed %.4f", was.WorstRelErr)
+		}
+		last := sc.Trajectory[len(sc.Trajectory)-1]
+		fmt.Printf("scenariorun: %-20s worst rel err %.4f (budget %.4f%s), final compliance %.3f (floor %.3f)\n",
+			sc.Name, sc.WorstRelErr, sc.MaxErrBudget, drift, last.Compliance, sc.MinCompliance)
+		if sc.Breached {
+			failures = append(failures, fmt.Sprintf("scenario %s: %s", sc.Name, sc.BreachReason))
+		}
+	}
+	fmt.Printf("scenariorun: audit overhead %+.1f%% (budget %.0f%%, committed %+.1f%%)\n",
+		rep.AuditOverheadPct, overheadBudgetPct, base.AuditOverheadPct)
+	if rep.AuditOverheadPct > overheadBudgetPct {
+		failures = append(failures, fmt.Sprintf(
+			"audit overhead: +%.1f%% per point, budget %.0f%%", rep.AuditOverheadPct, overheadBudgetPct))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "scenariorun: BREACH:", f)
+		}
+		if diagDir != "" {
+			fmt.Fprintf(os.Stderr, "scenariorun: breached scenarios' /metrics snapshots and trace exports are under %s\n", diagDir)
+		}
+		return fmt.Errorf("%d accuracy gate failure(s) against %s", len(failures), baselinePath)
+	}
+	fmt.Printf("scenariorun: all scenarios inside the ε contract (baseline %s)\n", baselinePath)
+	return nil
+}
+
+func list() {
+	for _, sc := range scenario.Matrix() {
+		engine := "exact"
+		if sc.Incremental {
+			engine = "incremental"
+		}
+		fmt.Printf("%-20s %s (n=%d window=%d B=%d eps=%g engine=%s, err budget %.2f, compliance floor %.2f)\n",
+			sc.Name, sc.Description, sc.Points, sc.Window, sc.Buckets, sc.Eps, engine,
+			sc.MaxErrBudget, sc.MinCompliance)
+	}
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	checkPath := flag.String("check", "", "baseline report to gate against instead of emitting a new one")
+	diagDir := flag.String("diag", "", "directory for breached scenarios' /metrics snapshots and Perfetto trace exports (-check mode)")
+	overheadBudget := flag.Float64("overhead-budget", 5, "allowed audit overhead per point in percent (-check mode)")
+	rounds := flag.Int("overhead-rounds", 10, "paired rounds for the audit-overhead measurement")
+	doList := flag.Bool("list", false, "list the scenario matrix and exit")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *doList:
+		list()
+	case *checkPath != "":
+		err = check(*checkPath, *diagDir, *overheadBudget, *rounds)
+	default:
+		err = run(*out, *rounds)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenariorun:", err)
+		os.Exit(1)
+	}
+}

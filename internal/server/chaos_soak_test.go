@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,6 +91,40 @@ func soakRuleMenu() []faults.Rule {
 	}
 }
 
+// dumpSoakDiagnostics writes the failing daemon's /metrics snapshot and
+// Perfetto trace export into the directory named by the
+// STREAMHIST_SOAK_DIAG environment variable, where CI uploads them as
+// workflow artifacts. A no-op when the variable is unset, so local runs
+// leave nothing behind.
+func dumpSoakDiagnostics(t *testing.T, seed int64, s *Server) {
+	t.Helper()
+	dir := os.Getenv("STREAMHIST_SOAK_DIAG")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("diagnostics: %v", err)
+		return
+	}
+	for _, d := range []struct{ path, file string }{
+		{"/metrics", fmt.Sprintf("chaos-seed%02d-metrics.prom", seed)},
+		{"/debug/trace/chrome", fmt.Sprintf("chaos-seed%02d-trace.json", seed)},
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, d.path, nil))
+		if rec.Code != http.StatusOK {
+			t.Logf("diagnostics: GET %s = %d", d.path, rec.Code)
+			continue
+		}
+		out := filepath.Join(dir, d.file)
+		if err := os.WriteFile(out, rec.Body.Bytes(), 0o644); err != nil {
+			t.Logf("diagnostics: %v", err)
+			continue
+		}
+		t.Logf("diagnostics: wrote %s", out)
+	}
+}
+
 // runSoakSeed soaks one daemon lifetime under seed's fault schedule and
 // returns whether any shard degraded at least once during it.
 func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
@@ -111,6 +147,14 @@ func runSoakSeed(t *testing.T, seed int64) (sawDegraded bool) {
 	if err != nil {
 		t.Fatalf("seed %d: open: %v", seed, err)
 	}
+	// On failure, capture the soaked daemon's observability state for the
+	// CI artifact upload. Runs after the Fatalf unwinds; /metrics and the
+	// trace ring stay readable even once the engine has been aborted.
+	defer func() {
+		if t.Failed() {
+			dumpSoakDiagnostics(t, seed, s)
+		}
+	}()
 
 	var (
 		// maxDurable[i]: highest position of client i's stream acked by a

@@ -33,6 +33,9 @@ const (
 	// errQuotaExceeded: creating one more stream would exceed
 	// Options.MaxKeys.
 	errQuotaExceeded = "quota_exceeded"
+	// errAuditDisabled: the request asked for accuracy-SLO state but the
+	// server runs without shadow auditing (Options.Audit).
+	errAuditDisabled = "audit_disabled"
 )
 
 // timeoutBody is the envelope http.TimeoutHandler writes when a request

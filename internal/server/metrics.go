@@ -15,19 +15,21 @@ import (
 // "other" so request metrics stay bounded-cardinality no matter what
 // clients send.
 var knownPaths = map[string]bool{
-	"/ingest":      true,
-	"/histogram":   true,
-	"/agglom":      true,
-	"/query":       true,
-	"/stats":       true,
-	"/quantile":    true,
-	"/selectivity": true,
-	"/snapshot":    true,
-	"/restore":     true,
-	"/drift":       true,
-	"/healthz":     true,
-	"/readyz":      true,
-	"/metrics":     true,
+	"/ingest":        true,
+	"/histogram":     true,
+	"/agglom":        true,
+	"/query":         true,
+	"/stats":         true,
+	"/quantile":      true,
+	"/selectivity":   true,
+	"/snapshot":      true,
+	"/restore":       true,
+	"/drift":         true,
+	"/slo":           true,
+	"/healthz":       true,
+	"/readyz":        true,
+	"/metrics":       true,
+	"/debug/quality": true,
 }
 
 // v1Ops are the per-stream operations mounted under /v1/streams/{key}/.
@@ -42,6 +44,7 @@ var v1Ops = map[string]bool{
 	"snapshot":    true,
 	"restore":     true,
 	"drift":       true,
+	"slo":         true,
 }
 
 // metricsPath collapses a request path to a bounded-cardinality label:

@@ -110,6 +110,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		DataDir:     t.TempDir(),
 		Metrics:     reg,
 		Incremental: true,
+		Audit:       true,
 		Logger:      quietLogger,
 	})
 	if err != nil {
@@ -180,6 +181,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"streamhist_window_points 8",
 		"streamhist_stream_seen 8",
 		"streamhist_gk_tuples",
+		// accuracy-audit layer (registered at engine construction, so the
+		// names appear before the first pass runs)
+		"streamhist_quality_audits_total",
+		"streamhist_quality_queries_total",
+		"streamhist_quality_audit_seconds",
+		"streamhist_quality_eps_headroom",
+		"streamhist_quality_max_rel_err",
+		"streamhist_quality_staleness_ratio",
+		"streamhist_quality_drift_distance",
+		"streamhist_slo_breaches_total",
+		"streamhist_drift_reanchors_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

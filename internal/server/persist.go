@@ -10,6 +10,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
+	"streamhist/internal/quality"
 	"streamhist/internal/shard"
 	"streamhist/internal/trace"
 )
@@ -46,6 +47,30 @@ type Options struct {
 	// those flushes pay. Ignored when Factory is set (configure the
 	// maintainer there instead).
 	Incremental bool
+
+	// Audit enables the per-stream shadow auditor and accuracy SLO engine
+	// (internal/quality): each stream keeps an exact bounded-memory shadow
+	// of recent points, periodically replays a range/quantile/selectivity
+	// panel against the approximate summaries, and tracks
+	// P[rel_err <= eps] >= SLOTarget over a rolling window. Serves
+	// GET /v1/streams/{key}/slo and GET /debug/quality.
+	Audit bool
+	// AuditInterval is the number of ingested points between audit passes
+	// per stream; 0 means 1024.
+	AuditInterval int
+	// AuditShadow is the exact positional shadow per audited stream, in
+	// points; 0 means 2048. AuditReservoir is the whole-stream uniform
+	// sample behind quantile/selectivity shadows; 0 means 512.
+	AuditShadow    int
+	AuditReservoir int
+	// AuditSeed is the base seed audit randomness derives from (mixed with
+	// each stream key); 0 means 1. Fixed seed + same stream = identical
+	// measured errors.
+	AuditSeed int64
+	// SLOTarget is the accuracy objective's required compliance; 0 means
+	// 0.9. SLOWindow is its rolling window in panel queries; 0 means 256.
+	SLOTarget float64
+	SLOWindow int
 
 	// MaxBody caps an ingest or restore request body; 0 means 32 MiB.
 	MaxBody int64
@@ -189,11 +214,23 @@ func Open(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	var audit *quality.Config
+	if opts.Audit {
+		audit = &quality.Config{
+			Interval:  opts.AuditInterval,
+			Shadow:    opts.AuditShadow,
+			Reservoir: opts.AuditReservoir,
+			Seed:      opts.AuditSeed,
+			SLOTarget: opts.SLOTarget,
+			SLOWindow: opts.SLOWindow,
+		}
+	}
 	eng, err := shard.NewEngine(shard.Config{
 		Shards:             opts.Shards,
 		MaxKeys:            opts.MaxKeys,
 		KeyInflight:        opts.KeyInflight,
 		Factory:            factory,
+		Audit:              audit,
 		DataDir:            opts.DataDir,
 		FS:                 opts.FS,
 		SyncEveryAppend:    opts.SyncEveryAppend,
@@ -219,6 +256,10 @@ func Open(opts Options) (*Server, error) {
 		_ = eng.Close()
 		return nil, err
 	}
+	// Same metric name the shard auditors use; the registry's dedup index
+	// makes HTTP-driven and audit-driven re-anchors share one counter.
+	s.driftReanchors = opts.Metrics.Counter("streamhist_drift_reanchors_total",
+		"Drift-detector alarms that re-anchored the reference histogram.")
 	s.registerGaugeFuncs(opts.Metrics)
 	s.routes()
 	s.state.Store(stateReady)

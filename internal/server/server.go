@@ -69,6 +69,7 @@ import (
 	"streamhist/internal/agglom"
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
+	"streamhist/internal/obs"
 	"streamhist/internal/shard"
 	"streamhist/internal/stream"
 	"streamhist/internal/trace"
@@ -104,12 +105,16 @@ type Server struct {
 	// Observability (zero/nil without Options.Metrics; nil tr is the
 	// disabled flight recorder). cm and rm share registry handles with the
 	// engine's copies — same metric names resolve to the same counters.
-	om       *httpMetrics
-	cm       ckptMetrics
-	rm       resilienceMetrics
-	tr       *trace.Recorder
-	logger   *slog.Logger
-	logDebug bool // logger admits Debug records; precomputed for the request path
+	om *httpMetrics
+	cm ckptMetrics
+	rm resilienceMetrics
+	// driftReanchors counts drift-detector re-anchors fired through the
+	// HTTP drift endpoint (the shard auditors share the same series by
+	// name). Nil without Options.Metrics.
+	driftReanchors *obs.Counter
+	tr             *trace.Recorder
+	logger         *slog.Logger
+	logDebug       bool // logger admits Debug records; precomputed for the request path
 
 	opts      Options
 	fs        faults.FS
@@ -139,6 +144,22 @@ func WithFactory(f shard.Factory) Option { return func(o *Options) { o.Factory =
 // WithIncremental enables incremental cover repair on every stream the
 // default factory creates (see Options.Incremental).
 func WithIncremental() Option { return func(o *Options) { o.Incremental = true } }
+
+// WithAudit enables the per-stream shadow auditor and accuracy SLO
+// engine (see Options.Audit).
+func WithAudit() Option { return func(o *Options) { o.Audit = true } }
+
+// WithAuditInterval sets the ingested points between audit passes per
+// stream (0 means 1024). Implies WithAudit.
+func WithAuditInterval(n int) Option {
+	return func(o *Options) { o.Audit, o.AuditInterval = true, n }
+}
+
+// WithSLOTarget sets the accuracy objective's required compliance
+// (0 means 0.9). Implies WithAudit.
+func WithSLOTarget(t float64) Option {
+	return func(o *Options) { o.Audit, o.SLOTarget = true, t }
+}
 
 // New creates an in-memory server (no durability) maintaining, per
 // stream key, a fixed-window histogram (last n points, b buckets, growth
@@ -171,6 +192,7 @@ func (s *Server) routes() {
 		{"snapshot", s.handleSnapshot},
 		{"restore", s.handleRestore},
 		{"drift", s.handleDrift},
+		{"slo", s.handleSLO},
 	}
 	for _, op := range ops {
 		s.mux.HandleFunc("/v1/streams/{key}/"+op.name, s.keyed(op.h))
@@ -187,6 +209,7 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("/debug/trace/events", s.handleTraceEvents)
 		s.mux.HandleFunc("/debug/trace/chrome", s.handleTraceChrome)
 	}
+	s.mux.HandleFunc("/debug/quality", s.handleDebugQuality)
 	// traceware sits innermost so request spans measure handler time and
 	// the span ID reaches the handlers through the request context.
 	h := s.traceware(s.mux)
@@ -720,6 +743,11 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request, key string)
 		writeError(w, http.StatusInternalServerError, errInternal, "%v", derr)
 		return
 	}
+	if drifted {
+		// The detector just re-anchored its reference; surface the event
+		// (counter + trace instant) instead of firing invisibly.
+		s.emitDrift(key, dist, alarms)
+	}
 	writeJSON(w, map[string]any{
 		"distance": dist,
 		"drifted":  drifted,
@@ -819,7 +847,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // startup, drains at shutdown, has a quarantined shard, or is degraded
 // under the refuse policy (writes would 503 anyway) — so load balancers
 // stop routing before writes start failing. A degraded server under the
-// degrade policy stays ready and advertises "degraded":true.
+// degrade policy stays ready and advertises "degraded":true. Either way
+// the body carries per-shard detail — stream count, degraded and
+// quarantined flags, breaker state — so an operator reading a 503 (or a
+// half-degraded 200) sees which stripe is the problem without grepping
+// logs.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	var status string
 	switch s.state.Load() {
@@ -839,14 +871,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			status = "degraded"
 		}
 	}
+	body := map[string]any{
+		"status":   status,
+		"degraded": degraded,
+		"shards":   s.eng.ShardStatuses(),
+	}
 	if status != "ready" {
 		w.Header().Set("Retry-After", "1")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]any{"status": status})
+		_ = json.NewEncoder(w).Encode(body)
 		return
 	}
-	writeJSON(w, map[string]any{"status": status, "degraded": degraded})
+	writeJSON(w, body)
 }
 
 // bucketJSON is the wire form of one histogram bucket.

@@ -41,6 +41,9 @@ var pathCodes = map[string]uint8{
 	"/v1/streams/{key}/snapshot":    25,
 	"/v1/streams/{key}/restore":     26,
 	"/v1/streams/{key}/drift":       27,
+	"/slo":                          28,
+	"/v1/streams/{key}/slo":         29,
+	"/debug/quality":                30,
 }
 
 var codePaths = func() map[uint8]string {

@@ -230,6 +230,15 @@ func (sh *shard) process(batch []*request) {
 			st.Sed.Push(v)
 			st.Stats.Push(v)
 		}
+		if st.Aud != nil {
+			// Shadow audit: feed the exact ring/reservoir, and when an
+			// interval's worth of points has landed, replay the panel
+			// against the summaries just updated above.
+			st.Aud.ObserveBatch(p.req.values, p.start)
+			if st.Aud.Due() {
+				sh.runAudit(p.req.key, st)
+			}
+		}
 		sh.applied += int64(len(p.req.values))
 		sh.dirtyGen++
 		if degradedAck {

@@ -152,6 +152,7 @@ func (sh *shard) loadStreams() error {
 				return fmt.Errorf("shard %d: %w", sh.id, serr)
 			}
 			st.attach(sh.eng.cfg.Metrics, sh.eng.cfg.Trace)
+			sh.wireAudit(key, st)
 			sh.streams[key] = st
 		}
 		sh.applied = seen
@@ -219,6 +220,7 @@ func (sh *shard) recoveredState(key string) (*State, error) {
 		return nil, fmt.Errorf("stream factory for recovered %q: %w", key, err)
 	}
 	st.attach(sh.eng.cfg.Metrics, sh.eng.cfg.Trace)
+	sh.wireAudit(key, st)
 	return st, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
+	"streamhist/internal/quality"
 	"streamhist/internal/resilience"
 	"streamhist/internal/trace"
 	"streamhist/internal/wal"
@@ -100,6 +101,11 @@ type Config struct {
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
 
+	// Audit enables the per-stream shadow auditor and accuracy SLO engine
+	// with the given configuration; nil disables auditing entirely (the
+	// ingest path then pays one nil test per batch).
+	Audit *quality.Config
+
 	// Metrics receives instrumentation from every shard; per-shard series
 	// are labeled shard="<i>" (bounded cardinality — never per-key).
 	Metrics *obs.Registry
@@ -152,6 +158,9 @@ type Engine struct {
 	keyCount atomic.Int64 // live streams across all shards
 	cm       ckptMetrics
 	rm       resilienceMetrics
+	// qm is the audit instrumentation; nil when Config.Audit is nil
+	// (quality.Metrics methods are nil-safe).
+	qm *quality.Metrics
 	// failpoint is the test seam; read by shard loops, so swaps go
 	// through an atomic instead of a plain field.
 	failpoint atomic.Value // of func(string)
@@ -208,6 +217,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg: cfg,
 		cm:  newCkptMetrics(cfg.Metrics),
 		rm:  newResilienceMetrics(cfg.Metrics),
+	}
+	if cfg.Audit != nil {
+		e.qm = quality.NewMetrics(cfg.Metrics)
 	}
 	if cfg.Failpoint != nil {
 		e.failpoint.Store(cfg.Failpoint)
@@ -456,6 +468,7 @@ func (sh *shard) createState(key string) (*State, error) {
 		return nil, fmt.Errorf("shard: stream factory: %w", err)
 	}
 	st.attach(sh.eng.cfg.Metrics, sh.eng.cfg.Trace)
+	sh.wireAudit(key, st)
 	return st, nil
 }
 
@@ -526,6 +539,7 @@ func (e *Engine) Restore(key string, fw *core.FixedWindow) (seen int64, length i
 		return 0, 0, err
 	}
 	st.Agg.SetRegistry(e.cfg.Metrics)
+	sh.wireAudit(key, st)
 	// Lock order matches checkpointing: ckptMu then mu. The shard lock is
 	// held across the swap, the container save and the WAL reset, so no
 	// concurrent batch can land between the checkpoint and the reset and

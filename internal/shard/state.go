@@ -9,6 +9,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/drift"
 	"streamhist/internal/obs"
+	"streamhist/internal/quality"
 	"streamhist/internal/quantile"
 	"streamhist/internal/stream"
 	"streamhist/internal/trace"
@@ -28,6 +29,10 @@ type State struct {
 	Sed   *vhist.StreamingEqualDepth
 	Det   *drift.Detector
 	Stats stream.Counter
+	// Aud is the stream's shadow auditor; nil unless the engine was
+	// configured with Config.Audit. Like the other summaries it is
+	// guarded by the owning shard's lock.
+	Aud *quality.Auditor
 }
 
 // Factory builds the State for a newly created stream key. The engine

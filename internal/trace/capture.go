@@ -26,11 +26,22 @@ type CaptureStats struct {
 	MemoMisses    int64   `json:"memo_misses"`
 	WarmHits      int64   `json:"warm_hits"`
 	WarmFallbacks int64   `json:"warm_fallbacks"`
+
+	// Accuracy-SLO context, present only on "slo_breach" captures.
+	Stream         string  `json:"stream,omitempty"`
+	MeasuredRelErr float64 `json:"measured_rel_err,omitempty"`
+	EpsHeadroom    float64 `json:"eps_headroom,omitempty"`
+	SLOTarget      float64 `json:"slo_target,omitempty"`
+	SLOCompliance  float64 `json:"slo_compliance,omitempty"`
+	SLOBurnRate    float64 `json:"slo_burn_rate,omitempty"`
 }
 
-// Capture is the on-disk form of one slow-rebuild anomaly capture.
+// Capture is the on-disk form of one anomaly capture. Kind names what
+// tripped it ("slow_rebuild", "slo_breach"); older captures predate the
+// field and carry none.
 type Capture struct {
 	WrittenAt     time.Time    `json:"written_at"`
+	Kind          string       `json:"kind,omitempty"`
 	ThresholdNs   int64        `json:"threshold_ns"`
 	DurationNs    int64        `json:"duration_ns"`
 	Stats         CaptureStats `json:"stats"`
@@ -66,7 +77,26 @@ func (r *Recorder) MaybeCaptureSlow(dur time.Duration, st CaptureStats) bool {
 	if r == nil || r.slowNs <= 0 || int64(dur) < r.slowNs || r.capDir == "" {
 		return false
 	}
+	return r.capture("slow_rebuild", dur, st)
+}
 
+// CaptureAnomaly writes a capture unconditionally — the caller has
+// already decided the condition (an accuracy-SLO breach, not a latency
+// threshold) — tagged with kind. It shares the slow-rebuild machinery:
+// the same directory, atomic write, sequence naming and pruning armed by
+// SetSlowCapture (the duration threshold does not gate it; only an unset
+// capture directory does). No-op (false) on a nil recorder or one with
+// no capture directory.
+func (r *Recorder) CaptureAnomaly(kind string, dur time.Duration, st CaptureStats) bool {
+	if r == nil || r.capDir == "" {
+		return false
+	}
+	return r.capture(kind, dur, st)
+}
+
+// capture snapshots the ring and writes one capture file; shared by the
+// slow-rebuild and explicit-anomaly entry points.
+func (r *Recorder) capture(kind string, dur time.Duration, st CaptureStats) bool {
 	r.capMu.Lock()
 	defer r.capMu.Unlock()
 
@@ -78,6 +108,7 @@ func (r *Recorder) MaybeCaptureSlow(dur time.Duration, st CaptureStats) bool {
 
 	c := Capture{
 		WrittenAt:     time.Now().UTC(),
+		Kind:          kind,
 		ThresholdNs:   r.slowNs,
 		DurationNs:    int64(dur),
 		Stats:         st,
@@ -103,7 +134,7 @@ func (r *Recorder) MaybeCaptureSlow(dur time.Duration, st CaptureStats) bool {
 // process-local sequence so ordering is stable even within one wall
 // tick: capture-<seq>-<unixnano>.json.
 //
-//lint:ignore mutex-discipline runs with r.capMu held by MaybeCaptureSlow
+//lint:ignore mutex-discipline runs with r.capMu held by capture
 func (r *Recorder) writeCapture(c Capture) error {
 	if err := os.MkdirAll(r.capDir, 0o755); err != nil {
 		return err

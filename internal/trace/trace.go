@@ -68,6 +68,9 @@ const (
 	EvBreaker              // instant: a circuit-breaker transition. A = from state; N = to state.
 	EvPanic                // instant: a contained handler panic. A = 1 when the state lock was held.
 	EvIncrRepair           // instant: incremental cover-maintenance summary. A = endpoints repaired; N = levels maintained. Its parent EvRebuild span carries Code 1 to mark the incremental path.
+	EvAudit                // instant: one accuracy-audit pass. Code = shard; Dur = pass duration; A = panel queries; N = queries over the error budget.
+	EvSLOBreach            // instant: an accuracy SLO entered breach. Code = shard; A = rolling compliance in ppm; N = error-budget burn rate in thousandths.
+	EvDrift                // instant: the drift detector fired and re-anchored its reference. Code = shard; A = normalized L2 distance in millionths; N = cumulative alarms.
 
 	numEventTypes // sentinel; keep last
 )
@@ -103,6 +106,12 @@ func (t EventType) String() string {
 		return "panic"
 	case EvIncrRepair:
 		return "incr_repair"
+	case EvAudit:
+		return "audit"
+	case EvSLOBreach:
+		return "slo_breach"
+	case EvDrift:
+		return "drift"
 	}
 	return "unknown"
 }
